@@ -1,0 +1,58 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section (§6) from the calibrated synthetic corpus.
+//
+// Usage:
+//
+//	benchtables [-table 1|2|edges|fullprecomp|scaling|queries|all] [-limit N]
+//
+// -limit caps the number of procedures generated per benchmark (0 = the
+// full corpus, 4823 procedures — Table 2 then takes a few minutes).
+// The default limit of 120 yields stable shapes quickly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastliveness/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table: 1|2|edges|fullprecomp|queries|scaling|all")
+	limit := flag.Int("limit", 120, "procedures per benchmark (0 = full corpus)")
+	flag.Parse()
+
+	needCorpus := map[string]bool{"1": true, "2": true, "edges": true,
+		"fullprecomp": true, "queries": true, "all": true}[*table]
+	var corpora []*bench.Corpus
+	if needCorpus {
+		fmt.Fprintf(os.Stderr, "generating corpus (limit %d per benchmark)...\n", *limit)
+		corpora = bench.BuildAll(*limit)
+	}
+
+	switch *table {
+	case "1":
+		fmt.Println(bench.Table1(corpora))
+	case "2":
+		fmt.Println(bench.Table2(corpora))
+	case "edges":
+		fmt.Println(bench.EdgeStats(corpora))
+	case "fullprecomp":
+		fmt.Println(bench.FullPrecompStats(corpora))
+	case "queries":
+		fmt.Println(bench.DestructionStats(corpora))
+	case "scaling":
+		fmt.Println(bench.ScalingSeries([]int{64, 128, 256, 512, 1024, 2048, 4096}))
+	case "all":
+		fmt.Println(bench.Table1(corpora))
+		fmt.Println(bench.EdgeStats(corpora))
+		fmt.Println(bench.Table2(corpora))
+		fmt.Println(bench.DestructionStats(corpora))
+		fmt.Println(bench.FullPrecompStats(corpora))
+		fmt.Println(bench.ScalingSeries([]int{64, 128, 256, 512, 1024, 2048}))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}

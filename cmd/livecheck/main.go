@@ -1,0 +1,200 @@
+// Command livecheck answers liveness queries for a textual IR function.
+//
+// Usage:
+//
+//	livecheck [flags] file.ssair
+//	livecheck [flags] -            # read from stdin
+//
+// With -q, it answers individual queries; without, it dumps the live-in and
+// live-out sets of every block (computed through the checker's
+// characteristic function).
+//
+//	livecheck -q '%x@b3' -q 'out:%y@b2' prog.ssair
+//
+// Flags:
+//
+//	-construct    run SSA construction first (for slot-form inputs)
+//	-engine       checker | dataflow | lao | pervar | loops
+//	-verify       verify strict SSA before analyzing (default true)
+//	-stats        print CFG/analysis statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fastliveness"
+	"fastliveness/internal/cfg"
+	"fastliveness/internal/dataflow"
+	"fastliveness/internal/dom"
+	"fastliveness/internal/ir"
+	"fastliveness/internal/lao"
+	"fastliveness/internal/loops"
+	"fastliveness/internal/pervar"
+	"fastliveness/internal/ssa"
+)
+
+type queryList []string
+
+func (q *queryList) String() string     { return strings.Join(*q, ",") }
+func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
+
+func main() {
+	var (
+		construct = flag.Bool("construct", false, "run SSA construction (slot-form inputs)")
+		engine    = flag.String("engine", "checker", "liveness engine: checker|dataflow|lao|pervar|loops")
+		verify    = flag.Bool("verify", true, "verify strict SSA before analyzing")
+		stat      = flag.Bool("stats", false, "print CFG/analysis statistics")
+		queries   queryList
+	)
+	flag.Var(&queries, "q", "query '[in:|out:]%value@block' (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: livecheck [flags] file.ssair (or - for stdin)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *construct, *engine, *verify, *stat, queries); err != nil {
+		fmt.Fprintln(os.Stderr, "livecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, construct bool, engine string, verify, stat bool, queries queryList) error {
+	var src []byte
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	f, err := ir.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	if construct {
+		ssa.Construct(f)
+	}
+	if verify {
+		if err := ssa.VerifyStrict(f); err != nil {
+			return fmt.Errorf("not strict SSA (use -construct for slot form, -verify=false to skip): %w", err)
+		}
+	}
+
+	liveIn, liveOut, err := buildEngine(engine, f)
+	if err != nil {
+		return err
+	}
+
+	if stat {
+		printStats(f)
+	}
+
+	if len(queries) > 0 {
+		for _, q := range queries {
+			if err := answer(f, q, liveIn, liveOut); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Dump per-block sets.
+	for _, b := range f.Blocks {
+		var ins, outs []string
+		f.Values(func(v *ir.Value) {
+			if !v.Op.HasResult() {
+				return
+			}
+			if liveIn(v, b) {
+				ins = append(ins, v.String())
+			}
+			if liveOut(v, b) {
+				outs = append(outs, v.String())
+			}
+		})
+		fmt.Printf("%s:\n  live-in : %s\n  live-out: %s\n",
+			b, strings.Join(ins, " "), strings.Join(outs, " "))
+	}
+	return nil
+}
+
+type queryFunc func(*ir.Value, *ir.Block) bool
+
+func buildEngine(name string, f *ir.Func) (liveIn, liveOut queryFunc, err error) {
+	switch name {
+	case "checker":
+		live, err := fastliveness.Analyze(f, fastliveness.Config{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return live.IsLiveIn, live.IsLiveOut, nil
+	case "dataflow":
+		r := dataflow.Analyze(f)
+		return r.IsLiveIn, r.IsLiveOut, nil
+	case "lao":
+		r := lao.Analyze(f, lao.Options{})
+		return r.IsLiveIn, r.IsLiveOut, nil
+	case "pervar":
+		r := pervar.Analyze(f)
+		return r.IsLiveIn, r.IsLiveOut, nil
+	case "loops":
+		r, err := loops.Liveness(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return r.IsLiveIn, r.IsLiveOut, nil
+	}
+	return nil, nil, fmt.Errorf("unknown engine %q", name)
+}
+
+func answer(f *ir.Func, q string, liveIn, liveOut queryFunc) error {
+	kind := "in"
+	rest := q
+	switch {
+	case strings.HasPrefix(q, "in:"):
+		rest = q[3:]
+	case strings.HasPrefix(q, "out:"):
+		kind, rest = "out", q[4:]
+	}
+	at := strings.IndexByte(rest, '@')
+	if at < 0 || !strings.HasPrefix(rest, "%") {
+		return fmt.Errorf("bad query %q (want '[in:|out:]%%value@block')", q)
+	}
+	v := f.ValueByName(rest[1:at])
+	if v == nil {
+		return fmt.Errorf("unknown value %q", rest[:at])
+	}
+	b := f.BlockByName(rest[at+1:])
+	if b == nil {
+		return fmt.Errorf("unknown block %q", rest[at+1:])
+	}
+	var res bool
+	if kind == "in" {
+		res = liveIn(v, b)
+	} else {
+		res = liveOut(v, b)
+	}
+	fmt.Printf("live-%s(%s, %s) = %v\n", kind, v, b, res)
+	return nil
+}
+
+func printStats(f *ir.Func) {
+	g, _ := cfg.FromFunc(f)
+	d := cfg.NewDFS(g)
+	tree := dom.Iterative(g, d)
+	vars := 0
+	f.Values(func(v *ir.Value) {
+		if v.Op.HasResult() {
+			vars++
+		}
+	})
+	fmt.Printf("func @%s: %d blocks, %d edges (%d back), %d variables, reducible=%v\n",
+		f.Name, len(f.Blocks), g.NumEdges(), len(d.BackEdges), vars, dom.IsReducible(d, tree))
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fastliveness/internal/ir"
+)
+
+const loopSrc = `
+func @loop(%n) {
+entry:
+  %zero = const 0
+  %one = const 1
+  br head
+head:
+  %i = phi [%zero, entry], [%inext, body]
+  %cmp = cmplt %i, %n
+  if %cmp -> body, exit
+body:
+  %inext = add %i, %one
+  br head
+exit:
+  ret %i
+}
+`
+
+func writeTemp(t *testing.T, src string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "prog.ssair")
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunDumpsSets(t *testing.T) {
+	p := writeTemp(t, loopSrc)
+	for _, engine := range []string{"checker", "dataflow", "lao", "pervar", "loops"} {
+		if err := run(p, false, engine, true, true, nil); err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+	}
+}
+
+func TestRunQueries(t *testing.T) {
+	p := writeTemp(t, loopSrc)
+	err := run(p, false, "checker", true, false,
+		queryList{"%n@body", "out:%i@head", "in:%one@exit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := writeTemp(t, loopSrc)
+	cases := []struct {
+		queries queryList
+		engine  string
+		want    string
+	}{
+		{queryList{"%nosuch@body"}, "checker", "unknown value"},
+		{queryList{"%n@nowhere"}, "checker", "unknown block"},
+		{queryList{"garbage"}, "checker", "bad query"},
+		{nil, "frobnicate", "unknown engine"},
+	}
+	for _, c := range cases {
+		err := run(p, false, c.engine, true, false, c.queries)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("queries %v engine %s: err = %v, want %q", c.queries, c.engine, err, c.want)
+		}
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing"), false, "checker", true, false, nil); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestRunConstructsSlotForm(t *testing.T) {
+	slot := `
+func @s(%p) {
+b0:
+  slots 1
+  slotstore 0, %p
+  br b1
+b1:
+  %x = slotload 0
+  ret %x
+}
+`
+	p := writeTemp(t, slot)
+	// Without -construct, strict verification must reject slot ops.
+	if err := run(p, false, "checker", true, false, nil); err == nil {
+		t.Fatal("slot form should fail strict verification")
+	}
+	// With -construct it passes.
+	if err := run(p, true, "checker", true, false, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildEngineAgreement(t *testing.T) {
+	f := ir.MustParse(loopSrc)
+	in1, out1, err := buildEngine("checker", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, out2, err := buildEngine("dataflow", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Values(func(v *ir.Value) {
+		if !v.Op.HasResult() {
+			return
+		}
+		for _, b := range f.Blocks {
+			if in1(v, b) != in2(v, b) || out1(v, b) != out2(v, b) {
+				t.Fatalf("engines disagree at (%s, %s)", v, b)
+			}
+		}
+	})
+}

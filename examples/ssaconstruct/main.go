@@ -1,0 +1,57 @@
+// This example reproduces Figure 2 of the paper: a variable assigned on two
+// branches becomes three SSA variables joined by a φ-function. Both SSA
+// constructors of this repository are shown — the classic Cytron et al.
+// algorithm (dominance frontiers + renaming) and the incremental Braun et
+// al. builder.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"fastliveness/internal/ir"
+	"fastliveness/internal/ssa"
+)
+
+const figure2 = `
+func @figure2(%p, %y) {
+b0:
+  slots 1
+  if %p -> b1, b2
+b1:
+  %c1 = const 1
+  slotstore 0, %c1
+  br b3
+b2:
+  %c2 = const 2
+  slotstore 0, %c2
+  br b3
+b3:
+  %x = slotload 0
+  %z = add %x, %y
+  ret %z
+}
+`
+
+func main() {
+	fmt.Println("== non-SSA program (Figure 2a: x assigned twice) ==")
+	io.WriteString(os.Stdout, figure2)
+
+	cytron := ir.MustParse(figure2)
+	ssa.Construct(cytron)
+	fmt.Println("\n== after Cytron et al. construction (Figure 2b: x3 = φ(x1, x2)) ==")
+	fmt.Print(ir.Print(cytron))
+
+	braun := ir.MustParse(figure2)
+	ssa.ConstructBraun(braun)
+	fmt.Println("\n== after Braun et al. construction ==")
+	fmt.Print(ir.Print(braun))
+
+	for name, f := range map[string]*ir.Func{"cytron": cytron, "braun": braun} {
+		if err := ssa.VerifyStrict(f); err != nil {
+			panic(name + ": " + err.Error())
+		}
+	}
+	fmt.Println("\nboth outputs verified strict SSA ✓")
+}

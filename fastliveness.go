@@ -1,0 +1,247 @@
+// Package fastliveness is the public face of this repository: a Go
+// implementation of Boissinot, Hack, Grund, Dupont de Dinechin and
+// Rastello, "Fast Liveness Checking for SSA-Form Programs" (CGO 2008).
+//
+// It binds the CFG-only precomputation of internal/core to the SSA IR of
+// internal/ir: Analyze precomputes the R and T sets for a function's CFG,
+// and IsLiveIn/IsLiveOut answer queries for any variable using nothing but
+// that precomputation, the variable's definition block and its def-use
+// chain, read fresh at query time.
+//
+// Consequently — the paper's headline property — adding or removing
+// instructions, variables or uses never invalidates an Analyze result;
+// only changing the CFG itself (adding/removing blocks or edges) requires
+// a new Analyze call. SSA destruction exploits exactly that: it splits
+// critical edges once up front, analyzes, and then queries freely while it
+// rewrites the program.
+//
+// Example:
+//
+//	live, err := fastliveness.Analyze(f, fastliveness.Config{})
+//	if err != nil { ... }
+//	if live.IsLiveOut(v, b) { ... }
+package fastliveness
+
+import (
+	"fmt"
+
+	"fastliveness/internal/cfg"
+	"fastliveness/internal/core"
+	"fastliveness/internal/dom"
+	"fastliveness/internal/ir"
+)
+
+// Strategy selects how the T sets are precomputed; see internal/core.
+type Strategy = core.Strategy
+
+// Re-exported strategies.
+const (
+	// StrategyExact evaluates the paper's Definition 5 directly.
+	StrategyExact = core.StrategyExact
+	// StrategyPropagate is the paper's practical §5.2 scheme (the
+	// default).
+	StrategyPropagate = core.StrategyPropagate
+)
+
+// Config tunes the analysis. The zero value is the paper's configuration.
+type Config struct {
+	// Strategy selects the T-set precomputation scheme.
+	Strategy Strategy
+	// NoSkipSubtrees disables the §5.1 dominance-subtree skip (ablation).
+	NoSkipSubtrees bool
+	// NoReducibleFastPath disables the Theorem 2 single-test fast path
+	// (ablation).
+	NoReducibleFastPath bool
+	// SortedT stores T sets as sorted arrays instead of bitsets (§6.1
+	// memory variant).
+	SortedT bool
+}
+
+// Liveness answers liveness queries for one function. It is bound to the
+// function's CFG at Analyze time; see the package comment for what
+// invalidates it. Queries are not safe for concurrent use (a scratch
+// buffer is reused); create one Liveness per goroutine if needed.
+type Liveness struct {
+	f       *ir.Func
+	graph   *cfg.Graph
+	index   []int // block ID -> node
+	dfs     *cfg.DFS
+	tree    *dom.Tree
+	checker *core.Checker
+	scratch []int
+}
+
+// Analyze precomputes the liveness-checking sets for f's CFG. The function
+// must be well formed (ir.Verify) with every block reachable from the
+// entry, and queries assume strict SSA (ssa.VerifyStrict); liveness of a
+// variable whose definition does not dominate its uses is undefined.
+func Analyze(f *ir.Func, config Config) (*Liveness, error) {
+	if err := ir.Verify(f); err != nil {
+		return nil, err
+	}
+	g, index := cfg.FromFunc(f)
+	d := cfg.NewDFS(g)
+	if d.NumReachable != g.N() {
+		return nil, fmt.Errorf("fastliveness: %s: %d of %d blocks unreachable from entry",
+			f.Name, g.N()-d.NumReachable, g.N())
+	}
+	tree := dom.Iterative(g, d)
+	checker := core.NewFrom(g, d, tree, core.Options{
+		Strategy:            config.Strategy,
+		NoSkipSubtrees:      config.NoSkipSubtrees,
+		NoReducibleFastPath: config.NoReducibleFastPath,
+		SortedT:             config.SortedT,
+	})
+	return &Liveness{
+		f:       f,
+		graph:   g,
+		index:   index,
+		dfs:     d,
+		tree:    tree,
+		checker: checker,
+	}, nil
+}
+
+// node maps a block to its CFG node, tolerating blocks added after Analyze
+// only if the CFG has not changed — which the API contract forbids anyway.
+func (l *Liveness) node(b *ir.Block) int {
+	if b.ID >= len(l.index) || l.index[b.ID] < 0 {
+		panic(fmt.Sprintf("fastliveness: block %s is not part of the analyzed CFG", b))
+	}
+	return l.index[b.ID]
+}
+
+// useNodes reads v's def-use chain (Definition 1 placement) into the
+// scratch buffer as CFG nodes.
+func (l *Liveness) useNodes(v *ir.Value) []int {
+	l.scratch = v.UseBlockIDs(l.scratch[:0])
+	for i, id := range l.scratch {
+		l.scratch[i] = l.index[id]
+	}
+	return l.scratch
+}
+
+// IsLiveIn reports whether v is live-in at block b (paper Definition 2 /
+// Algorithm 3).
+func (l *Liveness) IsLiveIn(v *ir.Value, b *ir.Block) bool {
+	return l.checker.IsLiveIn(l.node(v.Block), l.useNodes(v), l.node(b))
+}
+
+// IsLiveOut reports whether v is live-out at block b (paper Definition 3 /
+// Algorithm 2).
+func (l *Liveness) IsLiveOut(v *ir.Value, b *ir.Block) bool {
+	return l.checker.IsLiveOut(l.node(v.Block), l.useNodes(v), l.node(b))
+}
+
+// LiveIn enumerates the variables live-in at b by querying every value —
+// the paper deliberately provides only the characteristic function, so
+// this convenience costs one query per value. Intended for tools and
+// debugging, not for hot paths.
+func (l *Liveness) LiveIn(b *ir.Block) []*ir.Value {
+	var out []*ir.Value
+	l.f.Values(func(v *ir.Value) {
+		if v.Op.HasResult() && l.IsLiveIn(v, b) {
+			out = append(out, v)
+		}
+	})
+	return out
+}
+
+// LiveOut enumerates the variables live-out at b; see LiveIn's caveats.
+func (l *Liveness) LiveOut(b *ir.Block) []*ir.Value {
+	var out []*ir.Value
+	l.f.Values(func(v *ir.Value) {
+		if v.Op.HasResult() && l.IsLiveOut(v, b) {
+			out = append(out, v)
+		}
+	})
+	return out
+}
+
+// Interfere reports whether the live ranges of x and y overlap, using the
+// SSA interference test of Budimlić et al. that the paper's evaluation is
+// built on (§6.2): order the two values so that x's definition dominates
+// y's; they interfere iff x is still live directly after y's definition —
+// at block granularity, iff x is live-out of y's block or has a use in it
+// at or after y's definition point. Values whose definitions are
+// dominance-incomparable never interfere in strict SSA.
+//
+// This is what register allocators and coalescers (see examples/jitregalloc
+// and internal/destruct) ask instead of materializing an interference
+// graph.
+func (l *Liveness) Interfere(x, y *ir.Value) bool {
+	if x == y {
+		return false
+	}
+	bx, by := l.node(x.Block), l.node(y.Block)
+	switch {
+	case l.tree.Dominates(bx, by):
+	case l.tree.Dominates(by, bx):
+		x, y = y, x
+	default:
+		return false
+	}
+	if x.Block == y.Block && x.Block.ValueIndex(x) > y.Block.ValueIndex(y) {
+		x, y = y, x
+	}
+	if l.IsLiveOut(x, y.Block) {
+		return true
+	}
+	yPos := y.Block.ValueIndex(y)
+	for _, u := range x.Uses() {
+		switch {
+		case u.UserBlock == y.Block:
+			return true // control operand: used at the block's end
+		case u.User == nil:
+			continue
+		case u.User.Op == ir.OpPhi:
+			if u.User.Block.Preds[u.Index].B == y.Block {
+				return true // φ operand: used at this block's end
+			}
+		case u.User.Block == y.Block && y.Block.ValueIndex(u.User) > yPos:
+			return true
+		}
+	}
+	return false
+}
+
+// Querier is a lightweight per-goroutine handle onto a Liveness: it shares
+// all precomputed sets but owns its scratch buffer, so any number of
+// Queriers may run queries concurrently (against an unchanging program).
+type Querier struct {
+	l       *Liveness
+	scratch []int
+}
+
+// NewQuerier returns a query handle sharing l's precomputation.
+func (l *Liveness) NewQuerier() *Querier { return &Querier{l: l} }
+
+func (qr *Querier) useNodes(v *ir.Value) []int {
+	qr.scratch = v.UseBlockIDs(qr.scratch[:0])
+	for i, id := range qr.scratch {
+		qr.scratch[i] = qr.l.index[id]
+	}
+	return qr.scratch
+}
+
+// IsLiveIn is Liveness.IsLiveIn through this handle's scratch space.
+func (qr *Querier) IsLiveIn(v *ir.Value, b *ir.Block) bool {
+	l := qr.l
+	return l.checker.IsLiveIn(l.node(v.Block), qr.useNodes(v), l.node(b))
+}
+
+// IsLiveOut is Liveness.IsLiveOut through this handle's scratch space.
+func (qr *Querier) IsLiveOut(v *ir.Value, b *ir.Block) bool {
+	l := qr.l
+	return l.checker.IsLiveOut(l.node(v.Block), qr.useNodes(v), l.node(b))
+}
+
+// Reducible reports whether the function's CFG is reducible; on reducible
+// CFGs queries take the Theorem 2 single-test fast path.
+func (l *Liveness) Reducible() bool { return l.checker.Reducible() }
+
+// MemoryBytes reports the footprint of the precomputed sets (§6.1).
+func (l *Liveness) MemoryBytes() int { return l.checker.MemoryBytes() }
+
+// Func returns the analyzed function.
+func (l *Liveness) Func() *ir.Func { return l.f }

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fastliveness/internal/gen"
+	"fastliveness/internal/ssa"
+)
+
+// TestTable1Calibration guards the generator against drifting away from the
+// paper's corpus shape. Tolerances are loose — we reproduce distributions,
+// not exact numbers — but tight enough to catch regressions.
+func TestTable1Calibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus generation in -short mode")
+	}
+	perBench := 50
+	within := func(got, want, tol float64) bool {
+		return math.Abs(got-want) <= tol
+	}
+	var totBlocks, totVars float64
+	var sumAvgErr float64
+	n := 0
+	for i := range gen.SPEC2000 {
+		spec := &gen.SPEC2000[i]
+		c := BuildCorpus(spec, perBench)
+		s := Shape(c)
+		// Per-benchmark: average block count within 45% (a 50-proc sample
+		// of a heavy-tailed distribution is noisy), %≤32 within 18 points.
+		if !within(s.Blocks.Mean, spec.AvgBlocks, 0.45*spec.AvgBlocks) {
+			t.Errorf("%s: avg blocks %.1f, paper %.1f", spec.Name, s.Blocks.Mean, spec.AvgBlocks)
+		}
+		if !within(s.PctLE32, spec.PctLE32, 18) {
+			t.Errorf("%s: %%≤32 = %.1f, paper %.1f", spec.Name, s.PctLE32, spec.PctLE32)
+		}
+		// Uses-per-variable CDF within 9 points at every knot.
+		for k := 0; k < 4; k++ {
+			if !within(s.UsePct[k], spec.UsePct[k], 9) {
+				t.Errorf("%s: uses %%≤%d = %.1f, paper %.1f", spec.Name, k+1, s.UsePct[k], spec.UsePct[k])
+			}
+		}
+		sumAvgErr += s.Blocks.Mean - spec.AvgBlocks
+		totBlocks += float64(s.Blocks.Sum)
+		totVars += float64(s.NumVars)
+		n++
+		// Back-edge fraction in a plausible band around the paper's 3.6%.
+		frac := 100 * float64(s.BackEdges) / float64(s.EdgesTotal)
+		if frac < 1.5 || frac > 7 {
+			t.Errorf("%s: back-edge fraction %.1f%%, paper ~3.6%%", spec.Name, frac)
+		}
+	}
+	if totVars == 0 || totBlocks == 0 {
+		t.Fatal("empty corpus")
+	}
+}
+
+func TestTable1AndEdgeStatsRender(t *testing.T) {
+	corpora := BuildAll(8)
+	t1 := Table1(corpora)
+	for _, want := range []string{"164.gzip", "(paper)", "Total", "%<=32", "MaxUses"} {
+		if !strings.Contains(t1, want) {
+			t.Fatalf("Table 1 output missing %q:\n%s", want, t1)
+		}
+	}
+	es := EdgeStats(corpora)
+	for _, want := range []string{"back edges", "irreducible", "4823"} {
+		if !strings.Contains(es, want) {
+			t.Fatalf("EdgeStats output missing %q:\n%s", want, es)
+		}
+	}
+}
+
+func TestRecordQueriesAndMeasure(t *testing.T) {
+	c := BuildCorpus(gen.SpecByName("164.gzip"), 12)
+	totalQ := 0
+	for _, p := range c.Procs {
+		qs := RecordQueries(p)
+		totalQ += len(qs)
+		for _, q := range qs {
+			if q.V == nil || q.B == nil {
+				t.Fatal("query with nil value/block")
+			}
+			// The query's value and block must belong to the original
+			// function.
+			if q.V.Block.Func != p.F {
+				t.Fatal("query value not from the original function")
+			}
+		}
+		// Recording twice gives the identical stream (determinism).
+		qs2 := RecordQueries(p)
+		if len(qs2) != len(qs) {
+			t.Fatal("query recording not deterministic")
+		}
+		for i := range qs {
+			if qs[i] != qs2[i] {
+				t.Fatal("query stream differs between recordings")
+			}
+		}
+	}
+	if totalQ == 0 {
+		t.Fatal("no queries recorded across the corpus")
+	}
+
+	row := MeasureCorpus(c)
+	if row.Procs != 12 || row.Queries != totalQ {
+		t.Fatalf("row mismatch: %+v (want %d queries)", row, totalQ)
+	}
+	if row.NativePre <= 0 || row.NewPre <= 0 || row.NativeQ <= 0 || row.NewQ <= 0 {
+		t.Fatalf("non-positive timings: %+v", row)
+	}
+	pre, q, both := row.Speedups()
+	if pre <= 0 || q <= 0 || both <= 0 {
+		t.Fatalf("non-positive speedups: %f %f %f", pre, q, both)
+	}
+	// The paper's shape: precomputation much faster, queries slower.
+	if pre < 1 {
+		t.Errorf("expected precompute speedup > 1, got %.2f", pre)
+	}
+	if q > 1 {
+		t.Errorf("expected query slowdown (speedup < 1), got %.2f", q)
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	corpora := []*Corpus{BuildCorpus(gen.SpecByName("256.bzip2"), 6)}
+	out := Table2(corpora)
+	for _, want := range []string{"256.bzip2", "(paper)", "Total", "Spdup", "Both"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAuxReports(t *testing.T) {
+	corpora := []*Corpus{BuildCorpus(gen.SpecByName("181.mcf"), 5)}
+	if out := FullPrecompStats(corpora); !strings.Contains(out, "fill") {
+		t.Fatalf("FullPrecompStats output unexpected:\n%s", out)
+	}
+	if out := DestructionStats(corpora); !strings.Contains(out, "q/var") {
+		t.Fatalf("DestructionStats output unexpected:\n%s", out)
+	}
+	if out := ScalingSeries([]int{32, 64}); !strings.Contains(out, "checker-bytes") {
+		t.Fatalf("ScalingSeries output unexpected:\n%s", out)
+	}
+}
+
+// The corpus must survive strictness verification end to end.
+func TestCorpusIsStrictSSA(t *testing.T) {
+	c := BuildCorpus(gen.SpecByName("197.parser"), 15)
+	for _, p := range c.Procs {
+		if err := ssa.VerifyStrict(p.F); err != nil {
+			t.Fatalf("%s: %v", p.F.Name, err)
+		}
+	}
+}

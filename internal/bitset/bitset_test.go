@@ -1,0 +1,321 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicAddHasRemove(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Has(i) {
+			t.Fatalf("fresh set has %d", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("after Add(%d), Has = false", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Fatal("Remove(64) did not remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count after remove = %d, want 7", got)
+	}
+}
+
+func TestHasOutOfRangeIsFalse(t *testing.T) {
+	s := New(10)
+	if s.Has(-1) || s.Has(10) || s.Has(1<<30) {
+		t.Fatal("out-of-range Has should be false")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range should panic")
+		}
+	}()
+	New(4).Add(4)
+}
+
+func TestUnionIntersectSubtract(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	for i := 0; i < 100; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Add(i)
+	}
+	u := a.Clone()
+	if !u.Union(b) {
+		t.Fatal("Union should report change")
+	}
+	if u.Union(b) {
+		t.Fatal("second Union should report no change")
+	}
+	for i := 0; i < 100; i++ {
+		want := i%2 == 0 || i%3 == 0
+		if u.Has(i) != want {
+			t.Fatalf("union Has(%d) = %v, want %v", i, u.Has(i), want)
+		}
+	}
+	x := a.Clone()
+	x.Intersect(b)
+	for i := 0; i < 100; i++ {
+		want := i%6 == 0
+		if x.Has(i) != want {
+			t.Fatalf("intersect Has(%d) = %v, want %v", i, x.Has(i), want)
+		}
+	}
+	d := a.Clone()
+	d.Subtract(b)
+	for i := 0; i < 100; i++ {
+		want := i%2 == 0 && i%3 != 0
+		if d.Has(i) != want {
+			t.Fatalf("subtract Has(%d) = %v, want %v", i, d.Has(i), want)
+		}
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := New(200)
+	b := New(200)
+	if a.Intersects(b) {
+		t.Fatal("empty sets should not intersect")
+	}
+	a.Add(150)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets should not intersect")
+	}
+	b.Add(150)
+	if !a.Intersects(b) {
+		t.Fatal("sets sharing 150 should intersect")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(300)
+	for _, i := range []int{3, 64, 65, 190, 299} {
+		s.Add(i)
+	}
+	cases := []struct{ from, want int }{
+		{-5, 3}, {0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 65},
+		{66, 190}, {191, 299}, {299, 299}, {300, None}, {1000, None},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := New(64).NextSet(0); got != None {
+		t.Errorf("NextSet on empty = %d, want None", got)
+	}
+}
+
+func TestNextSetScanMatchesHas(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				s.Add(i)
+			}
+		}
+		// Walk via NextSet and via Has; the sequences must agree.
+		var viaNext []int
+		for i := s.NextSet(0); i != None; i = s.NextSet(i + 1) {
+			viaNext = append(viaNext, i)
+		}
+		var viaHas []int
+		for i := 0; i < n; i++ {
+			if s.Has(i) {
+				viaHas = append(viaHas, i)
+			}
+		}
+		if len(viaNext) != len(viaHas) {
+			t.Fatalf("n=%d: NextSet walk found %d elements, Has walk %d", n, len(viaNext), len(viaHas))
+		}
+		for i := range viaNext {
+			if viaNext[i] != viaHas[i] {
+				t.Fatalf("n=%d: element %d differs: %d vs %d", n, i, viaNext[i], viaHas[i])
+			}
+		}
+		if got, want := s.Count(), len(viaHas); got != want {
+			t.Fatalf("Count = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestElementsAndForEachOrder(t *testing.T) {
+	s := New(128)
+	want := []int{5, 17, 63, 64, 100}
+	for _, i := range want {
+		s.Add(i)
+	}
+	got := s.Elements()
+	if len(got) != len(want) {
+		t.Fatalf("Elements = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneEqualCopy(t *testing.T) {
+	a := New(77)
+	a.Add(0)
+	a.Add(76)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Add(33)
+	if a.Equal(b) {
+		t.Fatal("mutating clone changed original equality")
+	}
+	if a.Has(33) {
+		t.Fatal("clone aliases original storage")
+	}
+	c := New(77)
+	c.Copy(b)
+	if !c.Equal(b) {
+		t.Fatal("Copy produced unequal set")
+	}
+	if a.Equal(New(78)) {
+		t.Fatal("sets with different universes must not be Equal")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := New(50)
+	b := New(50)
+	a.Add(10)
+	b.Add(10)
+	b.Add(20)
+	if !a.SubsetOf(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b should not be subset of a")
+	}
+	if !New(50).SubsetOf(a) {
+		t.Fatal("empty set is a subset of everything")
+	}
+}
+
+func TestClearEmpty(t *testing.T) {
+	s := New(100)
+	if !s.Empty() {
+		t.Fatal("new set should be empty")
+	}
+	s.Add(99)
+	if s.Empty() {
+		t.Fatal("set with element reported empty")
+	}
+	s.Clear()
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("Clear did not empty the set")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	if got := s.String(); got != "{}" {
+		t.Fatalf("String = %q", got)
+	}
+	s.Add(1)
+	s.Add(9)
+	if got := s.String(); got != "{1, 9}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestWordBytes(t *testing.T) {
+	if got := New(1).WordBytes(); got != 8 {
+		t.Fatalf("WordBytes(1) = %d, want 8", got)
+	}
+	if got := New(64).WordBytes(); got != 8 {
+		t.Fatalf("WordBytes(64) = %d, want 8", got)
+	}
+	if got := New(65).WordBytes(); got != 16 {
+		t.Fatalf("WordBytes(65) = %d, want 16", got)
+	}
+	if got := New(0).WordBytes(); got != 0 {
+		t.Fatalf("WordBytes(0) = %d, want 0", got)
+	}
+}
+
+// Property: Union is commutative and associative with respect to membership.
+func TestQuickUnionProperties(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		n := 1 << 12
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x) % n)
+		}
+		for _, y := range ys {
+			b.Add(int(y) % n)
+		}
+		ab := a.Clone()
+		ab.Union(b)
+		ba := b.Clone()
+		ba.Union(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		// Membership matches the slice-level union.
+		want := map[int]bool{}
+		for _, x := range xs {
+			want[int(x)%n] = true
+		}
+		for _, y := range ys {
+			want[int(y)%n] = true
+		}
+		if ab.Count() != len(want) {
+			return false
+		}
+		for k := range want {
+			if !ab.Has(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intersects(a,b) == !(a ∩ b).Empty().
+func TestQuickIntersects(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		n := 1 << 12
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x) % n)
+		}
+		for _, y := range ys {
+			b.Add(int(y) % n)
+		}
+		c := a.Clone()
+		c.Intersect(b)
+		return a.Intersects(b) == !c.Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package cfg provides the control-flow-graph analyses the liveness checker
+// precomputation rests on (paper §2.1): a depth-first search with edge
+// classification (tree, back, forward, cross), preorder/postorder
+// numberings, and the reducibility test.
+//
+// The graph form is deliberately abstract — nodes are dense integers with
+// successor/predecessor adjacency — so the algorithmic packages (dom, core,
+// loops) can be exercised on raw random graphs as well as on IR functions.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"fastliveness/internal/ir"
+)
+
+// Graph is a rooted directed graph. Node 0 is the entry (the paper's r).
+// Parallel edges are allowed; self-loops are allowed anywhere but the entry.
+type Graph struct {
+	Succs [][]int
+	Preds [][]int
+}
+
+// NewGraph returns an edgeless graph with n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{Succs: make([][]int, n), Preds: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.Succs) }
+
+// AddEdge inserts a directed edge from s to t.
+func (g *Graph) AddEdge(s, t int) {
+	g.Succs[s] = append(g.Succs[s], t)
+	g.Preds[t] = append(g.Preds[t], s)
+}
+
+// NumEdges returns the total edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, ss := range g.Succs {
+		n += len(ss)
+	}
+	return n
+}
+
+// FromFunc extracts the CFG of f. Node i corresponds to f.Blocks[i]; block
+// IDs are not used because they may be sparse after edits. The returned
+// index maps block ID to node.
+func FromFunc(f *ir.Func) (*Graph, []int) {
+	g := NewGraph(len(f.Blocks))
+	index := make([]int, f.NumBlocks())
+	for i := range index {
+		index[i] = -1
+	}
+	for i, b := range f.Blocks {
+		index[b.ID] = i
+	}
+	for i, b := range f.Blocks {
+		for _, e := range b.Succs {
+			g.AddEdge(i, index[e.B.ID])
+		}
+	}
+	return g, index
+}
+
+// Edge is a directed edge.
+type Edge struct {
+	S, T int
+}
+
+// EdgeClass is the DFS classification of an edge (paper Figure 1).
+type EdgeClass uint8
+
+const (
+	// TreeEdge is an edge of the DFS spanning tree.
+	TreeEdge EdgeClass = iota
+	// BackEdge leads to a DFS ancestor of its source.
+	BackEdge
+	// ForwardEdge leads from a DFS ancestor to a non-child descendant.
+	ForwardEdge
+	// CrossEdge is any other edge; it always points to an already finished
+	// subtree.
+	CrossEdge
+)
+
+// String returns the class name used in Figure 1.
+func (c EdgeClass) String() string {
+	switch c {
+	case TreeEdge:
+		return "tree"
+	case BackEdge:
+		return "back"
+	case ForwardEdge:
+		return "forward"
+	case CrossEdge:
+		return "cross"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// DFS holds the result of a depth-first search from the entry.
+type DFS struct {
+	// Pre and Post are the preorder/postorder numbers, -1 for nodes not
+	// reachable from the entry.
+	Pre, Post []int
+	// PreOrder and PostOrder list reachable nodes in visit/finish order.
+	PreOrder, PostOrder []int
+	// Parent is the DFS tree parent, -1 for the root and unreachable nodes.
+	Parent []int
+	// BackEdges lists the edges (s,t) where t is a DFS ancestor of s, in
+	// discovery order; the paper's E↑.
+	BackEdges []Edge
+	// NumReachable counts nodes reachable from the entry.
+	NumReachable int
+
+	g *Graph
+	// subtreeMax[v] is the largest preorder number inside v's DFS subtree;
+	// used for ancestor tests.
+	subtreeMax []int
+}
+
+// NewDFS runs an iterative depth-first search over g from node 0,
+// classifying edges. Successors are explored in adjacency order, so the
+// traversal is deterministic.
+func NewDFS(g *Graph) *DFS {
+	n := g.N()
+	d := &DFS{
+		Pre:        make([]int, n),
+		Post:       make([]int, n),
+		Parent:     make([]int, n),
+		subtreeMax: make([]int, n),
+		g:          g,
+	}
+	for i := 0; i < n; i++ {
+		d.Pre[i], d.Post[i], d.Parent[i] = -1, -1, -1
+	}
+	if n == 0 {
+		return d
+	}
+
+	type frame struct {
+		node int
+		next int // next successor index to explore
+	}
+	stack := make([]frame, 0, n)
+	onStack := make([]bool, n) // true while the node's frame is open
+
+	push := func(v, parent int) {
+		d.Pre[v] = len(d.PreOrder)
+		d.PreOrder = append(d.PreOrder, v)
+		d.Parent[v] = parent
+		onStack[v] = true
+		stack = append(stack, frame{node: v})
+	}
+	push(0, -1)
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		v := fr.node
+		if fr.next < len(g.Succs[v]) {
+			w := g.Succs[v][fr.next]
+			fr.next++
+			if d.Pre[w] == -1 {
+				push(w, v)
+			} else if onStack[w] {
+				// w's frame is still open, so w is an ancestor of v (or v
+				// itself for self-loops): a back edge.
+				d.BackEdges = append(d.BackEdges, Edge{v, w})
+			}
+			// Forward and cross edges are classified on demand by Classify;
+			// only back edges need to be collected eagerly.
+			continue
+		}
+		onStack[v] = false
+		d.Post[v] = len(d.PostOrder)
+		d.PostOrder = append(d.PostOrder, v)
+		d.subtreeMax[v] = len(d.PreOrder) - 1
+		stack = stack[:len(stack)-1]
+	}
+	d.NumReachable = len(d.PreOrder)
+	return d
+}
+
+// Reachable reports whether v was reached from the entry.
+func (d *DFS) Reachable(v int) bool { return d.Pre[v] >= 0 }
+
+// IsAncestor reports whether a is an ancestor of v in the DFS tree
+// (every node is an ancestor of itself). It runs in O(1) using the
+// preorder-interval property of DFS subtrees.
+func (d *DFS) IsAncestor(a, v int) bool {
+	if !d.Reachable(a) || !d.Reachable(v) {
+		return false
+	}
+	return d.Pre[a] <= d.Pre[v] && d.Pre[v] <= d.subtreeMax[a]
+}
+
+// ClassifyAll returns the class of every edge, in adjacency order per node,
+// correctly distinguishing duplicate edges (the first s->t occurrence that
+// triggered discovery is the tree edge, later ones are forward edges).
+func (d *DFS) ClassifyAll() map[Edge][]EdgeClass {
+	out := make(map[Edge][]EdgeClass)
+	for s := range d.g.Succs {
+		if !d.Reachable(s) {
+			continue
+		}
+		usedTree := map[int]bool{}
+		for _, t := range d.g.Succs[s] {
+			var c EdgeClass
+			switch {
+			case d.Parent[t] == s && !usedTree[t]:
+				c = TreeEdge
+				usedTree[t] = true
+			case d.IsAncestor(t, s):
+				c = BackEdge
+			case d.IsAncestor(s, t):
+				c = ForwardEdge
+			default:
+				c = CrossEdge
+			}
+			e := Edge{s, t}
+			out[e] = append(out[e], c)
+		}
+	}
+	return out
+}
+
+// IsBackEdge reports whether (s,t) is a DFS back edge.
+func (d *DFS) IsBackEdge(s, t int) bool {
+	return d.Reachable(s) && d.IsAncestor(t, s)
+}
+
+// BackEdgeTargets returns the distinct targets of back edges, in first-seen
+// order.
+func (d *DFS) BackEdgeTargets() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range d.BackEdges {
+		if !seen[e.T] {
+			seen[e.T] = true
+			out = append(out, e.T)
+		}
+	}
+	return out
+}
+
+// ReducedSuccs calls fn for every reduced-graph successor of v, i.e. every
+// successor not reached through a back edge. The reduced graph G̃ (paper
+// Definition 4's domain) is a DAG.
+func (d *DFS) ReducedSuccs(v int, fn func(w int)) {
+	for _, w := range d.g.Succs[v] {
+		if !d.IsBackEdge(v, w) {
+			fn(w)
+		}
+	}
+}
+
+// String summarizes the DFS for debugging.
+func (d *DFS) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "dfs: %d reachable, %d back edges\n", d.NumReachable, len(d.BackEdges))
+	for _, e := range d.BackEdges {
+		fmt.Fprintf(&sb, "  back %d->%d\n", e.S, e.T)
+	}
+	return sb.String()
+}

@@ -1,0 +1,270 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastliveness/internal/ir"
+)
+
+// figure1Graph builds a graph in the spirit of the paper's Figure 1: a DFS
+// subtree hanging off a path, with a back edge and two cross edges.
+//
+//	0 -> 1 -> 2 -> 3      (tree path)
+//	3 -> 1                (back edge)
+//	0 -> 4 ; 4 -> 5       (second subtree, visited after 1's subtree)
+//	4 -> 2                (cross edge into the finished subtree)
+//	5 -> 3                (cross edge)
+//	1 -> 3                (forward edge)
+func figure1Graph() *Graph {
+	g := NewGraph(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 1)
+	g.AddEdge(0, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(4, 2)
+	g.AddEdge(5, 3)
+	g.AddEdge(1, 3)
+	return g
+}
+
+func TestFigure1EdgeClassification(t *testing.T) {
+	g := figure1Graph()
+	d := NewDFS(g)
+	if d.NumReachable != 6 {
+		t.Fatalf("reachable = %d, want 6", d.NumReachable)
+	}
+	classes := d.ClassifyAll()
+	want := map[Edge]EdgeClass{
+		{0, 1}: TreeEdge,
+		{1, 2}: TreeEdge,
+		{2, 3}: TreeEdge,
+		{3, 1}: BackEdge,
+		{0, 4}: TreeEdge,
+		{4, 5}: TreeEdge,
+		{4, 2}: CrossEdge,
+		{5, 3}: CrossEdge,
+		{1, 3}: ForwardEdge,
+	}
+	for e, wc := range want {
+		got, ok := classes[e]
+		if !ok || len(got) != 1 {
+			t.Fatalf("edge %v: classes=%v", e, got)
+		}
+		if got[0] != wc {
+			t.Errorf("edge %v: class = %v, want %v", e, got[0], wc)
+		}
+	}
+	if len(d.BackEdges) != 1 || d.BackEdges[0] != (Edge{3, 1}) {
+		t.Fatalf("BackEdges = %v, want [{3 1}]", d.BackEdges)
+	}
+	if targets := d.BackEdgeTargets(); len(targets) != 1 || targets[0] != 1 {
+		t.Fatalf("BackEdgeTargets = %v", targets)
+	}
+}
+
+func TestEdgeClassStrings(t *testing.T) {
+	for _, c := range []EdgeClass{TreeEdge, BackEdge, ForwardEdge, CrossEdge} {
+		if c.String() == "" {
+			t.Fatal("empty class name")
+		}
+	}
+	if TreeEdge.String() != "tree" || BackEdge.String() != "back" {
+		t.Fatal("unexpected class names")
+	}
+}
+
+func TestDFSOrders(t *testing.T) {
+	g := figure1Graph()
+	d := NewDFS(g)
+	// Pre and PreOrder must be mutually inverse; same for Post.
+	for i, v := range d.PreOrder {
+		if d.Pre[v] != i {
+			t.Fatalf("PreOrder[%d]=%d but Pre[%d]=%d", i, v, v, d.Pre[v])
+		}
+	}
+	for i, v := range d.PostOrder {
+		if d.Post[v] != i {
+			t.Fatalf("PostOrder[%d]=%d but Post[%d]=%d", i, v, v, d.Post[v])
+		}
+	}
+	// Every non-root reachable node's parent must have a smaller preorder.
+	for _, v := range d.PreOrder {
+		if p := d.Parent[v]; p >= 0 && d.Pre[p] >= d.Pre[v] {
+			t.Fatalf("parent %d of %d has preorder %d >= %d", p, v, d.Pre[p], d.Pre[v])
+		}
+	}
+}
+
+func TestDFSUnreachable(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3) // 2,3 unreachable
+	d := NewDFS(g)
+	if d.NumReachable != 2 {
+		t.Fatalf("reachable = %d", d.NumReachable)
+	}
+	if d.Reachable(2) || d.Reachable(3) {
+		t.Fatal("2/3 should be unreachable")
+	}
+	if d.Pre[2] != -1 || d.Post[3] != -1 || d.Parent[2] != -1 {
+		t.Fatal("unreachable nodes should have -1 markers")
+	}
+	if d.IsAncestor(2, 3) || d.IsAncestor(0, 2) {
+		t.Fatal("ancestor queries on unreachable nodes must be false")
+	}
+}
+
+func TestSelfLoopIsBackEdge(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 1)
+	d := NewDFS(g)
+	if len(d.BackEdges) != 1 || d.BackEdges[0] != (Edge{1, 1}) {
+		t.Fatalf("self loop not classified as back edge: %v", d.BackEdges)
+	}
+	if !d.IsBackEdge(1, 1) {
+		t.Fatal("IsBackEdge(1,1) = false")
+	}
+}
+
+func TestReducedSuccsSkipsBackEdges(t *testing.T) {
+	g := figure1Graph()
+	d := NewDFS(g)
+	var succ3 []int
+	d.ReducedSuccs(3, func(w int) { succ3 = append(succ3, w) })
+	if len(succ3) != 0 {
+		t.Fatalf("node 3's only successor is via a back edge; got %v", succ3)
+	}
+	var succ1 []int
+	d.ReducedSuccs(1, func(w int) { succ1 = append(succ1, w) })
+	if len(succ1) != 2 { // 2 (tree) and 3 (forward)
+		t.Fatalf("reduced succs of 1 = %v", succ1)
+	}
+}
+
+// The reduced graph must always be acyclic: every reduced edge goes to a
+// node with a smaller postorder number.
+func TestReducedGraphAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraph(rng, 1+rng.Intn(50))
+		d := NewDFS(g)
+		for _, v := range d.PreOrder {
+			d.ReducedSuccs(v, func(w int) {
+				if d.Post[w] >= d.Post[v] {
+					t.Fatalf("trial %d: reduced edge %d->%d does not decrease postorder", trial, v, w)
+				}
+			})
+		}
+	}
+}
+
+// randomGraph builds a connected random graph without importing graphgen
+// (which would create an import cycle in tests via cfg).
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(rng.Intn(i), i)
+	}
+	for k := 0; k < 2*n; k++ {
+		s, t := rng.Intn(n), rng.Intn(n)
+		if t != 0 {
+			g.AddEdge(s, t)
+		}
+	}
+	return g
+}
+
+func TestBackEdgeInvariantRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(60))
+		d := NewDFS(g)
+		// Collected back edges are exactly the edges whose target is a DFS
+		// ancestor of the source.
+		want := map[Edge]int{}
+		for s := 0; s < g.N(); s++ {
+			if !d.Reachable(s) {
+				continue
+			}
+			for _, w := range g.Succs[s] {
+				if d.IsAncestor(w, s) {
+					want[Edge{s, w}]++
+				}
+			}
+		}
+		got := map[Edge]int{}
+		for _, e := range d.BackEdges {
+			got[e]++
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: back edge sets differ: got %v want %v", trial, got, want)
+		}
+		for e, c := range want {
+			if got[e] != c {
+				t.Fatalf("trial %d: edge %v count %d want %d", trial, e, got[e], c)
+			}
+		}
+	}
+}
+
+func TestFromFunc(t *testing.T) {
+	f := ir.MustParse(`
+func @g(%a) {
+b0:
+  if %a -> b1, b2
+b1:
+  br b3
+b2:
+  br b3
+b3:
+  ret
+}
+`)
+	g, index := FromFunc(f)
+	if g.N() != 4 {
+		t.Fatalf("nodes = %d", g.N())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	// Successor sets must match the IR.
+	for i, b := range f.Blocks {
+		if index[b.ID] != i {
+			t.Fatalf("index[%d] = %d, want %d", b.ID, index[b.ID], i)
+		}
+		if len(g.Succs[i]) != len(b.Succs) {
+			t.Fatalf("node %d succ count mismatch", i)
+		}
+	}
+	// Duplicate edges must be preserved.
+	f2 := ir.MustParse(`
+func @dup(%x) {
+b0:
+  switch %x -> b1, b1
+b1:
+  ret
+}
+`)
+	g2, _ := FromFunc(f2)
+	if len(g2.Succs[0]) != 2 || g2.Succs[0][0] != 1 || g2.Succs[0][1] != 1 {
+		t.Fatalf("duplicate edge lost: %v", g2.Succs[0])
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	d := NewDFS(NewGraph(0))
+	if d.NumReachable != 0 {
+		t.Fatal("empty graph should have no reachable nodes")
+	}
+	d1 := NewDFS(NewGraph(1))
+	if d1.NumReachable != 1 || d1.Pre[0] != 0 || d1.Post[0] != 0 {
+		t.Fatal("single node graph mishandled")
+	}
+	if d1.String() == "" {
+		t.Fatal("String should describe the DFS")
+	}
+}

@@ -1,0 +1,50 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz format. When a DFS is supplied, edges
+// are styled by class — back edges dashed, cross edges dotted — echoing the
+// paper's Figure 1 conventions. labels may be nil (nodes print their
+// index).
+func (g *Graph) Dot(name string, d *DFS, labels []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  node [shape=box];\n", name)
+	for v := 0; v < g.N(); v++ {
+		label := fmt.Sprint(v)
+		if labels != nil && v < len(labels) && labels[v] != "" {
+			label = labels[v]
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", v, label)
+	}
+	var classes map[Edge][]EdgeClass
+	if d != nil {
+		classes = d.ClassifyAll()
+	}
+	emitted := map[Edge]int{}
+	for s := 0; s < g.N(); s++ {
+		for _, t := range g.Succs[s] {
+			style := ""
+			if classes != nil {
+				e := Edge{s, t}
+				cls := classes[e]
+				if i := emitted[e]; i < len(cls) {
+					switch cls[i] {
+					case BackEdge:
+						style = " [style=dashed, constraint=false]"
+					case CrossEdge:
+						style = " [style=dotted]"
+					case ForwardEdge:
+						style = " [color=gray]"
+					}
+				}
+				emitted[e]++
+			}
+			fmt.Fprintf(&sb, "  n%d -> n%d%s;\n", s, t, style)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

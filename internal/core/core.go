@@ -1,0 +1,500 @@
+// Package core implements the liveness checking algorithm of Boissinot,
+// Hack, Grund, Dupont de Dinechin and Rastello, "Fast Liveness Checking for
+// SSA-Form Programs" (CGO 2008).
+//
+// The algorithm splits liveness queries into a variable-independent
+// precomputation over the CFG and a cheap online check:
+//
+//   - R_v (Definition 4): the set of nodes reachable from v in the reduced
+//     graph G̃ (the CFG minus DFS back edges, a DAG).
+//   - T_q (Definition 5): the back-edge targets relevant for queries at q —
+//     targets reachable from q along paths that never re-enter a dominance
+//     subtree they left.
+//
+// A live-in query (Algorithm 1/3) intersects T_q with the dominance subtree
+// of the variable's definition and asks whether any use is
+// reduced-reachable from one of the surviving nodes. Because R and T depend
+// only on the CFG, the precomputed data stays valid under any program edit
+// that leaves the CFG alone — the paper's headline robustness property.
+//
+// Both sets are bitsets indexed by the dominance-tree preorder numbering of
+// package dom (§5.1), so "strictly dominated by def" is a contiguous bit
+// interval and the most-dominating candidate is the lowest set bit, which
+// by Theorem 2 is the only candidate that matters on reducible CFGs.
+package core
+
+import (
+	"fmt"
+
+	"fastliveness/internal/bitset"
+	"fastliveness/internal/cfg"
+	"fastliveness/internal/dom"
+)
+
+// Strategy selects how the T_v sets are precomputed.
+type Strategy uint8
+
+const (
+	// StrategyExact evaluates Definition 5 / Equation 1 for every node in
+	// increasing DFS preorder (well-founded by Theorem 3). It yields
+	// exactly the paper's T_v sets.
+	StrategyExact Strategy = iota
+	// StrategyPropagate is the practical scheme of §5.2: Equation 1 for
+	// back-edge targets only, union into back-edge sources, one postorder
+	// propagation pass over the reduced graph, then add v to each T_v.
+	//
+	// Read literally, the propagation drops Definition 5's "t ∉ R_v" filter
+	// for nodes that are not back-edge targets, which can produce strict
+	// supersets of the exact T_v — and extra candidates break Theorem 2's
+	// first-candidate-decides rule on reducible CFGs. We therefore finish
+	// with the filter the definition implies, subtracting R_v \ {v} from
+	// each T_v. The result is a subset of the exact sets that answers every
+	// query identically: any candidate t ∈ R_q is redundant, because a use
+	// in R_t ⊆ R_q is already witnessed by the mandatory candidate q
+	// itself. The test suite checks both the subset relation and answer
+	// equality against brute force.
+	StrategyPropagate
+)
+
+// String names the strategy for logs and benchmarks.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyExact:
+		return "exact"
+	case StrategyPropagate:
+		return "propagate"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Options tune the checker. The zero value is the paper's configuration
+// (propagate strategy, subtree skipping on, reducible fast path on); the
+// ablation benchmarks flip individual switches off.
+type Options struct {
+	Strategy Strategy
+	// NoSkipSubtrees disables the §5.1 optimization of skipping a tested
+	// node's whole dominance subtree during the T_q walk.
+	NoSkipSubtrees bool
+	// NoReducibleFastPath disables the Theorem 2 single-test fast path on
+	// reducible CFGs.
+	NoReducibleFastPath bool
+	// SortedT stores the T_v sets as sorted arrays instead of bitsets, the
+	// memory-saving variant the paper sketches in §6.1 ("future
+	// implementations could use sorted arrays instead of bitsets … and
+	// speed up the loop iteration by abandoning bitset_next_set").
+	SortedT bool
+}
+
+// Checker answers live-in/live-out queries after a CFG-only precomputation.
+type Checker struct {
+	g    *cfg.Graph
+	dfs  *cfg.DFS
+	tree *dom.Tree
+	opts Options
+
+	// R and T indexed by dominance-preorder number; set bits are dominance
+	// preorder numbers too.
+	r []*bitset.Set
+	t []*bitset.Set
+	// tSorted mirrors t as sorted arrays when opts.SortedT is set.
+	tSorted [][]int32
+	// numMax[n] = MaxNum of the node numbered n (saves an Order lookup in
+	// the hot loop).
+	numMax []int
+	// backTarget[n] reports whether the node numbered n is a back-edge
+	// target (needed by the live-out check, Algorithm 2 line 8).
+	backTarget []bool
+
+	reducible bool
+}
+
+// New runs the precomputation for g. It computes the DFS and dominator tree
+// itself; use NewFrom to share existing analyses.
+func New(g *cfg.Graph, opts Options) *Checker {
+	d := cfg.NewDFS(g)
+	return NewFrom(g, d, dom.Iterative(g, d), opts)
+}
+
+// NewFrom runs the precomputation against existing DFS and dominator-tree
+// analyses of g.
+func NewFrom(g *cfg.Graph, d *cfg.DFS, tree *dom.Tree, opts Options) *Checker {
+	c := &Checker{g: g, dfs: d, tree: tree, opts: opts}
+	c.reducible = dom.IsReducible(d, tree)
+	c.precomputeR()
+	switch opts.Strategy {
+	case StrategyExact:
+		c.precomputeTExact()
+	case StrategyPropagate:
+		c.precomputeTPropagate()
+	default:
+		panic("core: unknown strategy")
+	}
+	n := d.NumReachable
+	c.numMax = make([]int, n)
+	for num, v := range tree.Order {
+		c.numMax[num] = tree.MaxNum[v]
+	}
+	c.backTarget = make([]bool, n)
+	for _, e := range d.BackEdges {
+		c.backTarget[tree.Num[e.T]] = true
+	}
+	if opts.SortedT {
+		c.tSorted = make([][]int32, n)
+		for i, s := range c.t {
+			elems := s.Elements()
+			arr := make([]int32, len(elems))
+			for j, e := range elems {
+				arr[j] = int32(e)
+			}
+			c.tSorted[i] = arr
+		}
+		c.t = nil
+	}
+	return c
+}
+
+// precomputeR builds the reduced-reachability closure in one pass over the
+// nodes in increasing DFS postorder: every reduced edge (v,w) satisfies
+// post(w) < post(v), so all successors are final when v is processed.
+func (c *Checker) precomputeR() {
+	n := c.dfs.NumReachable
+	c.r = make([]*bitset.Set, n)
+	for _, v := range c.dfs.PostOrder {
+		rv := bitset.New(n)
+		rv.Add(c.tree.Num[v])
+		c.dfs.ReducedSuccs(v, func(w int) {
+			rv.Union(c.r[c.tree.Num[w]])
+		})
+		c.r[c.tree.Num[v]] = rv
+	}
+}
+
+// precomputeTExact evaluates Equation 1 for every node, iterating in
+// increasing DFS preorder; Theorem 3 guarantees each T↑ member was already
+// finished.
+func (c *Checker) precomputeTExact() {
+	n := c.dfs.NumReachable
+	c.t = make([]*bitset.Set, n)
+	for _, v := range c.dfs.PreOrder {
+		vn := c.tree.Num[v]
+		tv := bitset.New(n)
+		tv.Add(vn)
+		rv := c.r[vn]
+		for _, e := range c.dfs.BackEdges {
+			sn, tn := c.tree.Num[e.S], c.tree.Num[e.T]
+			if rv.Has(sn) && !rv.Has(tn) {
+				tt := c.t[tn]
+				if tt == nil {
+					panic("core: Theorem 3 ordering violated")
+				}
+				tv.Union(tt)
+			}
+		}
+		c.t[vn] = tv
+	}
+}
+
+// precomputeTPropagate implements the three-pass scheme of §5.2.
+func (c *Checker) precomputeTPropagate() {
+	n := c.dfs.NumReachable
+	tree := c.tree
+
+	// Pass 1: Equation 1 for back-edge targets only, in DFS preorder.
+	targetT := make([]*bitset.Set, n) // by dom num, nil for non-targets
+	isTarget := make([]bool, n)
+	for _, e := range c.dfs.BackEdges {
+		isTarget[tree.Num[e.T]] = true
+	}
+	for _, v := range c.dfs.PreOrder {
+		vn := tree.Num[v]
+		if !isTarget[vn] {
+			continue
+		}
+		tv := bitset.New(n)
+		tv.Add(vn)
+		rv := c.r[vn]
+		for _, e := range c.dfs.BackEdges {
+			sn, tn := tree.Num[e.S], tree.Num[e.T]
+			if rv.Has(sn) && !rv.Has(tn) {
+				tt := targetT[tn]
+				if tt == nil {
+					panic("core: Theorem 3 ordering violated (targets)")
+				}
+				tv.Union(tt)
+			}
+		}
+		targetT[vn] = tv
+	}
+
+	// Pass 2: union the targets' sets into each back-edge source.
+	u := make([]*bitset.Set, n)
+	for _, e := range c.dfs.BackEdges {
+		sn, tn := tree.Num[e.S], tree.Num[e.T]
+		if u[sn] == nil {
+			u[sn] = bitset.New(n)
+		}
+		u[sn].Union(targetT[tn])
+	}
+
+	// Pass 3: propagate the source sets through the reduced graph in
+	// increasing postorder (successors first). The sets being merged
+	// deliberately exclude the nodes themselves — X_v must collect the
+	// union of U_s over all s ∈ R_v, nothing more.
+	c.t = make([]*bitset.Set, n)
+	for _, v := range c.dfs.PostOrder {
+		vn := tree.Num[v]
+		tv := u[vn]
+		if tv == nil {
+			tv = bitset.New(n)
+		}
+		c.dfs.ReducedSuccs(v, func(w int) {
+			tv.Union(c.t[tree.Num[w]])
+		})
+		c.t[vn] = tv
+	}
+	// Pass 4: apply Definition 5's t ∉ R_v filter (see the
+	// StrategyPropagate doc comment), then add v itself.
+	for vn := 0; vn < n; vn++ {
+		c.t[vn].Subtract(c.r[vn])
+		c.t[vn].Add(vn)
+	}
+}
+
+// reachableNum returns the dominance preorder number of v, or -1 when v is
+// outside the analyzed (entry-reachable) region.
+func (c *Checker) reachableNum(v int) int {
+	if v < 0 || v >= len(c.tree.Num) {
+		return -1
+	}
+	return c.tree.Num[v]
+}
+
+// IsLiveIn implements Algorithms 1 and 3: is the variable defined at node
+// def, with the given use nodes (per the paper's Definition 1 placement,
+// φ uses already attributed to predecessor blocks), live-in at node q?
+//
+// The variable must satisfy the strict-SSA dominance property: def
+// dominates every use. Nodes unreachable from the entry never carry
+// liveness.
+func (c *Checker) IsLiveIn(def int, uses []int, q int) bool {
+	defN := c.reachableNum(def)
+	qN := c.reachableNum(q)
+	if defN < 0 || qN < 0 {
+		return false
+	}
+	maxDom := c.tree.MaxNum[def]
+	// Guard: q must be strictly dominated by def (Algorithm 3's
+	// "q <= def || max_dom < q" test).
+	if qN <= defN || maxDom < qN {
+		return false
+	}
+	tq := c.t
+	if c.opts.SortedT {
+		return c.liveInSortedT(defN, maxDom, qN, uses)
+	}
+	t := tq[qN].NextSet(defN + 1)
+	for t != bitset.None && t <= maxDom {
+		if c.anyUseReachableFrom(t, uses) {
+			return true
+		}
+		if c.reducible && !c.opts.NoReducibleFastPath {
+			// Theorem 2: on reducible CFGs the first (most dominating)
+			// candidate decides the query.
+			return false
+		}
+		next := t + 1
+		if !c.opts.NoSkipSubtrees {
+			// §5.1: everything in t's dominance subtree has R ⊆ R_t.
+			next = c.numMax[t] + 1
+		}
+		t = tq[qN].NextSet(next)
+	}
+	return false
+}
+
+// anyUseReachableFrom reports whether any use node is reduced-reachable
+// from the node numbered tn — the paper's "R_t ∩ uses(a) ≠ ∅" realized as a
+// walk over the def-use chain (Algorithm 3's inner loop).
+func (c *Checker) anyUseReachableFrom(tn int, uses []int) bool {
+	rt := c.r[tn]
+	for _, u := range uses {
+		un := c.reachableNum(u)
+		if un >= 0 && rt.Has(un) {
+			return true
+		}
+	}
+	return false
+}
+
+// liveInSortedT is the §6.1 sorted-array variant of the T_q walk.
+func (c *Checker) liveInSortedT(defN, maxDom, qN int, uses []int) bool {
+	arr := c.tSorted[qN]
+	// Binary search for the first element > defN.
+	lo, hi := 0, len(arr)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(arr[mid]) <= defN {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i < len(arr) && int(arr[i]) <= maxDom; i++ {
+		t := int(arr[i])
+		if c.anyUseReachableFrom(t, uses) {
+			return true
+		}
+		if c.reducible && !c.opts.NoReducibleFastPath {
+			return false
+		}
+		if !c.opts.NoSkipSubtrees {
+			skipTo := c.numMax[t]
+			for i+1 < len(arr) && int(arr[i+1]) <= skipTo {
+				i++
+			}
+		}
+	}
+	return false
+}
+
+// IsLiveOut implements Algorithm 2. def, uses and q are as in IsLiveIn.
+func (c *Checker) IsLiveOut(def int, uses []int, q int) bool {
+	defN := c.reachableNum(def)
+	qN := c.reachableNum(q)
+	if defN < 0 || qN < 0 {
+		return false
+	}
+	if def == q {
+		// Line 2–3: live-out at the defining node iff some use lies
+		// elsewhere.
+		for _, u := range uses {
+			if u != q && c.reachableNum(u) >= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	maxDom := c.tree.MaxNum[def]
+	if qN <= defN || maxDom < qN {
+		return false // def must strictly dominate q (line 4)
+	}
+	var t int
+	var arr []int32
+	var ai int
+	if c.opts.SortedT {
+		arr = c.tSorted[qN]
+		ai = 0
+		for ai < len(arr) && int(arr[ai]) <= defN {
+			ai++
+		}
+		if ai < len(arr) {
+			t = int(arr[ai])
+		} else {
+			t = bitset.None
+		}
+	} else {
+		t = c.t[qN].NextSet(defN + 1)
+	}
+	for t != bitset.None && t <= maxDom {
+		// Line 7–9: when t = q and q is not a back-edge target, a use at q
+		// itself only witnesses the trivial path and must be ignored.
+		dropQ := t == qN && !c.backTarget[qN]
+		rt := c.r[t]
+		for _, u := range uses {
+			un := c.reachableNum(u)
+			if un < 0 || !rt.Has(un) {
+				continue
+			}
+			if dropQ && u == q {
+				continue
+			}
+			return true
+		}
+		if c.reducible && !c.opts.NoReducibleFastPath {
+			// Theorem 2 applies to the non-trivial-path variant as well:
+			// the most dominating t has the largest R set, and the dropped
+			// use q is dropped only when t = q, the least dominating
+			// possibility, which then is the only candidate.
+			if !(dropQ) {
+				return false
+			}
+			// If we dropped q we must still consider more dominating
+			// candidates… but t = q is the *least* dominating element, so
+			// there are none beyond it; continue the loop for soundness on
+			// equal-R edge cases.
+		}
+		next := t + 1
+		if !c.opts.NoSkipSubtrees {
+			next = c.numMax[t] + 1
+		}
+		if c.opts.SortedT {
+			for ai < len(arr) && int(arr[ai]) < next {
+				ai++
+			}
+			if ai < len(arr) {
+				t = int(arr[ai])
+			} else {
+				t = bitset.None
+			}
+		} else {
+			t = c.t[qN].NextSet(next)
+		}
+	}
+	return false
+}
+
+// Reducible reports whether the analyzed CFG is reducible.
+func (c *Checker) Reducible() bool { return c.reducible }
+
+// RSet returns R of node v (nil for unreachable v). Exposed for tests and
+// the worked Figure 3 example; treat as read-only.
+func (c *Checker) RSet(v int) *bitset.Set {
+	if n := c.reachableNum(v); n >= 0 {
+		return c.r[n]
+	}
+	return nil
+}
+
+// TSetNodes returns the node IDs in T_v, in dominance-preorder order.
+func (c *Checker) TSetNodes(v int) []int {
+	n := c.reachableNum(v)
+	if n < 0 {
+		return nil
+	}
+	var nums []int
+	if c.opts.SortedT {
+		for _, e := range c.tSorted[n] {
+			nums = append(nums, int(e))
+		}
+	} else {
+		nums = c.t[n].Elements()
+	}
+	out := make([]int, len(nums))
+	for i, num := range nums {
+		out[i] = c.tree.Order[num]
+	}
+	return out
+}
+
+// Tree returns the dominator tree the checker was built with.
+func (c *Checker) Tree() *dom.Tree { return c.tree }
+
+// DFS returns the depth-first search the checker was built with.
+func (c *Checker) DFS() *cfg.DFS { return c.dfs }
+
+// MemoryBytes reports the payload footprint of the precomputed sets; the
+// harness uses it to reproduce the §6.1 break-even discussion and the §8
+// quadratic-growth series.
+func (c *Checker) MemoryBytes() int {
+	total := 0
+	for _, s := range c.r {
+		total += s.WordBytes()
+	}
+	for _, s := range c.t {
+		total += s.WordBytes()
+	}
+	for _, a := range c.tSorted {
+		total += 4 * len(a)
+	}
+	return total
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastliveness/internal/cfg"
+	"fastliveness/internal/dom"
+	"fastliveness/internal/graphgen"
+)
+
+// Lemma 3: on reducible CFGs, the dominance relation totally orders every
+// T_q (which is what licenses the Theorem 2 single-test fast path).
+func TestLemma3TotalOrderOnReducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 150; trial++ {
+		g := graphgen.RandomReducible(rng, graphgen.Config{
+			MinNodes: 3, MaxNodes: 60, ExtraEdgeFactor: 1.4, BackEdgeProb: 0.5,
+		})
+		d := cfg.NewDFS(g)
+		tree := dom.Iterative(g, d)
+		if !dom.IsReducible(d, tree) {
+			t.Fatal("generator produced irreducible graph")
+		}
+		c := NewFrom(g, d, tree, Options{Strategy: StrategyExact})
+		for q := 0; q < g.N(); q++ {
+			if !tree.Reachable(q) {
+				continue
+			}
+			nodes := c.TSetNodes(q)
+			for i := 0; i < len(nodes); i++ {
+				for j := i + 1; j < len(nodes); j++ {
+					a, b := nodes[i], nodes[j]
+					if !tree.Dominates(a, b) && !tree.Dominates(b, a) {
+						t.Fatalf("trial %d: T_%d = %v contains incomparable %d and %d",
+							trial, q, nodes, a, b)
+					}
+				}
+			}
+			// Lemma 3's proof also shows every other element dominates q.
+			for _, x := range nodes {
+				if x != q && !tree.StrictlyDominates(x, q) {
+					t.Fatalf("trial %d: %d ∈ T_%d does not dominate %d", trial, x, q, x)
+				}
+			}
+		}
+	}
+}
+
+// The §4.1 monotonicity fact behind both the ordering optimization and the
+// subtree skip: if t' strictly dominates t and both are in T_q, then
+// R_t ⊆ R_t'.
+func TestRSetMonotoneAlongDominance(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	for trial := 0; trial < 100; trial++ {
+		g := graphgen.Random(rng, graphgen.Default)
+		d := cfg.NewDFS(g)
+		tree := dom.Iterative(g, d)
+		c := NewFrom(g, d, tree, Options{Strategy: StrategyExact})
+		for q := 0; q < g.N(); q++ {
+			if !tree.Reachable(q) {
+				continue
+			}
+			nodes := c.TSetNodes(q)
+			for _, a := range nodes {
+				for _, b := range nodes {
+					if a != b && tree.StrictlyDominates(a, b) {
+						if !c.RSet(b).SubsetOf(c.RSet(a)) {
+							t.Fatalf("trial %d: R_%d ⊄ R_%d though %d sdom %d (T_%d)",
+								trial, b, a, a, b, q)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Definition 4 sanity under testing/quick: R_v is exactly forward
+// reachability in the graph minus DFS back edges.
+func TestQuickRSetsAreReducedReachability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphgen.Random(rng, graphgen.Config{
+			MinNodes: 2, MaxNodes: 30, ExtraEdgeFactor: 1.5, BackEdgeProb: 0.4, AllowSelfLoops: true,
+		})
+		d := cfg.NewDFS(g)
+		tree := dom.Iterative(g, d)
+		c := NewFrom(g, d, tree, Options{})
+		for v := 0; v < g.N(); v++ {
+			if !tree.Reachable(v) {
+				continue
+			}
+			// Brute-force reduced reachability.
+			want := map[int]bool{v: true}
+			stack := []int{v}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, w := range g.Succs[x] {
+					if !d.IsBackEdge(x, w) && !want[w] {
+						want[w] = true
+						stack = append(stack, w)
+					}
+				}
+			}
+			rs := c.RSet(v)
+			for w := 0; w < g.N(); w++ {
+				if !tree.Reachable(w) {
+					continue
+				}
+				if rs.Has(tree.Num[w]) != want[w] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Duplicate edges and parallel back edges must not confuse the
+// precomputation.
+func TestDuplicateEdges(t *testing.T) {
+	g := cfg.NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // duplicate forward
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1) // back
+	g.AddEdge(2, 1) // duplicate back
+	g.AddEdge(2, 3)
+	for _, o := range allOptions() {
+		c := New(g, o)
+		// def at 1, use at 2: live-in at 2, live-out at 1 and 2 (loop).
+		if !c.IsLiveIn(1, []int{2}, 2) {
+			t.Fatalf("live-in at use failed (opts %+v)", o)
+		}
+		if !c.IsLiveOut(1, []int{2}, 2) != !bruteLiveOut(g, 1, []int{2}, 2) {
+			t.Fatalf("live-out mismatch vs brute (opts %+v)", o)
+		}
+		if c.IsLiveIn(1, []int{2}, 3) {
+			t.Fatalf("live past last use (opts %+v)", o)
+		}
+	}
+}
+
+// NewFrom must be usable with shared analyses (the facade's pattern) and
+// must agree with New.
+func TestNewFromSharesAnalyses(t *testing.T) {
+	g := graphgen.Ladder(40)
+	d := cfg.NewDFS(g)
+	tree := dom.Iterative(g, d)
+	a := New(g, Options{})
+	b := NewFrom(g, d, tree, Options{})
+	for v := 0; v < g.N(); v++ {
+		for q := 0; q < g.N(); q++ {
+			if a.IsLiveIn(0, []int{v}, q) != b.IsLiveIn(0, []int{v}, q) {
+				t.Fatalf("New and NewFrom disagree at (%d,%d)", v, q)
+			}
+		}
+	}
+}

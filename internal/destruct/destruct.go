@@ -1,0 +1,319 @@
+// Package destruct translates strict SSA out of SSA form, replacing
+// φ-functions by moves through storage slots. It reproduces the pass the
+// paper instruments for its runtime evaluation (§6.2): the third variant of
+// Sreedhar et al.'s algorithm, which coalesces φ-related variables into
+// congruence classes and only inserts copies where classes would interfere,
+// using the SSA-based interference test of Budimlić et al. — "basically, it
+// decides whether one variable is live directly after the instruction that
+// defines the other one". Those decisions are exactly the liveness-query
+// workload of Table 2.
+//
+// The lowering is slot-based: every congruence class containing a φ gets a
+// slot; each φ's predecessors store the incoming value (or its freshly
+// inserted copy) at block end, and the φ becomes a load. Because critical
+// edges are split first (Prepare) and every SSA value keeps its identity,
+// the classic lost-copy and swap problems cannot arise; the interpreter
+// cross-checks semantic preservation in the tests.
+package destruct
+
+import (
+	"fastliveness/internal/cfg"
+	"fastliveness/internal/dom"
+	"fastliveness/internal/ir"
+)
+
+// Oracle answers the liveness queries the pass issues. The production
+// choice is the paper's checker (the fastliveness facade); the baselines
+// (lao, dataflow) implement it too, which is how the harness compares them
+// on an identical query stream.
+type Oracle interface {
+	IsLiveOut(v *ir.Value, b *ir.Block) bool
+}
+
+// Mode selects the coalescing strategy.
+type Mode uint8
+
+const (
+	// ModeCoalesce is Sreedhar-III-style: merge φ congruence classes
+	// unless an interference query says otherwise. This issues the
+	// liveness-query workload.
+	ModeCoalesce Mode = iota
+	// ModeMethodI inserts a copy for every φ operand and result
+	// unconditionally (Sreedhar's Method I): no queries, maximal copies.
+	// Used as the query-free ablation baseline.
+	ModeMethodI
+)
+
+// Stats reports what the pass did.
+type Stats struct {
+	// Phis is the number of φ-functions eliminated.
+	Phis int
+	// Copies is the number of copy instructions inserted.
+	Copies int
+	// CoalescedArgs counts φ operands merged without a copy.
+	CoalescedArgs int
+	// InterferenceTests counts variable-pair interference decisions; each
+	// performs at most one IsLiveOut query plus a local scan.
+	InterferenceTests int
+	// Classes is the number of congruence classes (slots) created.
+	Classes int
+}
+
+// Prepare splits critical edges. It must run before the liveness analysis
+// whose Oracle feeds Run, so that queries are made against the final CFG —
+// the paper's precomputation survives everything except CFG changes, and
+// this is the one CFG change the pass needs.
+func Prepare(f *ir.Func) int {
+	return f.SplitCriticalEdges()
+}
+
+// Run destroys SSA form in place. The function must be strict SSA with
+// critical edges already split (Prepare), and oracle must answer liveness
+// for it.
+func Run(f *ir.Func, oracle Oracle, mode Mode) Stats {
+	d := &destroyer{f: f, oracle: oracle, mode: mode}
+	d.analyze()
+	d.buildClasses()
+	d.lower()
+	return d.stats
+}
+
+type destroyer struct {
+	f      *ir.Func
+	oracle Oracle
+	mode   Mode
+	stats  Stats
+
+	tree           *dom.Tree
+	nodeOf         map[*ir.Block]int
+	pos            map[*ir.Value]int // position within its block
+	parent         map[*ir.Value]*ir.Value
+	classPhiBlocks map[*ir.Value]map[*ir.Block]bool // class root -> blocks with a φ member
+
+	phis []*ir.Value
+}
+
+func (d *destroyer) analyze() {
+	g, _ := cfg.FromFunc(d.f)
+	dfs := cfg.NewDFS(g)
+	d.tree = dom.Iterative(g, dfs)
+	d.nodeOf = make(map[*ir.Block]int, len(d.f.Blocks))
+	for i, b := range d.f.Blocks {
+		d.nodeOf[b] = i
+	}
+	d.pos = map[*ir.Value]int{}
+	for _, b := range d.f.Blocks {
+		for i, v := range b.Values {
+			d.pos[v] = i
+		}
+		for _, v := range b.Phis() {
+			d.phis = append(d.phis, v)
+		}
+	}
+	d.parent = map[*ir.Value]*ir.Value{}
+	d.classPhiBlocks = map[*ir.Value]map[*ir.Block]bool{}
+}
+
+// find is union-find with path compression over congruence classes.
+func (d *destroyer) find(v *ir.Value) *ir.Value {
+	p := d.parent[v]
+	if p == nil {
+		return v
+	}
+	root := d.find(p)
+	d.parent[v] = root
+	return root
+}
+
+func (d *destroyer) union(a, b *ir.Value) {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return
+	}
+	d.parent[rb] = ra
+	// Merge φ-block ownership.
+	if m := d.classPhiBlocks[rb]; m != nil {
+		am := d.phiBlocks(ra)
+		for blk := range m {
+			am[blk] = true
+		}
+		delete(d.classPhiBlocks, rb)
+	}
+}
+
+func (d *destroyer) phiBlocks(root *ir.Value) map[*ir.Block]bool {
+	m := d.classPhiBlocks[root]
+	if m == nil {
+		m = map[*ir.Block]bool{}
+		d.classPhiBlocks[root] = m
+	}
+	return m
+}
+
+// members returns the values currently in v's class. Classes are small
+// (φ webs), so a scan over recorded members is fine: we track them lazily.
+type classMembers map[*ir.Value][]*ir.Value
+
+// buildClasses processes every φ and tries to coalesce each operand's class
+// with the φ's class.
+func (d *destroyer) buildClasses() {
+	members := classMembers{}
+	memberOf := func(v *ir.Value) []*ir.Value {
+		r := d.find(v)
+		if members[r] == nil {
+			members[r] = []*ir.Value{r}
+		}
+		return members[r]
+	}
+	merge := func(a, b *ir.Value) {
+		ma, mb := memberOf(a), memberOf(b)
+		ra, rb := d.find(a), d.find(b)
+		if ra == rb {
+			return
+		}
+		d.union(ra, rb)
+		root := d.find(ra)
+		all := append(append([]*ir.Value(nil), ma...), mb...)
+		delete(members, ra)
+		delete(members, rb)
+		members[root] = all
+	}
+
+	for _, phi := range d.phis {
+		d.phiBlocks(d.find(phi))[phi.Block] = true
+	}
+
+	for _, phi := range d.phis {
+		for i := 0; i < len(phi.Args); i++ {
+			arg := phi.Args[i]
+			pred := phi.Block.Preds[i].B
+			needCopy := false
+			switch {
+			case d.mode == ModeMethodI:
+				needCopy = true
+			case d.find(arg) == d.find(phi):
+				// Already coalesced (e.g. the same value on another edge).
+			case arg.Op == ir.OpParam || arg.Op == ir.OpConst:
+				// Rematerializable operands are cheaper to copy than to
+				// tie their (whole-function) live range to the class.
+				needCopy = true
+			default:
+				needCopy = d.classesInterfere(memberOf(phi), memberOf(arg))
+			}
+			if needCopy {
+				cp := pred.NewValue(ir.OpCopy, arg)
+				cp.Name = ""
+				d.pos[cp] = len(pred.Values) - 1
+				phi.SetArg(i, cp)
+				d.stats.Copies++
+				merge(phi, cp)
+			} else {
+				d.stats.CoalescedArgs++
+				merge(phi, arg)
+			}
+		}
+	}
+}
+
+// classesInterfere reports whether any member pair across the two classes
+// interferes. It also forbids classes holding two φs of the same block,
+// which could never share one slot (their edge stores would clobber each
+// other).
+func (d *destroyer) classesInterfere(a, b []*ir.Value) bool {
+	ra, rb := d.find(a[0]), d.find(b[0])
+	ba, bb := d.classPhiBlocks[ra], d.classPhiBlocks[rb]
+	for blk := range bb {
+		if ba[blk] {
+			return true
+		}
+	}
+	for _, x := range a {
+		for _, y := range b {
+			if d.interfere(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// interfere is the Budimlić et al. SSA interference test: order the two
+// variables so def(x) dominates def(y); they interfere iff x is live
+// directly after y's definition — block-level, iff x is live-out of y's
+// block or has a use in it after y's definition point.
+func (d *destroyer) interfere(x, y *ir.Value) bool {
+	if x == y {
+		return false
+	}
+	bx, by := d.nodeOf[x.Block], d.nodeOf[y.Block]
+	switch {
+	case d.tree.Dominates(bx, by):
+		// x defined above: proceed.
+	case d.tree.Dominates(by, bx):
+		x, y = y, x
+	default:
+		// Neither definition dominates the other: in strict SSA their live
+		// ranges cannot overlap.
+		return false
+	}
+	if x.Block == y.Block && d.pos[x] > d.pos[y] {
+		x, y = y, x
+	}
+	d.stats.InterferenceTests++
+	if d.oracle.IsLiveOut(x, y.Block) {
+		return true
+	}
+	// Local refinement: a use of x within y's block at or after y's
+	// definition keeps x live across y's definition.
+	yPos := d.pos[y]
+	for _, u := range x.Uses() {
+		switch {
+		case u.UserBlock == y.Block:
+			return true // control use at block end
+		case u.User == nil:
+			continue
+		case u.User.Op == ir.OpPhi:
+			if u.User.Block.Preds[u.Index].B == y.Block {
+				return true // φ use at this block's end
+			}
+		case u.User.Block == y.Block && d.pos[u.User] > yPos:
+			return true
+		}
+	}
+	return false
+}
+
+// lower rewrites every φ into slot traffic: predecessors store the incoming
+// value at block end, the φ becomes a load.
+func (d *destroyer) lower() {
+	slotOf := map[*ir.Value]int64{}
+	slot := func(phi *ir.Value) int64 {
+		r := d.find(phi)
+		s, ok := slotOf[r]
+		if !ok {
+			s = int64(d.f.NumSlots)
+			d.f.NumSlots++
+			slotOf[r] = s
+			d.stats.Classes++
+		}
+		return s
+	}
+	// Stores first (they read φ args).
+	for _, phi := range d.phis {
+		s := slot(phi)
+		for i, arg := range phi.Args {
+			pred := phi.Block.Preds[i].B
+			pred.NewValueI(ir.OpSlotStore, s, arg)
+		}
+	}
+	// Then replace each φ by a load at its position.
+	for _, phi := range d.phis {
+		s := slot(phi)
+		load := phi.Block.InsertValueFront(ir.OpSlotLoad)
+		load.AuxInt = s
+		load.Name = phi.Name
+		phi.ReplaceUsesWith(load)
+		phi.Block.RemoveValue(phi)
+		d.stats.Phis++
+	}
+}

@@ -1,0 +1,241 @@
+package destruct
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastliveness/internal/dataflow"
+	"fastliveness/internal/gen"
+	"fastliveness/internal/interp"
+	"fastliveness/internal/ir"
+	"fastliveness/internal/ssa"
+)
+
+// dfOracle adapts the data-flow baseline as the liveness oracle and counts
+// queries.
+type dfOracle struct {
+	r       *dataflow.Result
+	queries int
+}
+
+func (o *dfOracle) IsLiveOut(v *ir.Value, b *ir.Block) bool {
+	o.queries++
+	return o.r.IsLiveOut(v, b)
+}
+
+func destroy(t *testing.T, f *ir.Func, mode Mode) (Stats, *dfOracle) {
+	t.Helper()
+	Prepare(f)
+	if err := ssa.VerifyStrict(f); err != nil {
+		t.Fatalf("after Prepare: %v", err)
+	}
+	o := &dfOracle{r: dataflow.Analyze(f)}
+	st := Run(f, o, mode)
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("after Run: %v", err)
+	}
+	f.Values(func(v *ir.Value) {
+		if v.Op == ir.OpPhi {
+			t.Fatalf("φ %s remains after destruction", v)
+		}
+	})
+	return st, o
+}
+
+func TestLostCopyProblem(t *testing.T) {
+	// The classic lost-copy shape: the φ value is used after the loop,
+	// and the back edge copies the next value over it. A naive copy
+	// placement loses x's old value.
+	src := `
+func @lostcopy(%n) {
+b0:
+  %zero = const 0
+  %one = const 1
+  br head
+head:
+  %x = phi [%zero, b0], [%xnext, head2]
+  %xnext = add %x, %one
+  %c = cmplt %xnext, %n
+  if %c -> head2, exit
+head2:
+  br head
+exit:
+  ret %x
+}
+`
+	for _, mode := range []Mode{ModeCoalesce, ModeMethodI} {
+		f := ir.MustParse(src)
+		want := map[int64]int64{}
+		for _, n := range []int64{0, 1, 3, 7} {
+			r, err := interp.Run(f, []int64{n}, interp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[n] = r.Ret
+		}
+		destroy(t, f, mode)
+		for _, n := range []int64{0, 1, 3, 7} {
+			r, err := interp.Run(f, []int64{n}, interp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Ret != want[n] {
+				t.Fatalf("mode %d: lostcopy(%d) = %d, want %d", mode, n, r.Ret, want[n])
+			}
+		}
+	}
+}
+
+func TestSwapProblem(t *testing.T) {
+	// Two φs exchanging values every iteration: naive sequential copies on
+	// the back edge corrupt one of them.
+	src := `
+func @swap(%n) {
+b0:
+  %zero = const 0
+  %one = const 1
+  %two = const 2
+  br head
+head:
+  %a = phi [%one, b0], [%b, latch]
+  %b = phi [%two, b0], [%a, latch]
+  %i = phi [%zero, b0], [%i2, latch]
+  %c = cmplt %i, %n
+  if %c -> latch, exit
+latch:
+  %i2 = add %i, %one
+  br head
+exit:
+  %ten = const 10
+  %hi = mul %a, %ten
+  %r = add %hi, %b
+  ret %r
+}
+`
+	for _, mode := range []Mode{ModeCoalesce, ModeMethodI} {
+		f := ir.MustParse(src)
+		destroy(t, f, mode)
+		for n, want := range map[int64]int64{0: 12, 1: 21, 2: 12, 5: 21} {
+			r, err := interp.Run(f, []int64{n}, interp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Ret != want {
+				t.Fatalf("mode %d: swap(%d) = %d, want %d", mode, n, r.Ret, want)
+			}
+		}
+	}
+}
+
+// The central test: destruction preserves semantics on generated programs.
+func TestDestructionSemanticEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		cfg := gen.Default(int64(trial) * 311)
+		cfg.TargetBlocks = 4 + rng.Intn(70)
+		cfg.Irreducible = trial%6 == 0
+		f := gen.Generate("t", cfg)
+		ssa.Construct(f)
+		ref := ir.Clone(f)
+
+		mode := ModeCoalesce
+		if trial%3 == 2 {
+			mode = ModeMethodI
+		}
+		st, o := destroy(t, f, mode)
+		if mode == ModeMethodI && o.queries != 0 {
+			t.Fatalf("trial %d: Method I issued %d queries", trial, o.queries)
+		}
+		if st.Phis == 0 && hasPhis(ref) {
+			t.Fatalf("trial %d: no φs eliminated", trial)
+		}
+
+		for run := 0; run < 5; run++ {
+			args := []int64{rng.Int63n(400) - 200, rng.Int63n(400) - 200, rng.Int63()}
+			want, err := interp.Run(ref, args, interp.Options{})
+			if err != nil {
+				t.Fatalf("trial %d: reference run: %v", trial, err)
+			}
+			got, err := interp.Run(f, args, interp.Options{})
+			if err != nil {
+				t.Fatalf("trial %d: destructed run: %v", trial, err)
+			}
+			if got.Ret != want.Ret {
+				t.Fatalf("trial %d mode %d args %v: destructed returns %d, SSA %d",
+					trial, mode, args, got.Ret, want.Ret)
+			}
+		}
+	}
+}
+
+func hasPhis(f *ir.Func) bool {
+	found := false
+	f.Values(func(v *ir.Value) {
+		if v.Op == ir.OpPhi {
+			found = true
+		}
+	})
+	return found
+}
+
+// Coalescing must insert no more copies than Method I, and generally far
+// fewer; it must also issue interference queries.
+func TestCoalescingReducesCopies(t *testing.T) {
+	totalCoalesce, totalMethodI, totalQueries := 0, 0, 0
+	for trial := 0; trial < 40; trial++ {
+		cfg := gen.Default(int64(trial) * 17)
+		cfg.TargetBlocks = 10 + trial
+		f1 := gen.Generate("t", cfg)
+		ssa.Construct(f1)
+		f2 := ir.Clone(f1)
+
+		s1, o := destroy(t, f1, ModeCoalesce)
+		s2, _ := destroy(t, f2, ModeMethodI)
+		if s1.Copies > s2.Copies {
+			t.Fatalf("trial %d: coalescing inserted more copies (%d) than Method I (%d)",
+				trial, s1.Copies, s2.Copies)
+		}
+		if s1.Phis != s2.Phis {
+			t.Fatalf("trial %d: φ counts differ: %d vs %d", trial, s1.Phis, s2.Phis)
+		}
+		totalCoalesce += s1.Copies
+		totalMethodI += s2.Copies
+		totalQueries += o.queries
+	}
+	if totalMethodI == 0 {
+		t.Skip("no φs in corpus")
+	}
+	if totalCoalesce >= totalMethodI {
+		t.Fatalf("coalescing saved nothing: %d vs %d copies", totalCoalesce, totalMethodI)
+	}
+	if totalQueries == 0 {
+		t.Fatal("coalescing issued no liveness queries")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	var f *ir.Func
+	for seed := int64(99); ; seed++ {
+		cfg := gen.Default(seed)
+		f = gen.Generate("t", cfg)
+		ssa.Construct(f)
+		if hasPhis(f) {
+			break
+		}
+		if seed > 199 {
+			t.Fatal("no φ-bearing program found")
+		}
+	}
+	c := ir.Clone(f)
+	if err := ssa.VerifyStrict(c); err != nil {
+		t.Fatalf("clone not strict: %v", err)
+	}
+	before := ir.Print(c)
+	destroy(t, f, ModeCoalesce) // mutate original
+	if ir.Print(c) != before {
+		t.Fatal("mutating the original changed the clone")
+	}
+	if ir.Print(f) == before {
+		t.Fatal("destruction did not change the function")
+	}
+}

@@ -1,0 +1,338 @@
+package dom
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastliveness/internal/cfg"
+	"fastliveness/internal/graphgen"
+)
+
+// slowDominators computes the full dominance relation by the textbook
+// set-based fixed point: Dom(v) = {v} ∪ ⋂_{p∈preds(v)} Dom(p).
+// dom[v][w] = true iff w dominates v. Unreachable v have empty rows.
+func slowDominators(g *cfg.Graph, d *cfg.DFS) [][]bool {
+	n := g.N()
+	full := make([]bool, n)
+	for i := range full {
+		full[i] = true
+	}
+	dom := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		dom[v] = make([]bool, n)
+		if !d.Reachable(v) {
+			continue
+		}
+		if v == 0 {
+			dom[v][0] = true
+		} else {
+			copy(dom[v], full)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 1; v < n; v++ {
+			if !d.Reachable(v) {
+				continue
+			}
+			nw := make([]bool, n)
+			first := true
+			for _, p := range g.Preds[v] {
+				if !d.Reachable(p) {
+					continue
+				}
+				if first {
+					copy(nw, dom[p])
+					first = false
+				} else {
+					for i := range nw {
+						nw[i] = nw[i] && dom[p][i]
+					}
+				}
+			}
+			nw[v] = true
+			for i := range nw {
+				if nw[i] != dom[v][i] {
+					dom[v] = nw
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+func checkTreeAgainstSlow(t *testing.T, g *cfg.Graph, trial int) {
+	t.Helper()
+	d := cfg.NewDFS(g)
+	ref := slowDominators(g, d)
+	for _, name := range []string{"iterative", "lengauer-tarjan"} {
+		var tree *Tree
+		if name == "iterative" {
+			tree = Iterative(g, d)
+		} else {
+			tree = LengauerTarjan(g, d)
+		}
+		for v := 0; v < g.N(); v++ {
+			for w := 0; w < g.N(); w++ {
+				want := ref[v][w] // w dominates v
+				if got := tree.Dominates(w, v); got != want {
+					t.Fatalf("trial %d (%s): Dominates(%d,%d) = %v, want %v\nidom=%v",
+						trial, name, w, v, got, want, tree.Idom)
+				}
+			}
+		}
+	}
+}
+
+func TestDominatorsAgainstSlowReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 150; trial++ {
+		g := graphgen.Random(rng, graphgen.Default)
+		checkTreeAgainstSlow(t, g, trial)
+	}
+}
+
+func TestDominatorsOnReducibleGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 60; trial++ {
+		g := graphgen.RandomReducible(rng, graphgen.Default)
+		checkTreeAgainstSlow(t, g, trial)
+	}
+}
+
+func TestIterativeEqualsLengauerTarjan(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 300; trial++ {
+		g := graphgen.Random(rng, graphgen.Config{
+			MinNodes: 2, MaxNodes: 120, ExtraEdgeFactor: 2.2, BackEdgeProb: 0.4, AllowSelfLoops: true,
+		})
+		d := cfg.NewDFS(g)
+		a := Iterative(g, d)
+		b := LengauerTarjan(g, d)
+		for v := 0; v < g.N(); v++ {
+			if a.Idom[v] != b.Idom[v] {
+				t.Fatalf("trial %d: idom[%d]: iterative=%d LT=%d", trial, v, a.Idom[v], b.Idom[v])
+			}
+		}
+	}
+}
+
+func TestNumberingIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 150; trial++ {
+		g := graphgen.Random(rng, graphgen.Default)
+		d := cfg.NewDFS(g)
+		tree := Iterative(g, d)
+		n := g.N()
+		// Order/Num inverse.
+		for num, v := range tree.Order {
+			if tree.Num[v] != num {
+				t.Fatalf("Order[%d]=%d but Num=%d", num, v, tree.Num[v])
+			}
+		}
+		// Interval property: w is dominated by v iff Num[w] ∈ [Num[v], MaxNum[v]].
+		for v := 0; v < n; v++ {
+			if !tree.Reachable(v) {
+				continue
+			}
+			for w := 0; w < n; w++ {
+				if !tree.Reachable(w) {
+					continue
+				}
+				inInterval := tree.Num[v] <= tree.Num[w] && tree.Num[w] <= tree.MaxNum[v]
+				// Walk the idom chain as ground truth.
+				dominates := false
+				for x := w; x != -1; x = tree.Idom[x] {
+					if x == v {
+						dominates = true
+						break
+					}
+				}
+				if inInterval != dominates {
+					t.Fatalf("trial %d: interval test (%d,%d): interval=%v chain=%v",
+						trial, v, w, inInterval, dominates)
+				}
+			}
+		}
+		// The paper's §5.1 requirement: if v dominates w, num(v) <= num(w).
+		for w := 0; w < n; w++ {
+			if p := tree.Idom[w]; p >= 0 && tree.Num[p] >= tree.Num[w] {
+				t.Fatalf("idom %d of %d numbered after it", p, w)
+			}
+		}
+	}
+}
+
+func TestReducibility(t *testing.T) {
+	// Structured graphs must be reducible.
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 80; trial++ {
+		g := graphgen.RandomReducible(rng, graphgen.Default)
+		d := cfg.NewDFS(g)
+		tree := Iterative(g, d)
+		if !IsReducible(d, tree) {
+			t.Fatalf("trial %d: structured graph reported irreducible", trial)
+		}
+		if IrreducibleBackEdges(d, tree) != 0 {
+			t.Fatalf("trial %d: irreducible back edges in structured graph", trial)
+		}
+	}
+	// The canonical irreducible shape: a two-entry loop.
+	//   0 -> 1, 0 -> 2, 1 -> 2, 2 -> 1
+	g := cfg.NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1)
+	d := cfg.NewDFS(g)
+	tree := Iterative(g, d)
+	if IsReducible(d, tree) {
+		t.Fatal("two-entry loop reported reducible")
+	}
+	if IrreducibleBackEdges(d, tree) == 0 {
+		t.Fatal("expected at least one irreducible back edge")
+	}
+}
+
+func TestDominatesBasics(t *testing.T) {
+	// Diamond: 0 -> {1,2} -> 3.
+	g := cfg.NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	d := cfg.NewDFS(g)
+	tree := Iterative(g, d)
+	if tree.Idom[3] != 0 {
+		t.Fatalf("idom[3] = %d, want 0", tree.Idom[3])
+	}
+	if !tree.Dominates(0, 3) || tree.Dominates(1, 3) || tree.Dominates(2, 3) {
+		t.Fatal("diamond dominance wrong")
+	}
+	if !tree.Dominates(3, 3) {
+		t.Fatal("dominance must be reflexive")
+	}
+	if tree.StrictlyDominates(3, 3) {
+		t.Fatal("strict dominance must be irreflexive")
+	}
+	if !tree.StrictlyDominates(0, 1) {
+		t.Fatal("0 should strictly dominate 1")
+	}
+	if tree.NumReachable() != 4 {
+		t.Fatalf("NumReachable = %d", tree.NumReachable())
+	}
+}
+
+func TestUnreachableNodes(t *testing.T) {
+	g := cfg.NewGraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(3, 4) // island
+	d := cfg.NewDFS(g)
+	for _, tree := range []*Tree{Iterative(g, d), LengauerTarjan(g, d)} {
+		if tree.Reachable(3) || tree.Reachable(4) {
+			t.Fatal("island reported reachable")
+		}
+		if tree.Idom[3] != -1 || tree.Num[4] != -1 {
+			t.Fatal("island should have -1 markers")
+		}
+		if tree.Dominates(0, 3) || tree.Dominates(3, 4) {
+			t.Fatal("dominance with unreachable nodes must be false")
+		}
+	}
+}
+
+func TestFrontiers(t *testing.T) {
+	// Classic diamond with a loop:
+	//   0 -> 1 -> 2 -> 4; 1 -> 3 -> 4; 4 -> 1 (back), 4 -> 5
+	g := cfg.NewGraph(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 4)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 1)
+	g.AddEdge(4, 5)
+	d := cfg.NewDFS(g)
+	tree := Iterative(g, d)
+	df := Frontiers(g, d, tree)
+	want := map[int][]int{
+		1: {1}, // the loop: 1 is in its own frontier via the back edge
+		2: {4},
+		3: {4},
+		4: {1},
+	}
+	for v, fr := range want {
+		got := df[v]
+		if len(got) != len(fr) {
+			t.Fatalf("DF[%d] = %v, want %v", v, got, fr)
+		}
+		m := map[int]bool{}
+		for _, x := range got {
+			m[x] = true
+		}
+		for _, x := range fr {
+			if !m[x] {
+				t.Fatalf("DF[%d] = %v, want %v", v, got, fr)
+			}
+		}
+	}
+	if len(df[0]) != 0 || len(df[5]) != 0 {
+		t.Fatalf("DF[0]=%v DF[5]=%v, want empty", df[0], df[5])
+	}
+}
+
+// Frontier definition check on random graphs: w ∈ DF(v) iff v dominates
+// some pred of w but does not strictly dominate w.
+func TestFrontiersDefinitionRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 120; trial++ {
+		g := graphgen.Random(rng, graphgen.Default)
+		d := cfg.NewDFS(g)
+		tree := Iterative(g, d)
+		df := Frontiers(g, d, tree)
+		n := g.N()
+		inDF := make([]map[int]bool, n)
+		for v := 0; v < n; v++ {
+			inDF[v] = map[int]bool{}
+			for _, w := range df[v] {
+				inDF[v][w] = true
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !tree.Reachable(v) {
+				continue
+			}
+			for w := 0; w < n; w++ {
+				if !tree.Reachable(w) {
+					continue
+				}
+				want := false
+				if len(g.Preds[w]) >= 2 {
+					for _, p := range g.Preds[w] {
+						if tree.Reachable(p) && tree.Dominates(v, p) && !tree.StrictlyDominates(v, w) {
+							want = true
+							break
+						}
+					}
+				}
+				if inDF[v][w] != want {
+					t.Fatalf("trial %d: DF(%d) contains %d = %v, want %v",
+						trial, v, w, inDF[v][w], want)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := cfg.NewGraph(0)
+	d := cfg.NewDFS(g)
+	if tree := Iterative(g, d); len(tree.Order) != 0 {
+		t.Fatal("empty graph should produce empty tree")
+	}
+	if tree := LengauerTarjan(g, d); len(tree.Order) != 0 {
+		t.Fatal("empty graph should produce empty LT tree")
+	}
+}

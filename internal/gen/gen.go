@@ -1,0 +1,495 @@
+// Package gen generates random structured programs in slot form. It is the
+// stand-in for the paper's workload — the integer SPEC2000 benchmarks
+// compiled by the LAO code generator (§6) — which we cannot ship. The
+// evaluation never depends on what those programs compute, only on their
+// shape: block counts, edges per block, back-edge fraction, reducibility
+// and def-use-chain lengths, all of which the paper reports in Table 1 and
+// §6.1 precisely so the reader can judge transferability. Package gen is
+// calibrated, per benchmark, to reproduce those distributions (see
+// spec2000.go), and the harness re-prints Table 1 from the generated corpus
+// so the match is auditable.
+//
+// Programs are emitted with mutable variable slots (no φs); running
+// ssa.Construct on the result yields the strict SSA programs every liveness
+// engine consumes. Loops are counter-bounded so the interpreter can execute
+// any generated program to completion, which the semantic-equivalence tests
+// rely on.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fastliveness/internal/ir"
+)
+
+// Config tunes one generated function.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// TargetBlocks is the approximate number of basic blocks to emit.
+	TargetBlocks int
+	// Slots is the number of user variable slots (loop counters are extra).
+	Slots int
+	// Params is the number of function parameters.
+	Params int
+	// MaxDepth bounds control-structure nesting.
+	MaxDepth int
+	// MaxLoopTrip bounds loop trip counts (for interpreter-friendliness).
+	MaxLoopTrip int
+	// FreshBias is the probability an expression operand reuses the most
+	// recent value of the current block; high values drive the
+	// single-use-dominated def-use distribution of Table 1.
+	FreshBias float64
+	// CallProb emits opaque calls with that probability per statement.
+	CallProb float64
+	// BreakProb, ContinueProb and ReturnProb emit early exits.
+	BreakProb, ContinueProb, ReturnProb float64
+	// Irreducible adds a second entry into one loop (a "goto"), producing
+	// irreducible control flow like the 7 functions the paper found.
+	Irreducible bool
+}
+
+// Default returns a reasonable mid-size configuration.
+func Default(seed int64) Config {
+	return Config{
+		Seed:         seed,
+		TargetBlocks: 36,
+		Slots:        6,
+		Params:       3,
+		MaxDepth:     5,
+		MaxLoopTrip:  4,
+		FreshBias:    0.72,
+		CallProb:     0.08,
+		BreakProb:    0.06,
+		ContinueProb: 0.04,
+		ReturnProb:   0.05,
+	}
+}
+
+// Generate builds a slot-form function. The result passes ir.Verify, has
+// every block reachable, and terminates on every input under interp.Run.
+func Generate(name string, c Config) *ir.Func {
+	if c.TargetBlocks < 1 {
+		c.TargetBlocks = 1
+	}
+	if c.Slots < 1 {
+		c.Slots = 1
+	}
+	if c.MaxLoopTrip < 1 {
+		c.MaxLoopTrip = 1
+	}
+	if c.MaxDepth < 1 {
+		c.MaxDepth = 1
+	}
+	b := &builder{
+		rng:    rand.New(rand.NewSource(c.Seed)),
+		f:      ir.NewFunc(name),
+		c:      c,
+		budget: c.TargetBlocks - 1, // entry block is spent already
+	}
+	entry := b.f.NewBlock(ir.BlockRet)
+	b.f.NumSlots = c.Slots
+	for i := 0; i < c.Params; i++ {
+		p := entry.NewValueI(ir.OpParam, int64(i))
+		p.Name = fmt.Sprintf("p%d", i)
+		b.params = append(b.params, p)
+	}
+	// Initialize the user slots from parameters and constants so the
+	// program's behaviour depends on its inputs.
+	for s := 0; s < c.Slots; s++ {
+		v := b.expr(entry)
+		entry.NewValueI(ir.OpSlotStore, int64(s), v)
+	}
+
+	end, terminated := b.region(entry, 0, nil)
+	if c.Irreducible && len(b.irredCands) == 0 && !terminated {
+		// The random build produced no suitable loop; append a small
+		// guaranteed-irreducible gadget before the return.
+		end = b.irreducibleGadget(end)
+	}
+	if !terminated {
+		b.ret(end)
+	}
+	if c.Irreducible && len(b.irredCands) > 0 {
+		b.injectIrreducible()
+	}
+	return b.f
+}
+
+// irreducibleGadget appends a bounded two-entry loop:
+//
+//	end ─┬─> h ──> x     h ⇄ x is a loop, entered at h (from end)
+//	     └─────────^     and at x (also from end): irreducible.
+//
+// The loop runs at most MaxLoopTrip iterations via a fresh counter slot.
+func (b *builder) irreducibleGadget(end *ir.Block) *ir.Block {
+	ctr := b.newCounterSlot()
+	z := end.NewValueI(ir.OpConst, 0)
+	end.NewValueI(ir.OpSlotStore, ctr, z)
+	cond := b.cond(end)
+	h := b.newBlock()
+	x := b.newBlock()
+	exit := b.newBlock()
+	end.Kind = ir.BlockIf
+	end.SetControl(cond)
+	end.AddEdgeTo(h)
+	end.AddEdgeTo(x)
+
+	cv := h.NewValueI(ir.OpSlotLoad, ctr)
+	k := h.NewValueI(ir.OpConst, int64(1+b.rng.Intn(b.c.MaxLoopTrip)))
+	hc := h.NewValue(ir.OpCmpLT, cv, k)
+	h.Kind = ir.BlockIf
+	h.SetControl(hc)
+	h.AddEdgeTo(x)
+	h.AddEdgeTo(exit)
+
+	c2 := x.NewValueI(ir.OpSlotLoad, ctr)
+	one := x.NewValueI(ir.OpConst, 1)
+	x.NewValueI(ir.OpSlotStore, ctr, x.NewValue(ir.OpAdd, c2, one))
+	b.br(x, h)
+	return exit
+}
+
+type loopCtx struct {
+	latch, exit *ir.Block
+}
+
+type irredCand struct {
+	pre  *ir.Block // plain block branching to the loop header
+	body *ir.Block // first block of the loop body
+}
+
+type builder struct {
+	rng        *rand.Rand
+	f          *ir.Func
+	c          Config
+	budget     int
+	params     []*ir.Value
+	irredCands []irredCand
+}
+
+func (b *builder) newBlock() *ir.Block {
+	b.budget--
+	return b.f.NewBlock(ir.BlockRet)
+}
+
+func (b *builder) br(from, to *ir.Block) {
+	from.Kind = ir.BlockPlain
+	from.AddEdgeTo(to)
+}
+
+func (b *builder) iff(from *ir.Block, cond *ir.Value, t, e *ir.Block) {
+	from.Kind = ir.BlockIf
+	from.SetControl(cond)
+	from.AddEdgeTo(t)
+	from.AddEdgeTo(e)
+}
+
+func (b *builder) ret(from *ir.Block) {
+	from.Kind = ir.BlockRet
+	from.SetControl(b.expr(from))
+}
+
+// operand picks an expression input in the current block: a recent value of
+// the block, a parameter, a slot load, or a constant.
+func (b *builder) operand(blk *ir.Block) *ir.Value {
+	// The freshest still-unused result of this block (dominance-safe by
+	// construction): consuming it keeps variables single-use, the dominant
+	// def-use shape of Table 1.
+	freshResult := func() *ir.Value {
+		for i := len(blk.Values) - 1; i >= 0 && i >= len(blk.Values)-6; i-- {
+			v := blk.Values[i]
+			if v.Op.HasResult() && v.Op != ir.OpPhi && v.NumUses() == 0 {
+				return v
+			}
+		}
+		return nil
+	}
+	r := b.rng.Float64()
+	if r < b.c.FreshBias {
+		if v := freshResult(); v != nil {
+			return v
+		}
+	}
+	switch b.rng.Intn(6) {
+	case 0:
+		if len(b.params) > 0 {
+			return b.params[b.rng.Intn(len(b.params))]
+		}
+		fallthrough
+	case 1, 2:
+		return blk.NewValueI(ir.OpSlotLoad, int64(b.rng.Intn(b.c.Slots)))
+	case 3:
+		// An older value from this block, if any: the multi-use tail.
+		var results []*ir.Value
+		for _, v := range blk.Values {
+			if v.Op.HasResult() && v.Op != ir.OpPhi {
+				results = append(results, v)
+			}
+		}
+		if len(results) > 0 {
+			return results[b.rng.Intn(len(results))]
+		}
+		fallthrough
+	default:
+		return blk.NewValueI(ir.OpConst, int64(b.rng.Intn(19)-9))
+	}
+}
+
+var binOps = []ir.Op{
+	ir.OpAdd, ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr,
+	ir.OpXor, ir.OpShl, ir.OpShr, ir.OpDiv, ir.OpMod, ir.OpCmpEQ, ir.OpCmpLT,
+}
+
+// expr emits a small expression tree into blk and returns its root.
+func (b *builder) expr(blk *ir.Block) *ir.Value {
+	if b.rng.Float64() < b.c.CallProb {
+		n := b.rng.Intn(3)
+		args := make([]*ir.Value, n)
+		for i := range args {
+			args[i] = b.operand(blk)
+		}
+		return blk.NewValueAux(ir.OpCall, 0, fmt.Sprintf("ext%d", b.rng.Intn(8)), args...)
+	}
+	op := binOps[b.rng.Intn(len(binOps))]
+	return blk.NewValue(op, b.operand(blk), b.operand(blk))
+}
+
+// cond emits a branch condition.
+func (b *builder) cond(blk *ir.Block) *ir.Value {
+	op := ir.OpCmpLT
+	if b.rng.Intn(2) == 0 {
+		op = ir.OpCmpEQ
+	}
+	return blk.NewValue(op, b.operand(blk), b.operand(blk))
+}
+
+// region emits statements starting in cur until the block budget runs out
+// or an early exit terminates it. It returns the block where control
+// continues and whether the region terminated (returned/broke/continued on
+// every path).
+func (b *builder) region(cur *ir.Block, depth int, lc *loopCtx) (*ir.Block, bool) {
+	for b.budget > 0 {
+		r := b.rng.Float64()
+		// Early exits.
+		if lc != nil && r < b.c.BreakProb {
+			b.br(cur, lc.exit)
+			return nil, true
+		}
+		if lc != nil && r < b.c.BreakProb+b.c.ContinueProb {
+			b.br(cur, lc.latch)
+			return nil, true
+		}
+		retProb := b.c.ReturnProb
+		if b.budget > 60 {
+			// Damp early returns while lots of budget remains, so large
+			// procedures actually reach their block target: a single
+			// both-arms-return conditional would otherwise end the whole
+			// function.
+			retProb *= 60 / float64(b.budget)
+		}
+		if depth > 0 && r < b.c.BreakProb+b.c.ContinueProb+retProb {
+			b.ret(cur)
+			return nil, true
+		}
+
+		// Plain statements: a burst of assignments.
+		for n := 1 + b.rng.Intn(3); n > 0; n-- {
+			slot := int64(b.rng.Intn(b.c.Slots))
+			cur.NewValueI(ir.OpSlotStore, slot, b.expr(cur))
+		}
+		if depth >= b.c.MaxDepth || b.rng.Intn(3) == 0 {
+			// Sequence: fall through to a new plain block to burn budget.
+			// Sub-regions may stop early (their caller continues with the
+			// remaining budget); the top-level region keeps going so the
+			// procedure actually reaches its block target.
+			if b.budget <= 0 || (depth > 0 && b.rng.Intn(4) == 0) {
+				break
+			}
+			next := b.newBlock()
+			b.br(cur, next)
+			cur = next
+			continue
+		}
+		var term bool
+		cur, term = b.controlStmt(cur, depth, lc)
+		if term {
+			return nil, true
+		}
+	}
+	return cur, false
+}
+
+// controlStmt emits one structured control statement and returns the join
+// block (or termination).
+func (b *builder) controlStmt(cur *ir.Block, depth int, lc *loopCtx) (*ir.Block, bool) {
+	// The mix targets the §6.1 shape: ~1.3 edges per block with back edges
+	// around 3.6% of all edges — conditionals dominate, loops are sparser.
+	switch b.rng.Intn(8) {
+	case 0, 1, 2, 3: // if / if-else
+		return b.ifStmt(cur, depth, lc)
+	case 4: // while
+		return b.whileStmt(cur, depth), false
+	case 5: // do-while
+		return b.doWhileStmt(cur, depth)
+	default: // switch
+		return b.switchStmt(cur, depth, lc)
+	}
+}
+
+func (b *builder) ifStmt(cur *ir.Block, depth int, lc *loopCtx) (*ir.Block, bool) {
+	cond := b.cond(cur)
+	thenB := b.newBlock()
+	elseB := b.newBlock()
+	b.iff(cur, cond, thenB, elseB)
+	tEnd, tTerm := b.region(thenB, depth+1, lc)
+	eEnd, eTerm := b.region(elseB, depth+1, lc)
+	if tTerm && eTerm {
+		return nil, true
+	}
+	join := b.newBlock()
+	if !tTerm {
+		b.br(tEnd, join)
+	}
+	if !eTerm {
+		b.br(eEnd, join)
+	}
+	return join, false
+}
+
+// whileStmt emits a counter-bounded while loop; the loop always terminates
+// because the counter increments monotonically toward a constant bound.
+func (b *builder) whileStmt(cur *ir.Block, depth int) *ir.Block {
+	ctr := b.newCounterSlot()
+	z := cur.NewValueI(ir.OpConst, 0)
+	cur.NewValueI(ir.OpSlotStore, ctr, z)
+	header := b.newBlock()
+	pre := cur
+	b.br(cur, header)
+
+	c := header.NewValueI(ir.OpSlotLoad, ctr)
+	k := header.NewValueI(ir.OpConst, int64(1+b.rng.Intn(b.c.MaxLoopTrip)))
+	cond := header.NewValue(ir.OpCmpLT, c, k)
+	body := b.newBlock()
+	exit := b.newBlock()
+	latch := b.newBlock()
+	b.iff(header, cond, body, exit)
+
+	bEnd, bTerm := b.region(body, depth+1, &loopCtx{latch: latch, exit: exit})
+	if !bTerm {
+		b.br(bEnd, latch)
+	}
+	if len(latch.Preds) == 0 {
+		// Every path through the body returned or broke; the latch is
+		// unreachable and must go.
+		b.f.RemoveBlock(latch)
+	} else {
+		c2 := latch.NewValueI(ir.OpSlotLoad, ctr)
+		one := latch.NewValueI(ir.OpConst, 1)
+		inc := latch.NewValue(ir.OpAdd, c2, one)
+		latch.NewValueI(ir.OpSlotStore, ctr, inc)
+		b.br(latch, header)
+		b.irredCands = append(b.irredCands, irredCand{pre: pre, body: body})
+	}
+	return exit
+}
+
+// doWhileStmt emits a bottom-tested loop.
+func (b *builder) doWhileStmt(cur *ir.Block, depth int) (*ir.Block, bool) {
+	ctr := b.newCounterSlot()
+	z := cur.NewValueI(ir.OpConst, 0)
+	cur.NewValueI(ir.OpSlotStore, ctr, z)
+	body := b.newBlock()
+	pre := cur
+	b.br(cur, body)
+	latch := b.newBlock()
+	exit := b.newBlock()
+
+	bEnd, bTerm := b.region(body, depth+1, &loopCtx{latch: latch, exit: exit})
+	if !bTerm {
+		b.br(bEnd, latch)
+	}
+	if len(latch.Preds) == 0 {
+		b.f.RemoveBlock(latch)
+		if len(exit.Preds) == 0 {
+			// No break either: control never leaves through the loop
+			// bottom; the whole statement terminated.
+			b.f.RemoveBlock(exit)
+			return nil, true
+		}
+		return exit, false
+	}
+	c2 := latch.NewValueI(ir.OpSlotLoad, ctr)
+	one := latch.NewValueI(ir.OpConst, 1)
+	inc := latch.NewValue(ir.OpAdd, c2, one)
+	latch.NewValueI(ir.OpSlotStore, ctr, inc)
+	k := latch.NewValueI(ir.OpConst, int64(1+b.rng.Intn(b.c.MaxLoopTrip)))
+	cond := latch.NewValue(ir.OpCmpLT, inc, k)
+	latch.Kind = ir.BlockIf
+	latch.SetControl(cond)
+	latch.AddEdgeTo(body)
+	latch.AddEdgeTo(exit)
+	// In a bottom-tested loop the body block IS the loop header, so the
+	// irreducibility candidate jumps into the latch instead: an edge from
+	// before the loop to the latch gives the loop a second entry.
+	b.irredCands = append(b.irredCands, irredCand{pre: pre, body: latch})
+	return exit, false
+}
+
+func (b *builder) switchStmt(cur *ir.Block, depth int, lc *loopCtx) (*ir.Block, bool) {
+	cond := b.expr(cur)
+	arms := 2 + b.rng.Intn(3)
+	cur.Kind = ir.BlockSwitch
+	cur.SetControl(cond)
+	join := b.newBlock()
+	joinUsed := false
+	for i := 0; i < arms; i++ {
+		arm := b.newBlock()
+		cur.AddEdgeTo(arm)
+		aEnd, aTerm := b.region(arm, depth+1, lc)
+		if !aTerm {
+			b.br(aEnd, join)
+			joinUsed = true
+		}
+	}
+	if !joinUsed {
+		b.f.RemoveBlock(join)
+		return nil, true
+	}
+	return join, false
+}
+
+func (b *builder) newCounterSlot() int64 {
+	s := int64(b.f.NumSlots)
+	b.f.NumSlots++
+	return s
+}
+
+// injectIrreducible turns loops into two-entry loops by branching from the
+// block before a loop header directly into the loop body — the classic
+// goto-into-loop shape (§2.1: "To create irreducible control flow, loops
+// with multiple entries are necessary"). It converts up to three suitable
+// candidates (the paper found ~8.6 irreducibility-contributing back edges
+// per irreducible function).
+func (b *builder) injectIrreducible() {
+	want := 1 + b.rng.Intn(3)
+	order := b.rng.Perm(len(b.irredCands))
+	for _, i := range order {
+		cand := b.irredCands[i]
+		pre := cand.pre
+		if pre.Kind != ir.BlockPlain {
+			// The candidate's pre-header was converted by an earlier
+			// injection (or is otherwise unsuitable); try the next one.
+			continue
+		}
+		cond := b.cond(pre)
+		pre.Kind = ir.BlockIf
+		pre.SetControl(cond)
+		pre.AddEdgeTo(cand.body)
+		want--
+		if want == 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"fastliveness/internal/ir"
+	"fastliveness/internal/stats"
+)
+
+// Spec describes one benchmark program of the paper's corpus: the shape
+// statistics of Table 1 (basic blocks per procedure, uses per variable) and
+// Table 2 (procedure and query counts). The generator reproduces the shape;
+// the harness re-derives the statistics from the generated corpus and
+// prints them next to these reference numbers.
+type Spec struct {
+	Name string
+	// Procs is the number of compiled procedures (Table 2 "# Proc.").
+	Procs int
+	// AvgBlocks, PctLE32, PctLE64 describe the per-procedure basic block
+	// distribution (Table 1).
+	AvgBlocks        float64
+	PctLE32, PctLE64 float64
+	// SumBlocks is Table 1's "Sum" column, for reference output.
+	SumBlocks int
+	// MaxUses and UsePct give the uses-per-variable distribution
+	// (Table 1): the maximum and the CDF at 1..4 uses.
+	MaxUses int
+	UsePct  [4]float64
+	// Queries is Table 2's "# Queries", the liveness queries SSA
+	// destruction issued; used for reference output.
+	Queries int
+	// IrreducibleFuncs is how many of the generated procedures receive a
+	// second loop entry. The paper found 7 irreducible functions among
+	// 4823 (§6.1); we spread them over the two largest benchmarks.
+	IrreducibleFuncs int
+}
+
+// SPEC2000 is the integer SPEC2000 subset of the paper (§6), with the
+// shape statistics transcribed from Table 1 and Table 2.
+var SPEC2000 = []Spec{
+	{Name: "164.gzip", Procs: 82, AvgBlocks: 33.35, PctLE32: 69.51, PctLE64: 85.36, SumBlocks: 2735,
+		MaxUses: 51, UsePct: [4]float64{65.64, 86.38, 92.81, 95.94}, Queries: 90659},
+	{Name: "175.vpr", Procs: 225, AvgBlocks: 34.45, PctLE32: 68.88, PctLE64: 84.44, SumBlocks: 7752,
+		MaxUses: 75, UsePct: [4]float64{70.36, 88.90, 93.93, 96.28}, Queries: 55670},
+	{Name: "176.gcc", Procs: 2019, AvgBlocks: 38.96, PctLE32: 72.85, PctLE64: 86.03, SumBlocks: 78666,
+		MaxUses: 422, UsePct: [4]float64{73.99, 87.81, 92.42, 94.84}, Queries: 1109202, IrreducibleFuncs: 4},
+	{Name: "181.mcf", Procs: 26, AvgBlocks: 20.31, PctLE32: 84.61, PctLE64: 100.00, SumBlocks: 528,
+		MaxUses: 46, UsePct: [4]float64{66.91, 83.50, 89.33, 94.46}, Queries: 2369},
+	{Name: "186.crafty", Procs: 109, AvgBlocks: 69.28, PctLE32: 59.63, PctLE64: 76.14, SumBlocks: 7551,
+		MaxUses: 620, UsePct: [4]float64{72.98, 90.09, 93.85, 95.75}, Queries: 858121},
+	{Name: "197.parser", Procs: 323, AvgBlocks: 23.60, PctLE32: 84.82, PctLE64: 93.49, SumBlocks: 7623,
+		MaxUses: 96, UsePct: [4]float64{65.12, 86.75, 94.26, 96.62}, Queries: 38719},
+	{Name: "254.gap", Procs: 852, AvgBlocks: 32.89, PctLE32: 67.60, PctLE64: 87.44, SumBlocks: 28020,
+		MaxUses: 156, UsePct: [4]float64{70.46, 85.95, 91.26, 94.54}, Queries: 245540, IrreducibleFuncs: 2},
+	{Name: "255.vortex", Procs: 923, AvgBlocks: 26.46, PctLE32: 77.57, PctLE64: 90.68, SumBlocks: 24425,
+		MaxUses: 254, UsePct: [4]float64{65.99, 90.80, 95.02, 96.97}, Queries: 88554, IrreducibleFuncs: 1},
+	{Name: "256.bzip2", Procs: 74, AvgBlocks: 22.97, PctLE32: 78.37, PctLE64: 91.89, SumBlocks: 1700,
+		MaxUses: 36, UsePct: [4]float64{69.89, 89.89, 94.47, 96.17}, Queries: 10100},
+	{Name: "300.twolf", Procs: 190, AvgBlocks: 56.97, PctLE32: 59.47, PctLE64: 77.36, SumBlocks: 10825,
+		MaxUses: 165, UsePct: [4]float64{69.71, 87.59, 93.23, 95.92}, Queries: 184621},
+}
+
+// SpecByName returns the benchmark with the given name, or nil.
+func SpecByName(name string) *Spec {
+	for i := range SPEC2000 {
+		if SPEC2000[i].Name == name {
+			return &SPEC2000[i]
+		}
+	}
+	return nil
+}
+
+// TotalProcs is the corpus size; the paper compiled 4823 procedures.
+func TotalProcs() int {
+	n := 0
+	for _, s := range SPEC2000 {
+		n += s.Procs
+	}
+	return n
+}
+
+// blockTarget samples a per-procedure block-count target from a lognormal
+// distribution fitted to the benchmark's average and %≤32 statistics.
+func (s *Spec) blockTarget(rng *rand.Rand) int {
+	mu, sigma := stats.FitLognormal(s.AvgBlocks, 32, s.PctLE32/100)
+	x := math.Exp(mu + sigma*rng.NormFloat64())
+	n := int(math.Round(x))
+	if n < 3 {
+		n = 3
+	}
+	// The paper's overall maximum block count is 2240 (§6.1); clamp the
+	// lognormal tail accordingly.
+	if n > 2240 {
+		n = 2240
+	}
+	return n
+}
+
+// ProcConfig derives the generator configuration for the i-th procedure of
+// the benchmark. The derivation is deterministic in (benchmark, i).
+func (s *Spec) ProcConfig(i int) Config {
+	seed := int64(1)
+	for _, c := range []byte(s.Name) {
+		seed = seed*131 + int64(c)
+	}
+	seed = seed*1000003 + int64(i)
+	rng := rand.New(rand.NewSource(seed))
+	blocks := s.blockTarget(rng)
+
+	c := Default(seed * 31)
+	c.TargetBlocks = blocks
+	// Bigger procedures juggle more variables; a mild sublinear growth
+	// matches the "hot variable with hundreds of uses" tail of Table 1.
+	c.Slots = 3 + blocks/12
+	if c.Slots > 24 {
+		c.Slots = 24
+	}
+	c.Params = 2 + rng.Intn(4)
+	c.MaxDepth = 4 + rng.Intn(3)
+	// Tune the single-use bias per benchmark from Table 1's %≤1 column.
+	c.FreshBias = 0.47 + 0.005*s.UsePct[0]
+	c.Irreducible = i < s.IrreducibleFuncs
+	if c.Irreducible && c.TargetBlocks < 40 {
+		// Irreducibility needs loops to subvert; give the handful of
+		// flagged procedures (7 of 4823) room to grow some.
+		c.TargetBlocks = 40
+	}
+	return c
+}
+
+// GenerateProc builds the i-th procedure of the benchmark in slot form.
+func (s *Spec) GenerateProc(i int) *ir.Func {
+	c := s.ProcConfig(i)
+	return Generate(procName(s.Name, i), c)
+}
+
+func procName(bench string, i int) string {
+	return strings.ReplaceAll(bench, ".", "_") + "_p" + strconv.Itoa(i)
+}

@@ -1,0 +1,181 @@
+// Package graphgen produces random rooted digraphs for property-testing the
+// graph analyses (DFS, dominators, the liveness checker core). It is not
+// the calibrated benchmark workload generator — that is package gen, which
+// emits whole IR functions; graphgen only makes raw CFship graphs, including
+// pathological and irreducible shapes the structured generator cannot reach.
+package graphgen
+
+import (
+	"math/rand"
+
+	"fastliveness/internal/cfg"
+)
+
+// Config controls the random graph shape.
+type Config struct {
+	// MinNodes and MaxNodes bound the node count (inclusive).
+	MinNodes, MaxNodes int
+	// ExtraEdgeFactor is the expected number of extra random edges per node
+	// beyond the spanning skeleton.
+	ExtraEdgeFactor float64
+	// BackEdgeProb is the probability that an extra edge is aimed backwards
+	// (at a node with a smaller index), creating cycles.
+	BackEdgeProb float64
+	// AllowSelfLoops permits v->v edges on non-entry nodes.
+	AllowSelfLoops bool
+}
+
+// Default is a reasonable mixed shape: cyclic, often irreducible.
+var Default = Config{
+	MinNodes:        2,
+	MaxNodes:        40,
+	ExtraEdgeFactor: 1.6,
+	BackEdgeProb:    0.35,
+	AllowSelfLoops:  true,
+}
+
+// Random builds a random graph where node 0 is the entry with no incoming
+// edges and every node is reachable from the entry (a spanning skeleton in
+// index order guarantees it).
+func Random(rng *rand.Rand, c Config) *cfg.Graph {
+	n := c.MinNodes
+	if c.MaxNodes > c.MinNodes {
+		n += rng.Intn(c.MaxNodes - c.MinNodes + 1)
+	}
+	g := cfg.NewGraph(n)
+	// Spanning skeleton: each node i>0 gets an edge from a random earlier
+	// node, so the whole graph is reachable and acyclic so far.
+	for i := 1; i < n; i++ {
+		g.AddEdge(rng.Intn(i), i)
+	}
+	// Extra edges, never into the entry.
+	extra := int(float64(n) * c.ExtraEdgeFactor)
+	for k := 0; k < extra; k++ {
+		s := rng.Intn(n)
+		var t int
+		if rng.Float64() < c.BackEdgeProb {
+			t = rng.Intn(n)
+		} else if s+1 < n {
+			t = s + 1 + rng.Intn(n-s-1)
+		} else {
+			t = s
+		}
+		if t == 0 {
+			continue // keep the entry pred-free
+		}
+		if t == s && !c.AllowSelfLoops {
+			continue
+		}
+		g.AddEdge(s, t)
+	}
+	return g
+}
+
+// RandomReducible builds a random graph that is reducible by construction:
+// it is the CFG of an imaginary structured program (sequences, if/else,
+// while and do-while loops, switches), and structured control flow is
+// always reducible. Node 0 is the entry.
+func RandomReducible(rng *rand.Rand, c Config) *cfg.Graph {
+	budget := c.MinNodes
+	if c.MaxNodes > c.MinNodes {
+		budget += rng.Intn(c.MaxNodes - c.MinNodes + 1)
+	}
+	b := &structBuilder{rng: rng}
+	entry := b.newNode()
+	exit := b.region(entry, &budget, 0)
+	// Terminal self-shape: leave exit with no successors (a return block).
+	_ = exit
+	g := cfg.NewGraph(len(b.succs))
+	for s, ts := range b.succs {
+		for _, t := range ts {
+			g.AddEdge(s, t)
+		}
+	}
+	return g
+}
+
+type structBuilder struct {
+	rng   *rand.Rand
+	succs [][]int
+}
+
+func (b *structBuilder) newNode() int {
+	b.succs = append(b.succs, nil)
+	return len(b.succs) - 1
+}
+
+func (b *structBuilder) edge(s, t int) { b.succs[s] = append(b.succs[s], t) }
+
+// region emits a structured region starting at (and including) node cur and
+// returns the node where control continues. budget is decremented as nodes
+// are created.
+func (b *structBuilder) region(cur int, budget *int, depth int) int {
+	for *budget > 0 {
+		if depth > 6 || b.rng.Intn(4) == 0 {
+			// Plain statement: one more node in sequence.
+			n := b.newNode()
+			*budget--
+			b.edge(cur, n)
+			cur = n
+			continue
+		}
+		switch b.rng.Intn(4) {
+		case 0: // if/else with join
+			thenN, elseN, join := b.newNode(), b.newNode(), b.newNode()
+			*budget -= 3
+			b.edge(cur, thenN)
+			b.edge(cur, elseN)
+			tEnd := b.region(thenN, budget, depth+1)
+			eEnd := b.region(elseN, budget, depth+1)
+			b.edge(tEnd, join)
+			b.edge(eEnd, join)
+			cur = join
+		case 1: // while loop
+			head, body, exit := b.newNode(), b.newNode(), b.newNode()
+			*budget -= 3
+			b.edge(cur, head)
+			b.edge(head, body)
+			b.edge(head, exit)
+			bodyEnd := b.region(body, budget, depth+1)
+			b.edge(bodyEnd, head) // back edge to the loop header
+			cur = exit
+		case 2: // do-while loop
+			body, exit := b.newNode(), b.newNode()
+			*budget -= 2
+			b.edge(cur, body)
+			bodyEnd := b.region(body, budget, depth+1)
+			b.edge(bodyEnd, body) // back edge: bodyEnd tests and repeats
+			b.edge(bodyEnd, exit)
+			cur = exit
+		case 3: // switch with k arms
+			k := 2 + b.rng.Intn(3)
+			join := b.newNode()
+			*budget--
+			for i := 0; i < k; i++ {
+				arm := b.newNode()
+				*budget--
+				b.edge(cur, arm)
+				armEnd := b.region(arm, budget, depth+1)
+				b.edge(armEnd, join)
+			}
+			cur = join
+		}
+	}
+	return cur
+}
+
+// Ladder builds a deterministic "ladder" of rungs nested loops used by the
+// scaling benchmarks: a chain of simple loops, n nodes total.
+func Ladder(n int) *cfg.Graph {
+	if n < 2 {
+		n = 2
+	}
+	g := cfg.NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+		if i > 0 && i%2 == 0 {
+			g.AddEdge(i, i-1) // small loop
+		}
+	}
+	return g
+}

@@ -1,0 +1,95 @@
+package graphgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		g := Random(rng, Default)
+		if g.N() < Default.MinNodes {
+			t.Fatalf("trial %d: %d nodes", trial, g.N())
+		}
+		// Entry has no predecessors.
+		if len(g.Preds[0]) != 0 {
+			t.Fatalf("trial %d: entry has predecessors", trial)
+		}
+		// Every node reachable (spanning skeleton).
+		seen := make([]bool, g.N())
+		stack := []int{0}
+		seen[0] = true
+		count := 1
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Succs[v] {
+				if !seen[w] {
+					seen[w] = true
+					count++
+					stack = append(stack, w)
+				}
+			}
+		}
+		if count != g.N() {
+			t.Fatalf("trial %d: only %d of %d reachable", trial, count, g.N())
+		}
+	}
+}
+
+func TestRandomNoSelfLoopsWhenDisabled(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := Default
+	cfg.AllowSelfLoops = false
+	for trial := 0; trial < 100; trial++ {
+		g := Random(rng, cfg)
+		for v := 0; v < g.N(); v++ {
+			for _, w := range g.Succs[v] {
+				if w == v {
+					t.Fatalf("trial %d: self loop at %d", trial, v)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomReducibleEntry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		g := RandomReducible(rng, Default)
+		if len(g.Preds[0]) != 0 {
+			t.Fatalf("trial %d: entry has predecessors", trial)
+		}
+		if g.N() < 2 {
+			t.Fatalf("trial %d: too small (%d)", trial, g.N())
+		}
+	}
+	// Reducibility itself is asserted in package dom's tests (needs a
+	// dominator tree); here we only check structural invariants.
+}
+
+func TestLadder(t *testing.T) {
+	g := Ladder(10)
+	if g.N() != 10 {
+		t.Fatalf("nodes = %d", g.N())
+	}
+	if len(g.Preds[0]) != 0 {
+		t.Fatal("entry has preds")
+	}
+	if Ladder(0).N() != 2 {
+		t.Fatal("ladder minimum size broken")
+	}
+	// Has at least one back edge (the small loops).
+	hasBack := false
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Succs[v] {
+			if w < v {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatal("ladder has no loops")
+	}
+}

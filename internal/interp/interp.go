@@ -1,0 +1,194 @@
+// Package interp executes IR functions. The paper validated its checker
+// inside a production compiler whose correctness was a given; this
+// repository instead proves its transformation passes (SSA construction,
+// SSA destruction) semantics-preserving by running programs before and
+// after each pass on random inputs and comparing results.
+//
+// Semantics are total and deterministic so generated programs can always be
+// compared: division and modulo by zero yield 0, shifts mask their amount
+// to 6 bits, calls hash their arguments (an opaque pure function), and slot
+// storage is zero-initialized.
+package interp
+
+import (
+	"fmt"
+
+	"fastliveness/internal/ir"
+)
+
+// Result is the outcome of a run.
+type Result struct {
+	// Ret is the returned value (0 for a bare ret).
+	Ret int64
+	// Steps is the number of values + terminators executed.
+	Steps int
+	// Trace, when tracing was requested, records the IDs of the blocks
+	// executed, in order.
+	Trace []int
+}
+
+// ErrFuel is returned when execution exceeds the step budget.
+type ErrFuel struct{ Steps int }
+
+// Error describes the exhausted budget.
+func (e *ErrFuel) Error() string {
+	return fmt.Sprintf("interp: step budget of %d exhausted", e.Steps)
+}
+
+// Options control execution.
+type Options struct {
+	// MaxSteps bounds execution; ≤0 means a default of 1<<20.
+	MaxSteps int
+	// RecordTrace captures the executed block IDs in Result.Trace.
+	RecordTrace bool
+}
+
+// Run executes f with the given arguments. Missing arguments read as 0,
+// extra arguments are ignored.
+func Run(f *ir.Func, args []int64, opts Options) (Result, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1 << 20
+	}
+	env := make([]int64, f.NumValues())
+	slots := make([]int64, f.NumSlots)
+	var res Result
+
+	b := f.Entry()
+	predIdx := -1 // index of the incoming edge in b.Preds
+	for {
+		if opts.RecordTrace {
+			res.Trace = append(res.Trace, b.ID)
+		}
+		// φs evaluate simultaneously on block entry, reading the
+		// environment of the edge just taken.
+		phis := b.Phis()
+		if len(phis) > 0 {
+			if predIdx < 0 {
+				return res, fmt.Errorf("interp: φ in entry block %s", b)
+			}
+			vals := make([]int64, len(phis))
+			for i, phi := range phis {
+				vals[i] = env[phi.Args[predIdx].ID]
+			}
+			for i, phi := range phis {
+				env[phi.ID] = vals[i]
+			}
+			res.Steps += len(phis)
+		}
+		for _, v := range b.Values[len(phis):] {
+			res.Steps++
+			if res.Steps > maxSteps {
+				return res, &ErrFuel{Steps: maxSteps}
+			}
+			env[v.ID] = eval(v, env, slots, args)
+		}
+		res.Steps++
+		if res.Steps > maxSteps {
+			return res, &ErrFuel{Steps: maxSteps}
+		}
+		switch b.Kind {
+		case ir.BlockRet:
+			if b.Control != nil {
+				res.Ret = env[b.Control.ID]
+			}
+			return res, nil
+		case ir.BlockPlain:
+			predIdx = b.Succs[0].I
+			b = b.Succs[0].B
+		case ir.BlockIf:
+			e := b.Succs[1]
+			if env[b.Control.ID] != 0 {
+				e = b.Succs[0]
+			}
+			predIdx = e.I
+			b = e.B
+		case ir.BlockSwitch:
+			c := env[b.Control.ID]
+			n := int64(len(b.Succs))
+			i := c % n
+			if i < 0 {
+				i += n
+			}
+			e := b.Succs[i]
+			predIdx = e.I
+			b = e.B
+		default:
+			return res, fmt.Errorf("interp: bad block kind %v", b.Kind)
+		}
+	}
+}
+
+func eval(v *ir.Value, env, slots []int64, args []int64) int64 {
+	a := func(i int) int64 { return env[v.Args[i].ID] }
+	switch v.Op {
+	case ir.OpParam:
+		if int(v.AuxInt) < len(args) {
+			return args[v.AuxInt]
+		}
+		return 0
+	case ir.OpConst:
+		return v.AuxInt
+	case ir.OpAdd:
+		return a(0) + a(1)
+	case ir.OpSub:
+		return a(0) - a(1)
+	case ir.OpMul:
+		return a(0) * a(1)
+	case ir.OpDiv:
+		if a(1) == 0 {
+			return 0
+		}
+		return a(0) / a(1)
+	case ir.OpMod:
+		if a(1) == 0 {
+			return 0
+		}
+		return a(0) % a(1)
+	case ir.OpAnd:
+		return a(0) & a(1)
+	case ir.OpOr:
+		return a(0) | a(1)
+	case ir.OpXor:
+		return a(0) ^ a(1)
+	case ir.OpShl:
+		return a(0) << (uint64(a(1)) & 63)
+	case ir.OpShr:
+		return int64(uint64(a(0)) >> (uint64(a(1)) & 63))
+	case ir.OpNeg:
+		return -a(0)
+	case ir.OpNot:
+		return ^a(0)
+	case ir.OpCmpEQ:
+		if a(0) == a(1) {
+			return 1
+		}
+		return 0
+	case ir.OpCmpLT:
+		if a(0) < a(1) {
+			return 1
+		}
+		return 0
+	case ir.OpCopy:
+		return a(0)
+	case ir.OpPhi:
+		panic("interp: φ evaluated out of band")
+	case ir.OpCall:
+		// An opaque pure function: FNV-style mixing of callee name and
+		// arguments.
+		h := uint64(14695981039346656037)
+		for _, c := range []byte(v.AuxStr) {
+			h = (h ^ uint64(c)) * 1099511628211
+		}
+		for _, arg := range v.Args {
+			h = (h ^ uint64(env[arg.ID])) * 1099511628211
+		}
+		return int64(h)
+	case ir.OpSlotLoad:
+		return slots[v.AuxInt]
+	case ir.OpSlotStore:
+		slots[v.AuxInt] = a(0)
+		return 0
+	}
+	panic("interp: unhandled op " + v.Op.String())
+}

@@ -1,0 +1,278 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"fastliveness/internal/ir"
+)
+
+func run(t *testing.T, src string, args ...int64) int64 {
+	t.Helper()
+	f := ir.MustParse(src)
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(f, args, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Ret
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b int64
+		want int64
+	}{
+		{"add", 3, 4, 7},
+		{"sub", 3, 4, -1},
+		{"mul", 3, 4, 12},
+		{"div", 12, 4, 3},
+		{"div", 12, 0, 0}, // total semantics
+		{"mod", 13, 4, 1},
+		{"mod", 13, 0, 0},
+		{"and", 6, 3, 2},
+		{"or", 6, 3, 7},
+		{"xor", 6, 3, 5},
+		{"shl", 1, 4, 16},
+		{"shl", 1, 64, 1}, // masked shift
+		{"shr", 16, 2, 4},
+		{"cmpeq", 5, 5, 1},
+		{"cmpeq", 5, 6, 0},
+		{"cmplt", 5, 6, 1},
+		{"cmplt", 6, 5, 0},
+	}
+	for _, c := range cases {
+		src := `
+func @f(%a, %b) {
+b0:
+  %r = ` + c.op + ` %a, %b
+  ret %r
+}
+`
+		if got := run(t, src, c.a, c.b); got != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUnaryAndCopy(t *testing.T) {
+	src := `
+func @f(%a) {
+b0:
+  %n = neg %a
+  %m = not %n
+  %c = copy %m
+  ret %c
+}
+`
+	if got := run(t, src, 5); got != ^(-5 + 0) {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestBranchesAndPhi(t *testing.T) {
+	src := `
+func @max(%a, %b) {
+b0:
+  %c = cmplt %a, %b
+  if %c -> b1, b2
+b1:
+  br b3
+b2:
+  br b3
+b3:
+  %m = phi [%b, b1], [%a, b2]
+  ret %m
+}
+`
+	if got := run(t, src, 3, 9); got != 9 {
+		t.Errorf("max(3,9) = %d", got)
+	}
+	if got := run(t, src, 9, 3); got != 9 {
+		t.Errorf("max(9,3) = %d", got)
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// sum of 0..n-1 via slots.
+	src := `
+func @sum(%n) {
+b0:
+  slots 2
+  %z = const 0
+  slotstore 0, %z
+  slotstore 1, %z
+  br head
+head:
+  %i = slotload 0
+  %c = cmplt %i, %n
+  if %c -> body, exit
+body:
+  %acc = slotload 1
+  %i2 = slotload 0
+  %acc2 = add %acc, %i2
+  slotstore 1, %acc2
+  %one = const 1
+  %i3 = add %i2, %one
+  slotstore 0, %i3
+  br head
+exit:
+  %r = slotload 1
+  ret %r
+}
+`
+	if got := run(t, src, 5); got != 10 {
+		t.Errorf("sum(5) = %d, want 10", got)
+	}
+	if got := run(t, src, 0); got != 0 {
+		t.Errorf("sum(0) = %d, want 0", got)
+	}
+}
+
+func TestSwitchSemantics(t *testing.T) {
+	src := `
+func @sw(%x) {
+b0:
+  switch %x -> b1, b2, b3
+b1:
+  %r1 = const 10
+  ret %r1
+b2:
+  %r2 = const 20
+  ret %r2
+b3:
+  %r3 = const 30
+  ret %r3
+}
+`
+	for x, want := range map[int64]int64{0: 10, 1: 20, 2: 30, 3: 10, -1: 30, -2: 20} {
+		if got := run(t, src, x); got != want {
+			t.Errorf("sw(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestSimultaneousPhis(t *testing.T) {
+	// The classic swap: both φs must read the values from the previous
+	// iteration, not each other's fresh results.
+	src := `
+func @swap(%n) {
+b0:
+  slots 1
+  %zero = const 0
+  %one = const 1
+  %two = const 2
+  slotstore 0, %zero
+  br head
+head:
+  %a = phi [%one, b0], [%b, latch]
+  %b = phi [%two, b0], [%a, latch]
+  %i = slotload 0
+  %c = cmplt %i, %n
+  if %c -> latch, exit
+latch:
+  %i2 = add %i, %one
+  slotstore 0, %i2
+  br head
+exit:
+  %d = const 10
+  %r = mul %a, %d
+  %r2 = add %r, %b
+  ret %r2
+}
+`
+	// After 0 swaps: a=1 b=2 -> 12; after 1 swap: a=2 b=1 -> 21.
+	if got := run(t, src, 0); got != 12 {
+		t.Errorf("swap(0) = %d, want 12", got)
+	}
+	if got := run(t, src, 1); got != 21 {
+		t.Errorf("swap(1) = %d, want 21", got)
+	}
+	if got := run(t, src, 2); got != 12 {
+		t.Errorf("swap(2) = %d, want 12", got)
+	}
+}
+
+func TestCallsDeterministicAndArgSensitive(t *testing.T) {
+	src := `
+func @c(%a) {
+b0:
+  %r = call @ext, %a
+  ret %r
+}
+`
+	x := run(t, src, 1)
+	y := run(t, src, 1)
+	z := run(t, src, 2)
+	if x != y {
+		t.Fatal("calls must be deterministic")
+	}
+	if x == z {
+		t.Fatal("calls must depend on arguments")
+	}
+	src2 := `
+func @c(%a) {
+b0:
+  %r = call @other, %a
+  ret %r
+}
+`
+	if run(t, src2, 1) == x {
+		t.Fatal("calls must depend on the callee name")
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	src := `
+func @inf() {
+b0:
+  br b1
+b1:
+  br b1
+}
+`
+	f := ir.MustParse(src)
+	_, err := Run(f, nil, Options{MaxSteps: 1000})
+	var fe *ErrFuel
+	if !errors.As(err, &fe) {
+		t.Fatalf("want ErrFuel, got %v", err)
+	}
+	if fe.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func TestTraceAndMissingArgs(t *testing.T) {
+	src := `
+func @t(%a, %b) {
+b0:
+  %s = add %a, %b
+  br b1
+b1:
+  ret %s
+}
+`
+	f := ir.MustParse(src)
+	res, err := Run(f, []int64{7}, Options{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 7 { // missing %b reads 0
+		t.Fatalf("ret = %d, want 7", res.Ret)
+	}
+	if len(res.Trace) != 2 {
+		t.Fatalf("trace = %v", res.Trace)
+	}
+	if res.Steps == 0 {
+		t.Fatal("steps not counted")
+	}
+}
+
+func TestBareRet(t *testing.T) {
+	if got := run(t, "func @v() {\nb0:\n ret\n}"); got != 0 {
+		t.Fatalf("bare ret = %d", got)
+	}
+}

@@ -1,0 +1,66 @@
+package ir
+
+// Clone returns a deep copy of f: fresh blocks and values with identical
+// IDs, ops, aux data, arguments, controls and edges. The copy shares
+// nothing with the original, so passes may destroy one while tests compare
+// against the other.
+func Clone(f *Func) *Func {
+	nf := &Func{
+		Name:        f.Name,
+		NumSlots:    f.NumSlots,
+		nextValueID: f.nextValueID,
+		nextBlockID: f.nextBlockID,
+	}
+	blockMap := make(map[*Block]*Block, len(f.Blocks))
+	valueMap := make(map[*Value]*Value, f.nextValueID)
+	for _, b := range f.Blocks {
+		nb := &Block{
+			ID:   b.ID,
+			Kind: b.Kind,
+			Func: nf,
+			Name: b.Name,
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+		blockMap[b] = nb
+	}
+	// Create values without args first so forward references (φs) resolve.
+	for _, b := range f.Blocks {
+		nb := blockMap[b]
+		for _, v := range b.Values {
+			nv := &Value{
+				ID:     v.ID,
+				Op:     v.Op,
+				Block:  nb,
+				AuxInt: v.AuxInt,
+				AuxStr: v.AuxStr,
+				Name:   v.Name,
+			}
+			nb.Values = append(nb.Values, nv)
+			valueMap[v] = nv
+		}
+	}
+	// Edges preserve cross-indices by construction (same order).
+	for _, b := range f.Blocks {
+		nb := blockMap[b]
+		for _, e := range b.Succs {
+			nb.Succs = append(nb.Succs, Edge{blockMap[e.B], e.I})
+		}
+		for _, e := range b.Preds {
+			nb.Preds = append(nb.Preds, Edge{blockMap[e.B], e.I})
+		}
+	}
+	// Arguments and controls, with use-list maintenance.
+	for _, b := range f.Blocks {
+		nb := blockMap[b]
+		for i, v := range b.Values {
+			nv := nb.Values[i]
+			for _, a := range v.Args {
+				nv.AddArg(valueMap[a])
+			}
+		}
+		if b.Control != nil {
+			nb.SetControl(valueMap[b.Control])
+		}
+	}
+	return nf
+}

@@ -1,0 +1,44 @@
+package ir
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that anything it
+// accepts survives verification and a print/parse round trip.
+// Run the corpus as a plain test with `go test`, or fuzz with
+// `go test -fuzz FuzzParse ./internal/ir`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"func @f() {\nb0:\n ret\n}",
+		"func @f(%a, %b) {\nb0:\n %x = add %a, %b\n ret %x\n}",
+		"func @l(%n) {\nh:\n %i = phi [%n, h]\n br h\n}",
+		"func @s() {\nb0:\n slots 2\n %c = const 1\n slotstore 0, %c\n %l = slotload 0\n ret %l\n}",
+		"func @w(%x) {\nb0:\n switch %x -> b1, b1\nb1:\n %m = phi [%x, b0], [%x, b0]\n ret %m\n}",
+		"func @bad() {\nb0:\n %x = frobnicate\n}",
+		"func @f() {\nb0:\n if %q -> b0, b0\n}",
+		"func @\xff() {}",
+		"func @f() {\nb0: ; preds: b0\n br b0\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fn, err := Parse(src)
+		if err != nil {
+			return // rejected input: fine, as long as there was no panic
+		}
+		// Accepted input must be structurally sound…
+		if err := Verify(fn); err != nil {
+			t.Fatalf("parser accepted unverifiable program: %v\ninput:\n%s", err, src)
+		}
+		// …and printable + reparsable to a fixed point.
+		p1 := Print(fn)
+		fn2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("printed program does not reparse: %v\nprinted:\n%s", err, p1)
+		}
+		if p2 := Print(fn2); p2 != p1 {
+			t.Fatalf("print not a fixed point:\n--- first\n%s\n--- second\n%s", p1, p2)
+		}
+	})
+}

@@ -1,0 +1,424 @@
+// Package ir defines the SSA intermediate representation the liveness
+// engines operate on: functions of basic blocks holding values
+// (instructions), with maintained def-use chains.
+//
+// The representation follows the prerequisites the paper lists in §1:
+//   - a control-flow graph G = (V, E, r) whose entry r has no incoming edge,
+//   - strict SSA (each variable has a single definition that dominates all
+//     its uses),
+//   - def-use chains per variable, cheap to keep current under edits.
+//
+// A "variable" in the paper's sense is simply a *Value with a result here —
+// SSA makes values and variables interchangeable. φ-functions use their
+// arguments at the corresponding predecessor block (paper Definition 1);
+// Value.UseBlockIDs implements exactly that placement.
+//
+// Programs may also exist in non-SSA "slot form" (OpSlotLoad/OpSlotStore on
+// mutable variable slots); package ssa converts slot form into strict SSA.
+package ir
+
+import "fmt"
+
+// Func is a single function: a CFG of blocks. Blocks[0] is the entry.
+type Func struct {
+	Name string
+	// Blocks in creation order; Blocks[0] is the entry block r.
+	Blocks []*Block
+	// NumSlots is the number of mutable variable slots a slot-form program
+	// uses. Pure SSA functions have 0 or simply no slot ops left.
+	NumSlots int
+
+	nextValueID int
+	nextBlockID int
+}
+
+// NewFunc returns an empty function with the given name.
+func NewFunc(name string) *Func { return &Func{Name: name} }
+
+// NewBlock appends a fresh block with the given kind.
+func (f *Func) NewBlock(kind BlockKind) *Block {
+	b := &Block{ID: f.nextBlockID, Kind: kind, Func: f}
+	f.nextBlockID++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// NumValues returns an upper bound on value IDs (IDs are dense in creation
+// order and never reused, so this is the universe size for ID-indexed
+// tables).
+func (f *Func) NumValues() int { return f.nextValueID }
+
+// NumBlocks returns an upper bound on block IDs.
+func (f *Func) NumBlocks() int { return f.nextBlockID }
+
+// Values calls fn for every value in every block, in block and program
+// order.
+func (f *Func) Values(fn func(v *Value)) {
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			fn(v)
+		}
+	}
+}
+
+// ValueByName returns the first value whose Name is name, or nil. Intended
+// for tests and tools working on parsed programs.
+func (f *Func) ValueByName(name string) *Value {
+	var found *Value
+	f.Values(func(v *Value) {
+		if found == nil && v.Name == name {
+			found = v
+		}
+	})
+	return found
+}
+
+// BlockByName returns the block with the given printed name, or nil.
+func (f *Func) BlockByName(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.name() == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Edge is one half of a CFG edge. In Block.Succs, an Edge holds the
+// destination block B and the index I of the reverse entry in B.Preds;
+// in Block.Preds it holds the source block and the index into its Succs.
+// The cross-indices keep φ argument positions stable even with duplicate
+// edges and under edge splitting.
+type Edge struct {
+	B *Block
+	I int
+}
+
+// Block is a basic block: a list of values ended by an implicit terminator
+// described by Kind and Control.
+type Block struct {
+	ID   int
+	Kind BlockKind
+	Func *Func
+	// Name is an optional label (parser-assigned); printing falls back to
+	// b<ID>.
+	Name string
+
+	// Values in program order. All φs must come first.
+	Values []*Value
+
+	// Control is the terminator operand: the condition for BlockIf and
+	// BlockSwitch, the optional result for BlockRet, nil for BlockPlain.
+	Control *Value
+
+	Succs []Edge
+	Preds []Edge
+}
+
+func (b *Block) name() string {
+	if b.Name != "" {
+		return b.Name
+	}
+	return fmt.Sprintf("b%d", b.ID)
+}
+
+// String returns the block's printed label.
+func (b *Block) String() string { return b.name() }
+
+// AddEdgeTo wires a CFG edge from b to c, maintaining cross-indices.
+func (b *Block) AddEdgeTo(c *Block) {
+	i := len(b.Succs)
+	j := len(c.Preds)
+	b.Succs = append(b.Succs, Edge{c, j})
+	c.Preds = append(c.Preds, Edge{b, i})
+}
+
+// NumPreds returns the predecessor count.
+func (b *Block) NumPreds() int { return len(b.Preds) }
+
+// NumSuccs returns the successor count.
+func (b *Block) NumSuccs() int { return len(b.Succs) }
+
+// Phis returns the leading φ values of the block.
+func (b *Block) Phis() []*Value {
+	n := 0
+	for n < len(b.Values) && b.Values[n].Op == OpPhi {
+		n++
+	}
+	return b.Values[:n]
+}
+
+// Use records a single use of a value: either by another value (User != nil,
+// operand position Index) or as a block's control operand (UserBlock !=
+// nil).
+type Use struct {
+	User      *Value
+	Index     int
+	UserBlock *Block
+}
+
+// Value is one SSA value / instruction.
+type Value struct {
+	ID    int
+	Op    Op
+	Block *Block
+	Args  []*Value
+
+	// AuxInt carries the constant for OpConst, the parameter index for
+	// OpParam and the slot number for slot ops.
+	AuxInt int64
+	// AuxStr carries the callee name for OpCall.
+	AuxStr string
+	// Name is an optional human-readable name used by the printer/parser
+	// (e.g. the pre-SSA variable it came from, "x3").
+	Name string
+
+	uses []Use
+}
+
+// String returns the printed operand name of the value.
+func (v *Value) String() string {
+	if v == nil {
+		return "%<nil>"
+	}
+	if v.Name != "" {
+		return "%" + v.Name
+	}
+	return fmt.Sprintf("%%v%d", v.ID)
+}
+
+// NewValue appends a value with the given op and arguments to b.
+func (b *Block) NewValue(op Op, args ...*Value) *Value {
+	return b.NewValueAux(op, 0, "", args...)
+}
+
+// NewValueI appends a value carrying AuxInt.
+func (b *Block) NewValueI(op Op, auxInt int64, args ...*Value) *Value {
+	return b.NewValueAux(op, auxInt, "", args...)
+}
+
+// NewValueAux appends a value with explicit aux fields.
+func (b *Block) NewValueAux(op Op, auxInt int64, auxStr string, args ...*Value) *Value {
+	v := b.newDetached(op, auxInt, auxStr, args...)
+	b.Values = append(b.Values, v)
+	return v
+}
+
+// newDetached allocates a value owned by b but not yet placed in b.Values.
+func (b *Block) newDetached(op Op, auxInt int64, auxStr string, args ...*Value) *Value {
+	f := b.Func
+	v := &Value{ID: f.nextValueID, Op: op, Block: b, AuxInt: auxInt, AuxStr: auxStr}
+	f.nextValueID++
+	for _, a := range args {
+		v.AddArg(a)
+	}
+	return v
+}
+
+// InsertValueFront places a new value at the front of the block, before any
+// existing values — used for φ insertion, which must precede ordinary
+// values.
+func (b *Block) InsertValueFront(op Op, args ...*Value) *Value {
+	v := b.newDetached(op, 0, "", args...)
+	b.Values = append(b.Values, nil)
+	copy(b.Values[1:], b.Values)
+	b.Values[0] = v
+	return v
+}
+
+// InsertValueAfterPhis places a new value right after the block's φs.
+func (b *Block) InsertValueAfterPhis(op Op, args ...*Value) *Value {
+	v := b.newDetached(op, 0, "", args...)
+	n := len(b.Phis())
+	b.Values = append(b.Values, nil)
+	copy(b.Values[n+1:], b.Values[n:])
+	b.Values[n] = v
+	return v
+}
+
+// AddArg appends a to v's arguments and records the use.
+func (v *Value) AddArg(a *Value) {
+	if a == nil {
+		panic("ir: nil argument")
+	}
+	if a.Block == nil {
+		panic("ir: argument " + a.String() + " is detached (removed from its block)")
+	}
+	a.uses = append(a.uses, Use{User: v, Index: len(v.Args)})
+	v.Args = append(v.Args, a)
+}
+
+// SetArg replaces argument i with a, updating use lists.
+func (v *Value) SetArg(i int, a *Value) {
+	if a.Block == nil {
+		panic("ir: argument " + a.String() + " is detached (removed from its block)")
+	}
+	old := v.Args[i]
+	old.removeUse(Use{User: v, Index: i})
+	v.Args[i] = a
+	a.uses = append(a.uses, Use{User: v, Index: i})
+}
+
+// ClearArgs removes all of v's arguments, maintaining use lists. Passes use
+// it to unlink values (e.g. dead φ webs) before removal.
+func (v *Value) ClearArgs() { v.resetArgs() }
+
+// resetArgs removes all of v's argument use records and clears Args.
+func (v *Value) resetArgs() {
+	for i, a := range v.Args {
+		a.removeUse(Use{User: v, Index: i})
+	}
+	v.Args = v.Args[:0]
+}
+
+func (a *Value) removeUse(u Use) {
+	for i, x := range a.uses {
+		if x.User == u.User && x.Index == u.Index && x.UserBlock == u.UserBlock {
+			a.uses[i] = a.uses[len(a.uses)-1]
+			a.uses = a.uses[:len(a.uses)-1]
+			return
+		}
+	}
+	panic("ir: use record not found for " + a.String())
+}
+
+// SetControl sets b's control operand, maintaining the operand's use list.
+func (b *Block) SetControl(v *Value) {
+	if b.Control != nil {
+		b.Control.removeUse(Use{UserBlock: b})
+	}
+	b.Control = v
+	if v != nil {
+		v.uses = append(v.uses, Use{UserBlock: b})
+	}
+}
+
+// Uses returns the current use records of v. The slice aliases internal
+// storage and is invalidated by mutations.
+func (v *Value) Uses() []Use { return v.uses }
+
+// NumUses returns how many places use v.
+func (v *Value) NumUses() int { return len(v.uses) }
+
+// UseBlockIDs appends to dst the IDs of the blocks where v is used,
+// following paper Definition 1: a non-φ use at the user's block, a φ use at
+// the φ block's corresponding predecessor, a control use at the controlling
+// block. Duplicates are possible; callers that need distinct blocks dedup.
+func (v *Value) UseBlockIDs(dst []int) []int {
+	for _, u := range v.uses {
+		switch {
+		case u.UserBlock != nil:
+			dst = append(dst, u.UserBlock.ID)
+		case u.User.Op == OpPhi:
+			dst = append(dst, u.User.Block.Preds[u.Index].B.ID)
+		default:
+			dst = append(dst, u.User.Block.ID)
+		}
+	}
+	return dst
+}
+
+// ReplaceUsesWith rewrites every use of v to use w instead.
+func (v *Value) ReplaceUsesWith(w *Value) {
+	if v == w {
+		return
+	}
+	for len(v.uses) > 0 {
+		u := v.uses[len(v.uses)-1]
+		if u.UserBlock != nil {
+			u.UserBlock.SetControl(w)
+		} else {
+			u.User.SetArg(u.Index, w)
+		}
+	}
+}
+
+// RemoveValue deletes v from its block. v must have no remaining uses.
+func (b *Block) RemoveValue(v *Value) {
+	if len(v.uses) != 0 {
+		panic("ir: removing value that still has uses: " + v.String())
+	}
+	v.resetArgs()
+	for i, x := range b.Values {
+		if x == v {
+			copy(b.Values[i:], b.Values[i+1:])
+			b.Values = b.Values[:len(b.Values)-1]
+			v.Block = nil
+			return
+		}
+	}
+	panic("ir: value not found in its block")
+}
+
+// ValueIndex returns v's position within its block, or -1.
+func (b *Block) ValueIndex(v *Value) int {
+	for i, x := range b.Values {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// SplitEdge splits the CFG edge b.Succs[si], inserting and returning a new
+// BlockPlain block. φ argument positions in the destination are preserved
+// because the destination's pred slot is reused in place. Splitting critical
+// edges before SSA destruction avoids the classic lost-copy and swap
+// problems.
+func (b *Block) SplitEdge(si int) *Block {
+	c := b.Succs[si].B
+	pi := b.Succs[si].I
+	e := b.Func.NewBlock(BlockPlain)
+	b.Succs[si] = Edge{e, 0}
+	e.Preds = []Edge{{b, si}}
+	e.Succs = []Edge{{c, pi}}
+	c.Preds[pi] = Edge{e, 0}
+	return e
+}
+
+// SplitCriticalEdges splits every edge whose source has multiple successors
+// and whose destination has multiple predecessors. It returns the number of
+// edges split.
+func (f *Func) SplitCriticalEdges() int {
+	n := 0
+	for _, b := range f.Blocks {
+		if len(b.Succs) < 2 {
+			continue
+		}
+		for si := 0; si < len(b.Succs); si++ {
+			if len(b.Succs[si].B.Preds) >= 2 {
+				b.SplitEdge(si)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// RemoveBlock deletes an empty, fully disconnected block from the function.
+func (f *Func) RemoveBlock(b *Block) {
+	if len(b.Preds) != 0 || len(b.Succs) != 0 || len(b.Values) != 0 || b.Control != nil {
+		panic("ir: RemoveBlock on a block that is still wired or non-empty")
+	}
+	for i, x := range f.Blocks {
+		if x == b {
+			copy(f.Blocks[i:], f.Blocks[i+1:])
+			f.Blocks = f.Blocks[:len(f.Blocks)-1]
+			return
+		}
+	}
+	panic("ir: block not in function")
+}
+
+// Params returns the OpParam values of the entry block in parameter order.
+func (f *Func) Params() []*Value {
+	var ps []*Value
+	for _, v := range f.Entry().Values {
+		if v.Op == OpParam {
+			ps = append(ps, v)
+		}
+	}
+	return ps
+}

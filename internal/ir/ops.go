@@ -1,0 +1,147 @@
+package ir
+
+import "fmt"
+
+// Op identifies the operation a Value performs.
+type Op uint8
+
+// The operation set is deliberately small: the liveness algorithms only care
+// about which values an instruction defines and uses, so a handful of
+// arithmetic, memory-slot, control and φ operations suffice to express every
+// CFG/def-use shape the paper's evaluation exercises.
+const (
+	OpInvalid Op = iota
+
+	// OpParam is a function parameter; it lives in the entry block and takes
+	// AuxInt = parameter index.
+	OpParam
+	// OpConst produces the constant AuxInt.
+	OpConst
+
+	// Pure arithmetic. Division and modulo by zero evaluate to zero (the
+	// interpreter defines total semantics so generated programs never trap).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpNeg
+	OpNot
+
+	// OpCmpEQ / OpCmpLT produce 1 or 0.
+	OpCmpEQ
+	OpCmpLT
+
+	// OpCopy forwards its argument; SSA destruction introduces these.
+	OpCopy
+
+	// OpPhi selects among its arguments by incoming edge: argument i
+	// corresponds to Block.Preds[i] (paper Definition 1).
+	OpPhi
+
+	// OpCall models an opaque pure call. AuxStr names the callee; the
+	// interpreter hashes the arguments so calls are deterministic but
+	// unpredictable. It keeps multi-use values realistic.
+	OpCall
+
+	// OpSlotLoad / OpSlotStore access mutable variable slots (AuxInt = slot
+	// number). They exist only in non-SSA "slot form" programs; SSA
+	// construction removes every one of them. OpSlotStore stores Args[0]
+	// and produces no result.
+	OpSlotLoad
+	OpSlotStore
+)
+
+type opInfo struct {
+	name      string
+	argLen    int  // -1 = variable
+	hasResult bool // defines a value usable by others
+	hasAuxInt bool
+	hasAuxStr bool
+}
+
+var opTable = [...]opInfo{
+	OpInvalid:   {name: "invalid"},
+	OpParam:     {name: "param", argLen: 0, hasResult: true, hasAuxInt: true},
+	OpConst:     {name: "const", argLen: 0, hasResult: true, hasAuxInt: true},
+	OpAdd:       {name: "add", argLen: 2, hasResult: true},
+	OpSub:       {name: "sub", argLen: 2, hasResult: true},
+	OpMul:       {name: "mul", argLen: 2, hasResult: true},
+	OpDiv:       {name: "div", argLen: 2, hasResult: true},
+	OpMod:       {name: "mod", argLen: 2, hasResult: true},
+	OpAnd:       {name: "and", argLen: 2, hasResult: true},
+	OpOr:        {name: "or", argLen: 2, hasResult: true},
+	OpXor:       {name: "xor", argLen: 2, hasResult: true},
+	OpShl:       {name: "shl", argLen: 2, hasResult: true},
+	OpShr:       {name: "shr", argLen: 2, hasResult: true},
+	OpNeg:       {name: "neg", argLen: 1, hasResult: true},
+	OpNot:       {name: "not", argLen: 1, hasResult: true},
+	OpCmpEQ:     {name: "cmpeq", argLen: 2, hasResult: true},
+	OpCmpLT:     {name: "cmplt", argLen: 2, hasResult: true},
+	OpCopy:      {name: "copy", argLen: 1, hasResult: true},
+	OpPhi:       {name: "phi", argLen: -1, hasResult: true},
+	OpCall:      {name: "call", argLen: -1, hasResult: true, hasAuxStr: true},
+	OpSlotLoad:  {name: "slotload", argLen: 0, hasResult: true, hasAuxInt: true},
+	OpSlotStore: {name: "slotstore", argLen: 1, hasAuxInt: true},
+}
+
+// String returns the lower-case mnemonic of the op.
+func (op Op) String() string {
+	if int(op) < len(opTable) {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// HasResult reports whether values with this op define a usable result.
+func (op Op) HasResult() bool { return opTable[op].hasResult }
+
+// ArgLen returns the required argument count, or -1 when variable.
+func (op Op) ArgLen() int { return opTable[op].argLen }
+
+// OpByName maps a mnemonic back to its Op; it returns OpInvalid for unknown
+// names. The parser uses it.
+func OpByName(name string) Op {
+	for op, info := range opTable {
+		if info.name == name && Op(op) != OpInvalid {
+			return Op(op)
+		}
+	}
+	return OpInvalid
+}
+
+// BlockKind describes how a block transfers control.
+type BlockKind uint8
+
+const (
+	// BlockPlain has exactly one successor and no control value.
+	BlockPlain BlockKind = iota
+	// BlockIf has exactly two successors (then, else) selected by whether
+	// the control value is non-zero.
+	BlockIf
+	// BlockSwitch has one or more successors; the control value selects
+	// successor control mod len(Succs).
+	BlockSwitch
+	// BlockRet has no successors; the optional control value is the result.
+	BlockRet
+)
+
+// String returns the lower-case kind name.
+func (k BlockKind) String() string {
+	switch k {
+	case BlockPlain:
+		return "plain"
+	case BlockIf:
+		return "if"
+	case BlockSwitch:
+		return "switch"
+	case BlockRet:
+		return "ret"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}

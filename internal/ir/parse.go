@@ -1,0 +1,485 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a function in the textual format produced by Print. Everything
+// after ';' on a line is a comment. The first labeled block is the entry.
+// φ arguments are matched to predecessors by block label, so the textual
+// order of φ operands does not need to match edge order.
+func Parse(src string) (*Func, error) {
+	p := &parser{
+		vals:   map[string]*Value{},
+		blocks: map[string]*Block{},
+	}
+	if err := p.run(src); err != nil {
+		return nil, err
+	}
+	return p.f, nil
+}
+
+// MustParse is Parse for tests and examples with known-good sources.
+func MustParse(src string) *Func {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type phiOperand struct {
+	valName   string
+	blockName string
+}
+
+type valueFixup struct {
+	v    *Value
+	ln   int
+	args []string     // non-φ operand names (without %)
+	phi  []phiOperand // φ operands
+}
+
+type termFixup struct {
+	b       *Block
+	ln      int
+	kind    BlockKind
+	control string // value name or ""
+	succs   []string
+}
+
+type parser struct {
+	f      *Func
+	vals   map[string]*Value
+	blocks map[string]*Block
+	cur    *Block
+	vfix   []valueFixup
+	tfix   []termFixup
+	params []string
+}
+
+func (p *parser) errf(ln int, format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", ln, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) run(src string) error {
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		ln := i + 1
+		line := raw
+		if j := strings.IndexByte(line, ';'); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "func "):
+			if p.f != nil {
+				return p.errf(ln, "duplicate func header")
+			}
+			if err := p.header(ln, line); err != nil {
+				return err
+			}
+		case line == "}":
+			// end of function; ignore trailing content
+		case strings.HasPrefix(line, "slots "):
+			if p.f == nil {
+				return p.errf(ln, "slots before func header")
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "slots ")))
+			if err != nil || n < 0 {
+				return p.errf(ln, "bad slot count %q", line)
+			}
+			p.f.NumSlots = n
+		case strings.HasSuffix(line, ":"):
+			if p.f == nil {
+				return p.errf(ln, "block label before func header")
+			}
+			name := strings.TrimSuffix(line, ":")
+			if !validLabel(name) {
+				return p.errf(ln, "bad block label %q", name)
+			}
+			if p.blocks[name] != nil {
+				return p.errf(ln, "duplicate block label %q", name)
+			}
+			// Kind is provisional; the terminator line fixes it.
+			b := p.f.NewBlock(BlockRet)
+			b.Name = name
+			p.blocks[name] = b
+			if len(p.f.Blocks) == 1 {
+				p.defineParams(b)
+			}
+			p.cur = b
+		default:
+			if p.f == nil {
+				return p.errf(ln, "instruction before func header")
+			}
+			if p.cur == nil {
+				return p.errf(ln, "instruction outside any block")
+			}
+			if err := p.instruction(ln, line); err != nil {
+				return err
+			}
+		}
+	}
+	if p.f == nil {
+		return fmt.Errorf("no func header found")
+	}
+	if len(p.f.Blocks) == 0 {
+		return fmt.Errorf("function %s has no blocks", p.f.Name)
+	}
+	return p.link()
+}
+
+func (p *parser) header(ln int, line string) error {
+	rest := strings.TrimPrefix(line, "func ")
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "@") {
+		return p.errf(ln, "function name must start with @")
+	}
+	open := strings.IndexByte(rest, '(')
+	closeIdx := strings.LastIndexByte(rest, ')')
+	if open < 0 || closeIdx < open {
+		return p.errf(ln, "malformed func header %q", line)
+	}
+	name := strings.TrimSpace(rest[1:open])
+	if name == "" {
+		return p.errf(ln, "empty function name")
+	}
+	p.f = NewFunc(name)
+	paramsStr := strings.TrimSpace(rest[open+1 : closeIdx])
+	if paramsStr != "" {
+		for _, ps := range strings.Split(paramsStr, ",") {
+			ps = strings.TrimSpace(ps)
+			vn, ok := operandName(ps)
+			if !ok {
+				return p.errf(ln, "bad parameter %q", ps)
+			}
+			p.params = append(p.params, vn)
+		}
+	}
+	return nil
+}
+
+func (p *parser) defineParams(entry *Block) {
+	for i, name := range p.params {
+		v := entry.NewValueI(OpParam, int64(i))
+		v.Name = name
+		p.vals[name] = v
+	}
+}
+
+// instruction parses a value line or terminator line inside p.cur.
+func (p *parser) instruction(ln int, line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "br":
+		if len(fields) != 2 {
+			return p.errf(ln, "br wants one target")
+		}
+		p.tfix = append(p.tfix, termFixup{b: p.cur, ln: ln, kind: BlockPlain, succs: fields[1:]})
+		p.cur = nil
+		return nil
+	case "if", "switch":
+		// if %v -> a, b      switch %v -> a, b, c
+		arrow := strings.Index(line, "->")
+		if arrow < 0 {
+			return p.errf(ln, "%s needs '->'", fields[0])
+		}
+		ctrl, ok := operandName(strings.TrimSpace(line[len(fields[0]):arrow]))
+		if !ok {
+			return p.errf(ln, "%s needs a %%value control", fields[0])
+		}
+		var succs []string
+		for _, s := range strings.Split(line[arrow+2:], ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				return p.errf(ln, "empty successor label")
+			}
+			succs = append(succs, s)
+		}
+		kind := BlockIf
+		if fields[0] == "switch" {
+			kind = BlockSwitch
+		} else if len(succs) != 2 {
+			return p.errf(ln, "if wants exactly two targets")
+		}
+		p.tfix = append(p.tfix, termFixup{b: p.cur, ln: ln, kind: kind, control: ctrl, succs: succs})
+		p.cur = nil
+		return nil
+	case "ret":
+		t := termFixup{b: p.cur, ln: ln, kind: BlockRet}
+		if len(fields) == 2 {
+			vn, ok := operandName(fields[1])
+			if !ok {
+				return p.errf(ln, "bad ret operand %q", fields[1])
+			}
+			t.control = vn
+		} else if len(fields) > 2 {
+			return p.errf(ln, "ret wants at most one operand")
+		}
+		p.tfix = append(p.tfix, t)
+		p.cur = nil
+		return nil
+	case "slotstore":
+		// slotstore N, %v
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "slotstore"))
+		parts := strings.SplitN(rest, ",", 2)
+		if len(parts) != 2 {
+			return p.errf(ln, "slotstore wants 'slot, %%value'")
+		}
+		slot, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+		if err != nil {
+			return p.errf(ln, "bad slot number %q", parts[0])
+		}
+		vn, ok := operandName(strings.TrimSpace(parts[1]))
+		if !ok {
+			return p.errf(ln, "bad slotstore operand %q", parts[1])
+		}
+		v := p.cur.NewValueI(OpSlotStore, slot)
+		p.vfix = append(p.vfix, valueFixup{v: v, ln: ln, args: []string{vn}})
+		return nil
+	}
+
+	// %name = op ...
+	eq := strings.Index(line, "=")
+	if !strings.HasPrefix(fields[0], "%") || eq < 0 {
+		return p.errf(ln, "cannot parse instruction %q", line)
+	}
+	resName, ok := operandName(strings.TrimSpace(line[:eq]))
+	if !ok {
+		return p.errf(ln, "bad result name %q", line[:eq])
+	}
+	if p.vals[resName] != nil {
+		return p.errf(ln, "duplicate value name %%%s", resName)
+	}
+	rhs := strings.TrimSpace(line[eq+1:])
+	rf := strings.Fields(rhs)
+	if len(rf) == 0 {
+		return p.errf(ln, "missing op after '='")
+	}
+	op := OpByName(rf[0])
+	if op == OpInvalid || op == OpSlotStore {
+		return p.errf(ln, "unknown op %q", rf[0])
+	}
+	if !op.HasResult() {
+		return p.errf(ln, "op %s produces no result", op)
+	}
+	operands := strings.TrimSpace(rhs[len(rf[0]):])
+	var v *Value
+	fix := valueFixup{ln: ln}
+	switch op {
+	case OpConst, OpParam, OpSlotLoad:
+		n, err := strconv.ParseInt(operands, 10, 64)
+		if err != nil {
+			return p.errf(ln, "%s wants an integer, got %q", op, operands)
+		}
+		v = p.cur.NewValueI(op, n)
+	case OpPhi:
+		v = p.cur.NewValue(OpPhi)
+		ops, err := parsePhiOperands(operands)
+		if err != nil {
+			return p.errf(ln, "%v", err)
+		}
+		fix.phi = ops
+	case OpCall:
+		parts := splitOperands(operands)
+		if len(parts) == 0 || !strings.HasPrefix(parts[0], "@") {
+			return p.errf(ln, "call wants '@callee[, args...]'")
+		}
+		v = p.cur.NewValueAux(OpCall, 0, strings.TrimPrefix(parts[0], "@"))
+		for _, a := range parts[1:] {
+			vn, ok := operandName(a)
+			if !ok {
+				return p.errf(ln, "bad call operand %q", a)
+			}
+			fix.args = append(fix.args, vn)
+		}
+	default:
+		v = p.cur.NewValue(op)
+		for _, a := range splitOperands(operands) {
+			vn, ok := operandName(a)
+			if !ok {
+				return p.errf(ln, "bad operand %q", a)
+			}
+			fix.args = append(fix.args, vn)
+		}
+		if want := op.ArgLen(); want >= 0 && len(fix.args) != want {
+			return p.errf(ln, "%s wants %d operands, got %d", op, want, len(fix.args))
+		}
+	}
+	v.Name = resName
+	p.vals[resName] = v
+	fix.v = v
+	p.vfix = append(p.vfix, fix)
+	return nil
+}
+
+// link builds edges, resolves controls and patches value arguments.
+func (p *parser) link() error {
+	// Every block needs a terminator record.
+	seen := map[*Block]bool{}
+	for _, t := range p.tfix {
+		seen[t.b] = true
+	}
+	for _, b := range p.f.Blocks {
+		if !seen[b] {
+			return fmt.Errorf("block %s has no terminator", b)
+		}
+	}
+
+	// Edges first (in terminator order so φ pred indices are meaningful).
+	entry := p.f.Entry()
+	for _, t := range p.tfix {
+		t.b.Kind = t.kind
+		for _, s := range t.succs {
+			tb := p.blocks[s]
+			if tb == nil {
+				return p.errf(t.ln, "unknown block label %q", s)
+			}
+			if tb == entry {
+				// The paper's CFG definition (§2.1): the entry r has no
+				// incoming edge; parsed programs must satisfy it so that
+				// every accepted program verifies.
+				return p.errf(t.ln, "edge into the entry block %s", entry)
+			}
+			t.b.AddEdgeTo(tb)
+		}
+	}
+	// Controls.
+	for _, t := range p.tfix {
+		if t.control == "" {
+			continue
+		}
+		cv := p.vals[t.control]
+		if cv == nil {
+			return p.errf(t.ln, "unknown value %%%s", t.control)
+		}
+		t.b.SetControl(cv)
+	}
+	// Value arguments.
+	for _, fx := range p.vfix {
+		if fx.v.Op == OpPhi {
+			if err := p.linkPhi(fx); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, an := range fx.args {
+			av := p.vals[an]
+			if av == nil {
+				return p.errf(fx.ln, "unknown value %%%s", an)
+			}
+			fx.v.AddArg(av)
+		}
+	}
+	return nil
+}
+
+// linkPhi orders φ operands to match the block's predecessor order, matching
+// by block label and consuming duplicates in textual order.
+func (p *parser) linkPhi(fx valueFixup) error {
+	b := fx.v.Block
+	if len(fx.phi) != len(b.Preds) {
+		return p.errf(fx.ln, "φ %s has %d operands for %d predecessors",
+			fx.v, len(fx.phi), len(b.Preds))
+	}
+	used := make([]bool, len(fx.phi))
+	for _, pe := range b.Preds {
+		found := -1
+		for i, op := range fx.phi {
+			if !used[i] && op.blockName == pe.B.name() {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return p.errf(fx.ln, "φ %s has no operand for predecessor %s", fx.v, pe.B)
+		}
+		used[found] = true
+		av := p.vals[fx.phi[found].valName]
+		if av == nil {
+			return p.errf(fx.ln, "unknown value %%%s", fx.phi[found].valName)
+		}
+		fx.v.AddArg(av)
+	}
+	return nil
+}
+
+// parsePhiOperands parses "[%a, b0], [%b, b1]".
+func parsePhiOperands(s string) ([]phiOperand, error) {
+	var out []phiOperand
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if !strings.HasPrefix(s, "[") {
+			return nil, fmt.Errorf("φ operand must start with '[': %q", s)
+		}
+		end := strings.IndexByte(s, ']')
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated φ operand: %q", s)
+		}
+		inner := s[1:end]
+		parts := strings.Split(inner, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("φ operand wants '[%%v, block]': %q", inner)
+		}
+		vn, ok := operandName(strings.TrimSpace(parts[0]))
+		if !ok {
+			return nil, fmt.Errorf("bad φ value %q", parts[0])
+		}
+		bn := strings.TrimSpace(parts[1])
+		if !validLabel(bn) {
+			return nil, fmt.Errorf("bad φ block label %q", bn)
+		}
+		out = append(out, phiOperand{valName: vn, blockName: bn})
+		s = strings.TrimSpace(s[end+1:])
+		s = strings.TrimPrefix(s, ",")
+		s = strings.TrimSpace(s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("φ needs at least one operand")
+	}
+	return out, nil
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// operandName strips the leading % and validates the identifier.
+func operandName(s string) (string, bool) {
+	if !strings.HasPrefix(s, "%") {
+		return "", false
+	}
+	name := s[1:]
+	if name == "" || !validLabel(name) {
+		return "", false
+	}
+	return name, true
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		ok := r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,240 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const loopSrc = `
+func @loop(%n) {
+entry:
+  %zero = const 0
+  %one = const 1
+  br head
+head: ; preds: entry, body
+  %i = phi [%zero, entry], [%inext, body]
+  %cmp = cmplt %i, %n
+  if %cmp -> body, exit
+body:
+  %inext = add %i, %one
+  br head
+exit:
+  ret %i
+}
+`
+
+func TestParseLoop(t *testing.T) {
+	f, err := Parse(loopSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if f.Name != "loop" {
+		t.Fatalf("name = %q", f.Name)
+	}
+	if len(f.Blocks) != 4 {
+		t.Fatalf("blocks = %d", len(f.Blocks))
+	}
+	head := f.BlockByName("head")
+	if head == nil || head.Kind != BlockIf {
+		t.Fatalf("head missing or wrong kind")
+	}
+	phi := f.ValueByName("i")
+	if phi == nil || phi.Op != OpPhi || len(phi.Args) != 2 {
+		t.Fatalf("φ i malformed: %v", phi)
+	}
+	// φ argument order must match predecessor order.
+	for i, pe := range head.Preds {
+		arg := phi.Args[i]
+		switch pe.B.Name {
+		case "entry":
+			if arg.Name != "zero" {
+				t.Fatalf("φ arg for entry = %s", arg)
+			}
+		case "body":
+			if arg.Name != "inext" {
+				t.Fatalf("φ arg for body = %s", arg)
+			}
+		default:
+			t.Fatalf("unexpected pred %s", pe.B)
+		}
+	}
+	if got := len(f.Params()); got != 1 {
+		t.Fatalf("params = %d", got)
+	}
+}
+
+func TestPhiOperandOrderIndependent(t *testing.T) {
+	// Same function but φ operands written in the opposite textual order.
+	swapped := strings.Replace(loopSrc,
+		"phi [%zero, entry], [%inext, body]",
+		"phi [%inext, body], [%zero, entry]", 1)
+	f := MustParse(swapped)
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	head := f.BlockByName("head")
+	phi := f.ValueByName("i")
+	for i, pe := range head.Preds {
+		want := map[string]string{"entry": "zero", "body": "inext"}[pe.B.Name]
+		if phi.Args[i].Name != want {
+			t.Fatalf("pred %s: φ arg = %s, want %%%s", pe.B, phi.Args[i], want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		loopSrc,
+		`
+func @straight(%a, %b) {
+b0:
+  %s = add %a, %b
+  %t = mul %s, %s
+  %u = call @opaque, %t, %a
+  ret %u
+}
+`,
+		`
+func @switches(%x) {
+b0:
+  switch %x -> b1, b2, b3
+b1:
+  br b4
+b2:
+  br b4
+b3:
+  br b4
+b4:
+  %m = phi [%x, b1], [%x, b2], [%x, b3]
+  ret %m
+}
+`,
+		`
+func @slots() {
+b0:
+  slots 2
+  %c = const 7
+  slotstore 0, %c
+  %l = slotload 0
+  slotstore 1, %l
+  ret %l
+}
+`,
+		`
+func @noretval() {
+b0:
+  ret
+}
+`,
+	}
+	for _, src := range srcs {
+		f1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse 1: %v\n%s", err, src)
+		}
+		if err := Verify(f1); err != nil {
+			t.Fatalf("verify 1: %v\n%s", err, src)
+		}
+		p1 := Print(f1)
+		f2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("parse 2: %v\nprinted:\n%s", err, p1)
+		}
+		if err := Verify(f2); err != nil {
+			t.Fatalf("verify 2: %v", err)
+		}
+		p2 := Print(f2)
+		if p1 != p2 {
+			t.Fatalf("round trip not stable:\n--- first\n%s\n--- second\n%s", p1, p2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no header", "b0:\n ret\n", "before func header"},
+		{"no blocks", "func @f() {\n}\n", "no blocks"},
+		{"dup label", "func @f() {\nb0:\n ret\nb0:\n ret\n}", "duplicate block label"},
+		{"dup value", "func @f() {\nb0:\n %x = const 1\n %x = const 2\n ret\n}", "duplicate value name"},
+		{"unknown op", "func @f() {\nb0:\n %x = frobnicate 1\n ret\n}", "unknown op"},
+		{"unknown value", "func @f() {\nb0:\n %x = copy %y\n ret\n}", "unknown value"},
+		{"unknown target", "func @f() {\nb0:\n br nowhere\n}", "unknown block label"},
+		{"no terminator", "func @f() {\nb0:\n %x = const 1\n}", "no terminator"},
+		{"if arity", "func @f() {\nb0:\n %x = const 1\n if %x -> b0\n}", "exactly two targets"},
+		{"phi arity", "func @f(%a) {\nb0:\n br b1\nb1:\n %p = phi [%a, b0], [%a, b9]\n ret\n}", "φ"},
+		{"bad slot", "func @f() {\nb0:\n slots x\n ret\n}", "bad slot"},
+		{"add arity", "func @f(%a) {\nb0:\n %x = add %a\n ret\n}", "wants 2 operands"},
+		{"bad operand", "func @f() {\nb0:\n %x = copy 17\n ret\n}", "bad operand"},
+		{"slotstore form", "func @f() {\nb0:\n slotstore 0\n ret\n}", "slotstore wants"},
+		{"assign to slotstore", "func @f(%a) {\nb0:\n %x = slotstore 0, %a\n ret\n}", "unknown op"},
+		{"double header", "func @f() {\nfunc @g() {\nb0:\n ret\n}", "duplicate func header"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error containing %q, got success", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseCommentsAndWhitespace(t *testing.T) {
+	src := `
+ ; leading comment
+func @c() {   ; trailing comment
+b0:           ; preds: none
+  %x = const 5 ; five
+  ret %x
+}
+`
+	f := MustParse(src)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	if f.ValueByName("x").AuxInt != 5 {
+		t.Fatal("const not parsed")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not a function")
+}
+
+func TestParseDuplicateEdgePhiByLabel(t *testing.T) {
+	// A switch with two cases to the same target: the φ has two operands
+	// labeled with the same block; textual order disambiguates.
+	src := `
+func @dup(%x) {
+b0:
+  %a = const 10
+  %b = const 20
+  switch %x -> b1, b1
+b1:
+  %m = phi [%a, b0], [%b, b0]
+  ret %m
+}
+`
+	f := MustParse(src)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	m := f.ValueByName("m")
+	if m.Args[0].Name != "a" || m.Args[1].Name != "b" {
+		t.Fatalf("duplicate-edge φ args = %s, %s", m.Args[0], m.Args[1])
+	}
+}

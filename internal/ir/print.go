@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders f in the textual format accepted by Parse:
+//
+//	func @name(%p, %q) {
+//	b0:
+//	  %x = add %p, %q
+//	  if %x -> b1, b2
+//	b1:                       ; preds: b0
+//	  %y = phi [%x, b0], [%z, b3]
+//	  ret %y
+//	}
+//
+// Every value prints with a stable operand name (Name if set, else v<ID>).
+func Print(f *Func) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func @%s(", f.Name)
+	for i, p := range f.Params() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.String())
+	}
+	sb.WriteString(") {\n")
+	if f.NumSlots > 0 {
+		fmt.Fprintf(&sb, "  slots %d\n", f.NumSlots)
+	}
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:", b)
+		if len(b.Preds) > 0 {
+			sb.WriteString(" ; preds:")
+			for _, e := range b.Preds {
+				sb.WriteString(" ")
+				sb.WriteString(e.B.String())
+			}
+		}
+		sb.WriteString("\n")
+		for _, v := range b.Values {
+			if v.Op == OpParam {
+				// Parameters are printed in the function header.
+				continue
+			}
+			sb.WriteString("  ")
+			sb.WriteString(valueString(v))
+			sb.WriteString("\n")
+		}
+		sb.WriteString("  ")
+		sb.WriteString(terminatorString(b))
+		sb.WriteString("\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func valueString(v *Value) string {
+	var sb strings.Builder
+	if v.Op.HasResult() {
+		fmt.Fprintf(&sb, "%s = ", v)
+	}
+	sb.WriteString(v.Op.String())
+	switch v.Op {
+	case OpPhi:
+		for i, a := range v.Args {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " [%s, %s]", a, v.Block.Preds[i].B)
+		}
+	case OpConst, OpParam, OpSlotLoad:
+		fmt.Fprintf(&sb, " %d", v.AuxInt)
+	case OpSlotStore:
+		fmt.Fprintf(&sb, " %d, %s", v.AuxInt, v.Args[0])
+	case OpCall:
+		fmt.Fprintf(&sb, " @%s", v.AuxStr)
+		for _, a := range v.Args {
+			fmt.Fprintf(&sb, ", %s", a)
+		}
+	default:
+		for i, a := range v.Args {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " %s", a)
+		}
+	}
+	return sb.String()
+}
+
+func terminatorString(b *Block) string {
+	switch b.Kind {
+	case BlockPlain:
+		return fmt.Sprintf("br %s", b.Succs[0].B)
+	case BlockIf:
+		return fmt.Sprintf("if %s -> %s, %s", b.Control, b.Succs[0].B, b.Succs[1].B)
+	case BlockSwitch:
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "switch %s ->", b.Control)
+		for i, e := range b.Succs {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " %s", e.B)
+		}
+		return sb.String()
+	case BlockRet:
+		if b.Control != nil {
+			return fmt.Sprintf("ret %s", b.Control)
+		}
+		return "ret"
+	}
+	return "???"
+}

@@ -1,0 +1,204 @@
+package ir
+
+import "fmt"
+
+// Verify checks the structural invariants of f and returns the first
+// violation found, or nil. It does not check SSA strictness (definition
+// dominates use); that needs a dominator tree and lives in package ssa.
+//
+// Invariants checked:
+//   - the entry block has no predecessors (the paper's r),
+//   - block kind matches successor arity and control presence,
+//   - edge cross-indices are mutually consistent,
+//   - φs come first in their block and have one argument per predecessor,
+//   - fixed-arity ops have the right number of arguments, none nil,
+//   - use lists exactly mirror Args/Control references,
+//   - values belong to the block that contains them, IDs are unique,
+//   - slot references stay below Func.NumSlots.
+func Verify(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("%s: function has no blocks", f.Name)
+	}
+	if len(f.Entry().Preds) != 0 {
+		return fmt.Errorf("%s: entry block %s has predecessors", f.Name, f.Entry())
+	}
+
+	seenBlockID := map[int]bool{}
+	for _, b := range f.Blocks {
+		if b.Func != f {
+			return fmt.Errorf("%s: block %s belongs to wrong func", f.Name, b)
+		}
+		if seenBlockID[b.ID] {
+			return fmt.Errorf("%s: duplicate block ID %d", f.Name, b.ID)
+		}
+		seenBlockID[b.ID] = true
+		if err := verifyBlockShape(f, b); err != nil {
+			return err
+		}
+	}
+
+	// Edge cross-index consistency, both directions.
+	for _, b := range f.Blocks {
+		for i, e := range b.Succs {
+			if e.B == nil {
+				return fmt.Errorf("%s: %s succ %d is nil", f.Name, b, i)
+			}
+			if e.I >= len(e.B.Preds) || e.B.Preds[e.I].B != b || e.B.Preds[e.I].I != i {
+				return fmt.Errorf("%s: edge %s->%s: succ cross-index broken", f.Name, b, e.B)
+			}
+		}
+		for j, e := range b.Preds {
+			if e.B == nil {
+				return fmt.Errorf("%s: %s pred %d is nil", f.Name, b, j)
+			}
+			if e.I >= len(e.B.Succs) || e.B.Succs[e.I].B != b || e.B.Succs[e.I].I != j {
+				return fmt.Errorf("%s: edge %s<-%s: pred cross-index broken", f.Name, b, e.B)
+			}
+		}
+	}
+
+	// Value invariants and use-list bookkeeping.
+	type useKey struct {
+		user      *Value
+		index     int
+		userBlock *Block
+	}
+	wantUses := map[*Value]map[useKey]bool{}
+	record := func(a *Value, k useKey) {
+		m := wantUses[a]
+		if m == nil {
+			m = map[useKey]bool{}
+			wantUses[a] = m
+		}
+		if m[k] {
+			panic("ir.Verify: duplicate use key") // impossible by construction
+		}
+		m[k] = true
+	}
+
+	seenValueID := map[int]*Value{}
+	for _, b := range f.Blocks {
+		inPhis := true
+		for _, v := range b.Values {
+			if v.Block != b {
+				return fmt.Errorf("%s: value %s in %s has Block=%v", f.Name, v, b, v.Block)
+			}
+			if prev, dup := seenValueID[v.ID]; dup {
+				return fmt.Errorf("%s: duplicate value ID %d (%s, %s)", f.Name, v.ID, prev, v)
+			}
+			seenValueID[v.ID] = v
+			if v.Op == OpPhi {
+				if !inPhis {
+					return fmt.Errorf("%s: φ %s in %s appears after non-φ values", f.Name, v, b)
+				}
+				if len(v.Args) != len(b.Preds) {
+					return fmt.Errorf("%s: φ %s in %s has %d args for %d preds",
+						f.Name, v, b, len(v.Args), len(b.Preds))
+				}
+			} else {
+				inPhis = false
+				if want := v.Op.ArgLen(); want >= 0 && len(v.Args) != want {
+					return fmt.Errorf("%s: %s (%s) has %d args, want %d",
+						f.Name, v, v.Op, len(v.Args), want)
+				}
+			}
+			if v.Op == OpParam && b != f.Entry() {
+				return fmt.Errorf("%s: param %s outside entry block", f.Name, v)
+			}
+			if (v.Op == OpSlotLoad || v.Op == OpSlotStore) &&
+				(v.AuxInt < 0 || v.AuxInt >= int64(f.NumSlots)) {
+				return fmt.Errorf("%s: %s references slot %d outside [0,%d)",
+					f.Name, v, v.AuxInt, f.NumSlots)
+			}
+			for i, a := range v.Args {
+				if a == nil {
+					return fmt.Errorf("%s: %s arg %d is nil", f.Name, v, i)
+				}
+				if !a.Op.HasResult() {
+					return fmt.Errorf("%s: %s uses result-less value %s", f.Name, v, a)
+				}
+				record(a, useKey{user: v, index: i})
+			}
+		}
+		if b.Control != nil {
+			if !b.Control.Op.HasResult() {
+				return fmt.Errorf("%s: %s control %s has no result", f.Name, b, b.Control)
+			}
+			record(b.Control, useKey{userBlock: b})
+		}
+	}
+
+	// Every recorded reference must appear exactly once in the use list, and
+	// nothing else may.
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			want := wantUses[v]
+			if len(v.uses) != len(want) {
+				return fmt.Errorf("%s: %s has %d use records, want %d",
+					f.Name, v, len(v.uses), len(want))
+			}
+			for _, u := range v.uses {
+				if !want[useKey{user: u.User, index: u.Index, userBlock: u.UserBlock}] {
+					return fmt.Errorf("%s: %s has stray use record %+v", f.Name, v, u)
+				}
+			}
+		}
+	}
+
+	// Arguments and controls must be values that are placed in some block of
+	// this function.
+	for _, b := range f.Blocks {
+		check := func(a *Value, what string) error {
+			if a.Block == nil || seenValueID[a.ID] != a {
+				return fmt.Errorf("%s: %s references detached value %s", f.Name, what, a)
+			}
+			return nil
+		}
+		for _, v := range b.Values {
+			for _, a := range v.Args {
+				if err := check(a, v.String()); err != nil {
+					return err
+				}
+			}
+		}
+		if b.Control != nil {
+			if err := check(b.Control, b.String()+" control"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func verifyBlockShape(f *Func, b *Block) error {
+	switch b.Kind {
+	case BlockPlain:
+		if len(b.Succs) != 1 {
+			return fmt.Errorf("%s: plain block %s has %d successors", f.Name, b, len(b.Succs))
+		}
+		if b.Control != nil {
+			return fmt.Errorf("%s: plain block %s has a control value", f.Name, b)
+		}
+	case BlockIf:
+		if len(b.Succs) != 2 {
+			return fmt.Errorf("%s: if block %s has %d successors", f.Name, b, len(b.Succs))
+		}
+		if b.Control == nil {
+			return fmt.Errorf("%s: if block %s has no control value", f.Name, b)
+		}
+	case BlockSwitch:
+		if len(b.Succs) < 1 {
+			return fmt.Errorf("%s: switch block %s has no successors", f.Name, b)
+		}
+		if b.Control == nil {
+			return fmt.Errorf("%s: switch block %s has no control value", f.Name, b)
+		}
+	case BlockRet:
+		if len(b.Succs) != 0 {
+			return fmt.Errorf("%s: ret block %s has %d successors", f.Name, b, len(b.Succs))
+		}
+	default:
+		return fmt.Errorf("%s: block %s has invalid kind %d", f.Name, b, int(b.Kind))
+	}
+	return nil
+}

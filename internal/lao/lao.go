@@ -1,0 +1,277 @@
+// Package lao reimplements the "native" liveness analysis of the LAO code
+// generator as the paper describes it in §6.2, faithfully enough to serve
+// as the runtime baseline for the Table 2 experiments:
+//
+//   - the universe of variables to consider is collected into a table first
+//     and assigned dense indices; for SSA destruction the table can be
+//     restricted to φ-related variables (φ results and arguments), which is
+//     LAO's documented optimization;
+//   - local (per-block) analysis uses the sparse sets of Briggs & Torczon;
+//   - global live-in/live-out sets are sorted dense arrays of variable
+//     indices, with binary-search membership tests;
+//   - the data-flow solver is a classic iterative worklist implemented as a
+//     stack initialized with the blocks in CFG postorder (Cooper et al.).
+//
+// φ uses follow paper Definition 1, exactly as every other engine here.
+package lao
+
+import (
+	"fastliveness/internal/ir"
+	"fastliveness/internal/sorted"
+	"fastliveness/internal/sparse"
+)
+
+// Options configure the analysis.
+type Options struct {
+	// PhiRelatedOnly restricts the variable universe to φ results and φ
+	// arguments, the only variables SSA destruction queries.
+	PhiRelatedOnly bool
+}
+
+// Result holds the analysis output.
+type Result struct {
+	// LiveIn and LiveOut are indexed by block position; elements are dense
+	// variable indices.
+	LiveIn, LiveOut []*sorted.Set
+	// Iterations counts worklist pops.
+	Iterations int
+
+	varIndex []int32 // value ID -> dense index, -1 if untracked
+	numVars  int
+	blockPos []int32 // block ID -> position
+}
+
+// Analyze runs the LAO-style liveness analysis on f.
+func Analyze(f *ir.Func, opts Options) *Result {
+	r := &Result{
+		blockPos: make([]int32, f.NumBlocks()),
+		varIndex: make([]int32, f.NumValues()),
+	}
+	for i, b := range f.Blocks {
+		r.blockPos[b.ID] = int32(i)
+	}
+	for i := range r.varIndex {
+		r.varIndex[i] = -1
+	}
+
+	// Phase 1: collect the variable universe table.
+	add := func(v *ir.Value) {
+		if r.varIndex[v.ID] < 0 {
+			r.varIndex[v.ID] = int32(r.numVars)
+			r.numVars++
+		}
+	}
+	f.Values(func(v *ir.Value) {
+		if !v.Op.HasResult() {
+			return
+		}
+		if !opts.PhiRelatedOnly {
+			add(v)
+			return
+		}
+		if v.Op == ir.OpPhi {
+			add(v)
+			for _, a := range v.Args {
+				add(a)
+			}
+		}
+	})
+
+	// Phase 2: local analysis. One Briggs–Torczon sparse set serves as the
+	// per-block deduplication scratch (its O(1) Clear is the whole point);
+	// the per-block results are stored compactly as sorted arrays, like
+	// every other global set here.
+	nb := len(f.Blocks)
+	rawUses := make([][]int32, nb) // may contain duplicates
+	ueVar := make([]*sorted.Set, nb)
+	defs := make([]*sorted.Set, nb)
+	for i, b := range f.Blocks {
+		defs[i] = sorted.New(4)
+		for _, v := range b.Values {
+			if v.Op.HasResult() {
+				if vi := r.varIndex[v.ID]; vi >= 0 {
+					defs[i].Add(vi)
+				}
+			}
+			if v.Op == ir.OpPhi {
+				for ai, a := range v.Args {
+					p := b.Preds[ai].B
+					if a.Block != p {
+						if vi := r.varIndex[a.ID]; vi >= 0 {
+							pp := r.blockPos[p.ID]
+							rawUses[pp] = append(rawUses[pp], vi)
+						}
+					}
+				}
+				continue
+			}
+			for _, a := range v.Args {
+				if a.Block != b {
+					if vi := r.varIndex[a.ID]; vi >= 0 {
+						rawUses[i] = append(rawUses[i], vi)
+					}
+				}
+			}
+		}
+		if c := b.Control; c != nil && c.Block != b {
+			if vi := r.varIndex[c.ID]; vi >= 0 {
+				rawUses[i] = append(rawUses[i], vi)
+			}
+		}
+	}
+	scratch := sparse.New(r.numVars)
+	for i := range rawUses {
+		scratch.Clear()
+		ueVar[i] = sorted.New(len(rawUses[i]))
+		for _, vi := range rawUses[i] {
+			if !scratch.Has(int(vi)) {
+				scratch.Add(int(vi))
+				ueVar[i].Add(vi)
+			}
+		}
+	}
+
+	// Phase 3: global solve over sorted arrays.
+	r.LiveIn = make([]*sorted.Set, nb)
+	r.LiveOut = make([]*sorted.Set, nb)
+	for i := range r.LiveIn {
+		r.LiveIn[i] = sorted.New(4)
+		r.LiveOut[i] = sorted.New(4)
+	}
+	// Seed the stack so that blocks pop in CFG postorder: liveness flows
+	// backward, so processing a block after its successors converges in
+	// very few sweeps (Cooper et al.).
+	post := postorder(f)
+	stack := make([]*ir.Block, len(post))
+	for i, b := range post {
+		stack[len(post)-1-i] = b
+	}
+	onStack := make([]bool, f.NumBlocks())
+	for _, b := range post {
+		onStack[b.ID] = true
+	}
+	solveScratch := sorted.New(8)
+	visited := make([]bool, f.NumBlocks())
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		onStack[b.ID] = false
+		r.Iterations++
+		i := r.blockPos[b.ID]
+
+		out := r.LiveOut[i]
+		outChanged := false
+		for _, e := range b.Succs {
+			if out.UnionWith(r.LiveIn[r.blockPos[e.B.ID]]) {
+				outChanged = true
+			}
+		}
+		if visited[b.ID] && !outChanged {
+			// Live-out unchanged since the last visit, so live-in is
+			// already a fixed point for this block.
+			continue
+		}
+		visited[b.ID] = true
+		in := solveScratch
+		in.Clear()
+		out.ForEach(func(v int32) {
+			if !defs[i].Has(v) {
+				in.Add(v)
+			}
+		})
+		ueVar[i].ForEach(func(v int32) { in.Add(v) })
+		if !in.Equal(r.LiveIn[i]) {
+			solveScratch = r.LiveIn[i]
+			r.LiveIn[i] = in
+			for _, e := range b.Preds {
+				if !onStack[e.B.ID] {
+					onStack[e.B.ID] = true
+					stack = append(stack, e.B)
+				}
+			}
+		}
+	}
+	return r
+}
+
+func postorder(f *ir.Func) []*ir.Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	seen := make([]bool, f.NumBlocks())
+	out := make([]*ir.Block, 0, len(f.Blocks))
+	type frame struct {
+		b    *ir.Block
+		next int
+	}
+	stack := make([]frame, 0, len(f.Blocks))
+	stack = append(stack, frame{b: f.Entry()})
+	seen[f.Entry().ID] = true
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.next < len(fr.b.Succs) {
+			s := fr.b.Succs[fr.next].B
+			fr.next++
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		out = append(out, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+	return out
+}
+
+// Tracked reports whether v is in the analysis universe.
+func (r *Result) Tracked(v *ir.Value) bool {
+	return v.ID < len(r.varIndex) && r.varIndex[v.ID] >= 0
+}
+
+// IsLiveIn reports whether v is live-in at b. Untracked variables report
+// false; callers restrict queries to the universe they requested.
+func (r *Result) IsLiveIn(v *ir.Value, b *ir.Block) bool {
+	vi := r.varIndex[v.ID]
+	if vi < 0 {
+		return false
+	}
+	return r.LiveIn[r.blockPos[b.ID]].Has(vi)
+}
+
+// IsLiveOut reports whether v is live-out at b.
+func (r *Result) IsLiveOut(v *ir.Value, b *ir.Block) bool {
+	vi := r.varIndex[v.ID]
+	if vi < 0 {
+		return false
+	}
+	return r.LiveOut[r.blockPos[b.ID]].Has(vi)
+}
+
+// NumVars returns the universe size.
+func (r *Result) NumVars() int { return r.numVars }
+
+// AvgLiveIn is the fill-ratio statistic of §6.2.
+func (r *Result) AvgLiveIn() float64 {
+	if len(r.LiveIn) == 0 {
+		return 0
+	}
+	total := 0
+	for _, s := range r.LiveIn {
+		total += s.Len()
+	}
+	return float64(total) / float64(len(r.LiveIn))
+}
+
+// MemoryBytes approximates the set payload, for the §6.1 break-even
+// comparison against the checker's bitsets.
+func (r *Result) MemoryBytes() int {
+	total := 0
+	for _, s := range r.LiveIn {
+		total += s.MemoryBytes()
+	}
+	for _, s := range r.LiveOut {
+		total += s.MemoryBytes()
+	}
+	return total
+}

@@ -1,0 +1,102 @@
+package lao
+
+import (
+	"testing"
+
+	"fastliveness/internal/dataflow"
+	"fastliveness/internal/ir"
+)
+
+const loopSrc = `
+func @loop(%n) {
+entry:
+  %zero = const 0
+  %one = const 1
+  br head
+head:
+  %i = phi [%zero, entry], [%inext, body]
+  %cmp = cmplt %i, %n
+  if %cmp -> body, exit
+body:
+  %inext = add %i, %one
+  br head
+exit:
+  ret %i
+}
+`
+
+func TestFullUniverseMatchesDataflow(t *testing.T) {
+	f := ir.MustParse(loopSrc)
+	want := dataflow.Analyze(f)
+	got := Analyze(f, Options{})
+	f.Values(func(v *ir.Value) {
+		if !v.Op.HasResult() {
+			return
+		}
+		for _, b := range f.Blocks {
+			if got.IsLiveIn(v, b) != want.IsLiveIn(v, b) {
+				t.Fatalf("IsLiveIn(%s, %s) differs from dataflow", v, b)
+			}
+			if got.IsLiveOut(v, b) != want.IsLiveOut(v, b) {
+				t.Fatalf("IsLiveOut(%s, %s) differs from dataflow", v, b)
+			}
+		}
+	})
+	if got.NumVars() == 0 || got.Iterations == 0 {
+		t.Fatal("analysis did no work")
+	}
+	if got.AvgLiveIn() <= 0 {
+		t.Fatal("fill ratio should be positive")
+	}
+	if got.MemoryBytes() <= 0 {
+		t.Fatal("memory accounting broken")
+	}
+}
+
+func TestPhiRelatedOnly(t *testing.T) {
+	f := ir.MustParse(loopSrc)
+	r := Analyze(f, Options{PhiRelatedOnly: true})
+	// φ-related: i (result), zero, inext (args). Not: n, one, cmp.
+	wantTracked := map[string]bool{"i": true, "zero": true, "inext": true,
+		"n": false, "one": false, "cmp": false}
+	for name, want := range wantTracked {
+		v := f.ValueByName(name)
+		if v == nil {
+			t.Fatalf("value %%%s missing", name)
+		}
+		if got := r.Tracked(v); got != want {
+			t.Errorf("Tracked(%%%s) = %v, want %v", name, got, want)
+		}
+	}
+	if r.NumVars() != 3 {
+		t.Fatalf("universe = %d, want 3", r.NumVars())
+	}
+	// Tracked variables must agree with the full analysis.
+	full := dataflow.Analyze(f)
+	for _, name := range []string{"i", "zero", "inext"} {
+		v := f.ValueByName(name)
+		for _, b := range f.Blocks {
+			if r.IsLiveIn(v, b) != full.IsLiveIn(v, b) {
+				t.Fatalf("φ-related IsLiveIn(%%%s, %s) mismatch", name, b)
+			}
+			if r.IsLiveOut(v, b) != full.IsLiveOut(v, b) {
+				t.Fatalf("φ-related IsLiveOut(%%%s, %s) mismatch", name, b)
+			}
+		}
+	}
+	// Untracked variables answer false rather than guessing.
+	n := f.ValueByName("n")
+	for _, b := range f.Blocks {
+		if r.IsLiveIn(n, b) || r.IsLiveOut(n, b) {
+			t.Fatal("untracked variable should report false")
+		}
+	}
+	// The φ-related universe must be cheaper than the full one.
+	fullLao := Analyze(f, Options{})
+	if r.NumVars() >= fullLao.NumVars() {
+		t.Fatal("φ-related universe should be smaller")
+	}
+	if r.AvgLiveIn() > fullLao.AvgLiveIn() {
+		t.Fatal("φ-related fill ratio should not exceed the full one")
+	}
+}

@@ -1,0 +1,167 @@
+package loops
+
+import (
+	"fastliveness/internal/bitset"
+	"fastliveness/internal/cfg"
+	"fastliveness/internal/dom"
+)
+
+// Checker is the loop-nesting-forest variant of the liveness check — the
+// adaptation the paper sketches in §8 ("our algorithm can be adapted to
+// most loop nesting forest definitions") and the authors later published:
+// on a reducible CFG, a variable defined at d is live-in at q iff one of
+// its uses is reachable in the *reduced* (back-edge-free) graph from
+//
+//	OLE(q, d)  —  the header of the Outermost Loop containing q that
+//	              Excludes d; q itself when no such loop exists.
+//
+// Intuition: inside every loop that contains q but not the definition, the
+// value circulates around the back edge, so liveness at q is equivalent to
+// liveness at that loop's header; hoisting q to the outermost such header
+// reduces the query to plain forward reachability. This replaces the T_q
+// machinery entirely: the precomputation is the same reduced-reachability
+// closure R plus the loop forest, and a query is a single bitset probe per
+// use.
+//
+// The construction requires a reducible CFG (New returns ErrIrreducible
+// otherwise); the R/T checker of internal/core has no such restriction.
+type Checker struct {
+	g      *cfg.Graph
+	tree   *dom.Tree
+	forest *Forest
+
+	// r[v] is the reduced-reachability set of node v, indexed by node.
+	r []*bitset.Set
+	// loopMembers[i] is the member set of forest.Loops[i], indexed by node.
+	loopMembers []*bitset.Set
+	loopIndex   map[*Loop]int
+	// chain[v] lists the loops containing v, outermost first.
+	chain [][]*Loop
+
+	backTarget []bool
+}
+
+// NewChecker builds the loop-forest checker for g. The graph must be
+// reducible and every node reachable from node 0.
+func NewChecker(g *cfg.Graph) (*Checker, error) {
+	d := cfg.NewDFS(g)
+	tree := dom.Iterative(g, d)
+	if !dom.IsReducible(d, tree) {
+		return nil, ErrIrreducible
+	}
+	n := g.N()
+	c := &Checker{
+		g:         g,
+		tree:      tree,
+		forest:    Build(g, d),
+		r:         make([]*bitset.Set, n),
+		loopIndex: map[*Loop]int{},
+		chain:     make([][]*Loop, n),
+	}
+
+	// Reduced reachability, indexed by plain node id (not dominance
+	// numbers — this checker never walks dominance intervals).
+	for _, v := range d.PostOrder {
+		rv := bitset.New(n)
+		rv.Add(v)
+		d.ReducedSuccs(v, func(w int) {
+			rv.Union(c.r[w])
+		})
+		c.r[v] = rv
+	}
+
+	for i, l := range c.forest.Loops {
+		c.loopIndex[l] = i
+		m := bitset.New(n)
+		for _, b := range l.Blocks {
+			m.Add(b)
+		}
+		c.loopMembers = append(c.loopMembers, m)
+	}
+	for v := 0; v < n; v++ {
+		var rev []*Loop
+		for l := c.forest.LoopOf[v]; l != nil; l = l.Parent {
+			rev = append(rev, l)
+		}
+		// Outermost first.
+		for i := len(rev) - 1; i >= 0; i-- {
+			c.chain[v] = append(c.chain[v], rev[i])
+		}
+	}
+
+	c.backTarget = make([]bool, n)
+	for _, e := range d.BackEdges {
+		c.backTarget[e.T] = true
+	}
+	return c, nil
+}
+
+// ole returns the Outermost-Loop-Excluding hoist point: the header of the
+// outermost loop that contains q but not def, or q itself.
+func (c *Checker) ole(q, def int) int {
+	for _, l := range c.chain[q] {
+		if !c.loopMembers[c.loopIndex[l]].Has(def) {
+			return l.Header
+		}
+	}
+	return q
+}
+
+// IsLiveIn reports whether a variable defined at def with the given use
+// nodes (paper Definition 1 placement) is live-in at q. Inputs follow the
+// same contract as core.Checker: strict SSA dominance is assumed.
+func (c *Checker) IsLiveIn(def int, uses []int, q int) bool {
+	if !c.tree.Reachable(def) || !c.tree.Reachable(q) {
+		return false
+	}
+	// The guard of Algorithm 3: liveness only exists strictly below the
+	// definition.
+	if !c.tree.StrictlyDominates(def, q) {
+		return false
+	}
+	h := c.ole(q, def)
+	rh := c.r[h]
+	for _, u := range uses {
+		if u >= 0 && u < c.g.N() && c.tree.Reachable(u) && rh.Has(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsLiveOut reports whether the variable is live-out at q, by Definition 3
+// (live-in at some successor) with the def-block special case of
+// Algorithm 2.
+func (c *Checker) IsLiveOut(def int, uses []int, q int) bool {
+	if !c.tree.Reachable(def) || !c.tree.Reachable(q) {
+		return false
+	}
+	if def == q {
+		for _, u := range uses {
+			if u != q && u >= 0 && u < c.g.N() && c.tree.Reachable(u) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range c.g.Succs[q] {
+		if c.IsLiveIn(def, uses, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// MemoryBytes reports the payload of the precomputed sets, for comparison
+// with the R/T checker: the loop-forest variant stores R plus one member
+// set per loop, but no T sets.
+func (c *Checker) MemoryBytes() int {
+	total := 0
+	for _, s := range c.r {
+		total += s.WordBytes()
+	}
+	for _, s := range c.loopMembers {
+		total += s.WordBytes()
+	}
+	return total
+}

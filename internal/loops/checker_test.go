@@ -1,0 +1,163 @@
+package loops
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastliveness/internal/cfg"
+	"fastliveness/internal/core"
+	"fastliveness/internal/dom"
+	"fastliveness/internal/graphgen"
+)
+
+// bruteLiveIn mirrors core's test oracle: Definition 2 as path search.
+func bruteLiveIn(g *cfg.Graph, def int, uses []int, q int) bool {
+	if q == def {
+		return false
+	}
+	useSet := map[int]bool{}
+	for _, u := range uses {
+		useSet[u] = true
+	}
+	seen := make([]bool, g.N())
+	stack := []int{q}
+	seen[q] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if useSet[v] {
+			return true
+		}
+		for _, w := range g.Succs[v] {
+			if w != def && !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+func bruteLiveOut(g *cfg.Graph, def int, uses []int, q int) bool {
+	for _, s := range g.Succs[q] {
+		if bruteLiveIn(g, def, uses, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// The loop-forest checker must agree with brute force and with the R/T
+// checker on random reducible graphs, for every strict-SSA query.
+func TestLoopForestCheckerAgainstBruteAndCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	for trial := 0; trial < 80; trial++ {
+		g := graphgen.RandomReducible(rng, graphgen.Config{
+			MinNodes: 2, MaxNodes: 22, ExtraEdgeFactor: 1.4, BackEdgeProb: 0.5, AllowSelfLoops: true,
+		})
+		d := cfg.NewDFS(g)
+		tree := dom.Iterative(g, d)
+		lc, err := NewChecker(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rt := core.NewFrom(g, d, tree, core.Options{})
+
+		n := g.N()
+		for def := 0; def < n; def++ {
+			if !tree.Reachable(def) {
+				continue
+			}
+			var dominated []int
+			for v := 0; v < n; v++ {
+				if tree.Reachable(v) && tree.Dominates(def, v) {
+					dominated = append(dominated, v)
+				}
+			}
+			for variant := 0; variant < 3; variant++ {
+				k := 1 + rng.Intn(3)
+				uses := make([]int, 0, k)
+				for i := 0; i < k; i++ {
+					uses = append(uses, dominated[rng.Intn(len(dominated))])
+				}
+				for q := 0; q < n; q++ {
+					if !tree.Reachable(q) {
+						continue
+					}
+					wantIn := bruteLiveIn(g, def, uses, q)
+					if got := lc.IsLiveIn(def, uses, q); got != wantIn {
+						t.Fatalf("trial %d: loop checker IsLiveIn(def=%d uses=%v q=%d)=%v want %v",
+							trial, def, uses, q, got, wantIn)
+					}
+					if got := rt.IsLiveIn(def, uses, q); got != wantIn {
+						t.Fatalf("trial %d: R/T checker disagrees with brute at (%d,%v,%d)",
+							trial, def, uses, q)
+					}
+					wantOut := bruteLiveOut(g, def, uses, q)
+					if got := lc.IsLiveOut(def, uses, q); got != wantOut {
+						t.Fatalf("trial %d: loop checker IsLiveOut(def=%d uses=%v q=%d)=%v want %v",
+							trial, def, uses, q, got, wantOut)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLoopForestCheckerRejectsIrreducible(t *testing.T) {
+	g := cfg.NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1)
+	if _, err := NewChecker(g); err != ErrIrreducible {
+		t.Fatalf("want ErrIrreducible, got %v", err)
+	}
+}
+
+func TestOLEHoisting(t *testing.T) {
+	// def before a two-deep loop nest; a query deep inside must hoist to
+	// the outermost header excluding the def.
+	//
+	//	0 → 1(outer hdr) → 2(inner hdr) → 3 → 2, 3 → 4 → 1, 4 → 5
+	g := cfg.NewGraph(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 1)
+	g.AddEdge(4, 5)
+	c, err := NewChecker(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// def at 0: from node 3, both loops exclude 0 → hoist to outer header 1.
+	if got := c.ole(3, 0); got != 1 {
+		t.Fatalf("ole(3, def=0) = %d, want 1", got)
+	}
+	// def at 1 (the outer header is the def): outer loop contains 1, inner
+	// does not → hoist to inner header 2.
+	if got := c.ole(3, 1); got != 2 {
+		t.Fatalf("ole(3, def=1) = %d, want 2", got)
+	}
+	// def at 2: both loops containing 3 contain 2 → no hoist.
+	if got := c.ole(3, 2); got != 3 {
+		t.Fatalf("ole(3, def=2) = %d, want 3", got)
+	}
+	// Node outside all loops never hoists.
+	if got := c.ole(5, 0); got != 5 {
+		t.Fatalf("ole(5, def=0) = %d, want 5", got)
+	}
+	// Liveness via the hoist: def at 0, use at 4 (after inner loop), query
+	// deep inside the inner loop.
+	if !c.IsLiveIn(0, []int{4}, 3) {
+		t.Fatal("value used after the loops must be live inside them")
+	}
+	if c.IsLiveIn(0, []int{4}, 5) {
+		t.Fatal("not live after the last use")
+	}
+	if c.MemoryBytes() <= 0 {
+		t.Fatal("memory accounting broken")
+	}
+}

@@ -1,0 +1,110 @@
+package loops
+
+import (
+	"errors"
+
+	"fastliveness/internal/bitset"
+	"fastliveness/internal/cfg"
+	"fastliveness/internal/dataflow"
+	"fastliveness/internal/dom"
+	"fastliveness/internal/ir"
+)
+
+// ErrIrreducible is returned by Liveness for irreducible CFGs, where the
+// two-pass loop-forest algorithm does not apply (Ramalingam's transform
+// would be needed); callers fall back to the iterative solver.
+var ErrIrreducible = errors.New("loops: irreducible control flow")
+
+// Result holds per-block live sets, bit-indexed by value ID, exactly like
+// the iterative data-flow result — the two are interchangeable and the test
+// suite proves them equal.
+type Result struct {
+	LiveIn, LiveOut []*bitset.Set
+	blockPos        map[*ir.Block]int
+}
+
+// Liveness computes full live-in/live-out sets with the loop-nesting-forest
+// algorithm (paper §8 outlook; Boissinot et al., "Computing Liveness Sets
+// for SSA-Form Programs"): one backward pass over the reduced CFG (a DAG),
+// then one pass over the loop forest that extends everything live into a
+// loop header to the entire loop. No fixed-point iteration is involved.
+func Liveness(f *ir.Func) (*Result, error) {
+	g, _ := cfg.FromFunc(f)
+	d := cfg.NewDFS(g)
+	tree := dom.Iterative(g, d)
+	if !dom.IsReducible(d, tree) {
+		return nil, ErrIrreducible
+	}
+
+	nb := len(f.Blocks)
+	nv := f.NumValues()
+	r := &Result{
+		LiveIn:   dataflow.NewSets(nb, nv),
+		LiveOut:  dataflow.NewSets(nb, nv),
+		blockPos: make(map[*ir.Block]int, nb),
+	}
+	for i, b := range f.Blocks {
+		r.blockPos[b] = i
+	}
+	ueVar := dataflow.NewSets(nb, nv)
+	defs := dataflow.NewSets(nb, nv)
+	dataflow.FillLocalSets(f, ueVar, defs, r.blockPos)
+
+	// Pass 1: one backward sweep over the reduced DAG in postorder
+	// (successors first). Back edges are simply skipped.
+	for _, v := range d.PostOrder {
+		out := r.LiveOut[v]
+		d.ReducedSuccs(v, func(w int) {
+			out.Union(r.LiveIn[w])
+		})
+		in := r.LiveIn[v]
+		in.Copy(out)
+		in.Subtract(defs[v])
+		in.Union(ueVar[v])
+	}
+
+	// Pass 2: loop propagation, outer loops first. Everything live-in at a
+	// loop header is live-in and live-out throughout the loop: its
+	// definition lies outside the loop (strict SSA: the definition
+	// strictly dominates the header) and every loop block can reach the
+	// header's upward-exposed uses around the back edge without meeting
+	// the definition.
+	forest := Build(g, d)
+	var walk func(l *Loop)
+	walk = func(l *Loop) {
+		h := l.Header
+		liveLoop := r.LiveIn[h].Clone()
+		// Values defined in the header itself (φs included) are live *in*
+		// the loop only where the DAG pass already said so; LiveIn(h)
+		// excludes them by construction, so liveLoop is ready as is.
+		for _, b := range l.Blocks {
+			r.LiveIn[b].Union(liveLoop)
+			r.LiveOut[b].Union(liveLoop)
+		}
+		// The header's live-in set must not claim live-in values as
+		// live-out unless a successor needs them... it does: every value
+		// in liveLoop is live-in at some loop block reachable from every
+		// header successor inside the loop; for single-block self loops
+		// the back edge itself witnesses it. LiveOut(h) ∪= liveLoop is
+		// therefore exact, matching the iterative solver.
+		for _, c := range l.Children {
+			walk(c)
+		}
+	}
+	for _, l := range forest.Loops {
+		if l.Parent == nil {
+			walk(l)
+		}
+	}
+	return r, nil
+}
+
+// IsLiveIn reports whether v is live-in at b.
+func (r *Result) IsLiveIn(v *ir.Value, b *ir.Block) bool {
+	return r.LiveIn[r.blockPos[b]].Has(v.ID)
+}
+
+// IsLiveOut reports whether v is live-out at b.
+func (r *Result) IsLiveOut(v *ir.Value, b *ir.Block) bool {
+	return r.LiveOut[r.blockPos[b]].Has(v.ID)
+}

@@ -1,0 +1,206 @@
+// Package loops implements a loop nesting forest (Havlak's algorithm,
+// handling reducible and irreducible loops) and the loop-forest-based
+// liveness-set computation the paper sketches as future work in §8 ("Our
+// technique uses structural properties of the CFG and could take advantage
+// of a precomputed loop nesting forest"), later published by Boissinot et
+// al. as "Computing Liveness Sets for SSA-Form Programs".
+//
+// The liveness algorithm needs two passes and no fixed point on reducible
+// CFGs: one backward pass over the reduced (back-edge-free) DAG computes
+// partial live sets; one pass over the loop forest then extends everything
+// live at a loop header to the whole loop.
+package loops
+
+import (
+	"fastliveness/internal/cfg"
+)
+
+// Loop is one loop of the forest.
+type Loop struct {
+	// Header is the loop header node (the target of its back edges).
+	Header int
+	// Irreducible marks loops entered beside the header.
+	Irreducible bool
+	// Blocks lists the member nodes, header included.
+	Blocks []int
+	// Parent is the innermost enclosing loop, nil for top-level loops.
+	Parent *Loop
+	// Children are the directly nested loops.
+	Children []*Loop
+	// Depth is 1 for top-level loops.
+	Depth int
+}
+
+// Forest is the loop nesting forest of a graph.
+type Forest struct {
+	// Loops lists every loop, innermost-last (discovery in reverse DFS
+	// preorder of headers).
+	Loops []*Loop
+	// LoopOf maps each node to its innermost containing loop (nil when the
+	// node is in no loop).
+	LoopOf []*Loop
+}
+
+// Build computes the loop nesting forest with Havlak's algorithm.
+func Build(g *cfg.Graph, d *cfg.DFS) *Forest {
+	n := g.N()
+	r := d.NumReachable
+	f := &Forest{LoopOf: make([]*Loop, n)}
+	if r == 0 {
+		return f
+	}
+
+	// Work in DFS preorder-number space.
+	vertex := d.PreOrder
+	backPreds := make([][]int, r)    // by preorder number
+	nonBackPreds := make([][]int, r) // may grow for irreducible shapes
+	for w := 0; w < r; w++ {
+		node := vertex[w]
+		for _, p := range g.Preds[node] {
+			if !d.Reachable(p) {
+				continue
+			}
+			if d.IsAncestor(node, p) {
+				backPreds[w] = append(backPreds[w], d.Pre[p])
+			} else {
+				nonBackPreds[w] = append(nonBackPreds[w], d.Pre[p])
+			}
+		}
+	}
+
+	// Union-find over preorder numbers.
+	uf := make([]int, r)
+	for i := range uf {
+		uf[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if uf[x] != x {
+			uf[x] = find(uf[x])
+		}
+		return uf[x]
+	}
+
+	header := make([]int, r) // innermost collapsing header per node, -1 = none
+	for i := range header {
+		header[i] = -1
+	}
+	loopAt := make([]*Loop, r)
+
+	for w := r - 1; w >= 0; w-- {
+		if len(backPreds[w]) == 0 {
+			continue
+		}
+		irreducible := false
+		body := map[int]bool{}
+		var work []int
+		for _, v := range backPreds[w] {
+			if v != w {
+				x := find(v)
+				if !body[x] {
+					body[x] = true
+					work = append(work, x)
+				}
+			}
+			// A self loop (v == w) makes w a header with an empty extra
+			// body.
+		}
+		for len(work) > 0 {
+			x := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, yRaw := range nonBackPreds[x] {
+				y := find(yRaw)
+				if !d.IsAncestor(vertex[w], vertex[y]) {
+					// An entry from outside the spanning subtree of w:
+					// the loop has a second entry. Havlak defers the
+					// offending edge to the enclosing loop.
+					irreducible = true
+					nonBackPreds[w] = append(nonBackPreds[w], y)
+					continue
+				}
+				if y != w && !body[y] {
+					body[y] = true
+					work = append(work, y)
+				}
+			}
+		}
+
+		loop := &Loop{Header: vertex[w], Irreducible: irreducible}
+		loop.Blocks = append(loop.Blocks, vertex[w])
+		for x := range body {
+			header[x] = w
+			if child := loopAt[x]; child != nil && child.Parent == nil {
+				child.Parent = loop
+				loop.Children = append(loop.Children, child)
+			}
+			loop.Blocks = append(loop.Blocks, vertex[x])
+			uf[x] = w
+		}
+		loopAt[w] = loop
+		f.Loops = append(f.Loops, loop)
+	}
+
+	// Each union-find representative was collapsed into at most one loop;
+	// recover full membership and depths from those records.
+	f.assignMembership(d, header, loopAt, r)
+	return f
+}
+
+// assignMembership fills LoopOf, Depth and completes Blocks with full
+// member lists (nested members included).
+func (f *Forest) assignMembership(d *cfg.DFS, header []int, loopAt []*Loop, r int) {
+	var setDepth func(l *Loop, depth int)
+	setDepth = func(l *Loop, depth int) {
+		l.Depth = depth
+		for _, c := range l.Children {
+			setDepth(c, depth+1)
+		}
+	}
+	for _, l := range f.Loops {
+		if l.Parent == nil {
+			setDepth(l, 1)
+		}
+	}
+	// Innermost loop per node: the loop it heads, else the loop that
+	// collapsed it.
+	for w := 0; w < r; w++ {
+		node := d.PreOrder[w]
+		switch {
+		case loopAt[w] != nil:
+			f.LoopOf[node] = loopAt[w]
+		case header[w] >= 0:
+			f.LoopOf[node] = loopAt[header[w]]
+		}
+	}
+	// Complete the member lists: every node appears in all enclosing
+	// loops.
+	for _, l := range f.Loops {
+		l.Blocks = l.Blocks[:0]
+	}
+	for node, l := range f.LoopOf {
+		for x := l; x != nil; x = x.Parent {
+			x.Blocks = append(x.Blocks, node)
+		}
+	}
+}
+
+// NumLoops returns the loop count.
+func (f *Forest) NumLoops() int { return len(f.Loops) }
+
+// Contains reports whether loop l contains node v (at any nesting depth).
+func (f *Forest) Contains(l *Loop, v int) bool {
+	for x := f.LoopOf[v]; x != nil; x = x.Parent {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Depth returns the loop nesting depth of node v (0 outside all loops).
+func (f *Forest) Depth(v int) int {
+	if l := f.LoopOf[v]; l != nil {
+		return l.Depth
+	}
+	return 0
+}

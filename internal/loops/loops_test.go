@@ -1,0 +1,238 @@
+package loops
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastliveness/internal/cfg"
+	"fastliveness/internal/dataflow"
+	"fastliveness/internal/dom"
+	"fastliveness/internal/gen"
+	"fastliveness/internal/graphgen"
+	"fastliveness/internal/ir"
+	"fastliveness/internal/ssa"
+)
+
+func TestSimpleLoop(t *testing.T) {
+	// 0 -> 1 -> 2 -> 1 (back), 2 -> 3
+	g := cfg.NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1)
+	g.AddEdge(2, 3)
+	d := cfg.NewDFS(g)
+	f := Build(g, d)
+	if f.NumLoops() != 1 {
+		t.Fatalf("loops = %d, want 1", f.NumLoops())
+	}
+	l := f.Loops[0]
+	if l.Header != 1 || l.Irreducible || l.Depth != 1 {
+		t.Fatalf("loop = %+v", l)
+	}
+	if f.Depth(0) != 0 || f.Depth(1) != 1 || f.Depth(2) != 1 || f.Depth(3) != 0 {
+		t.Fatalf("depths wrong: %d %d %d %d", f.Depth(0), f.Depth(1), f.Depth(2), f.Depth(3))
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// 0 -> 1(outer hdr) -> 2(inner hdr) -> 3 -> 2, 3 -> 4 -> 1, 4 -> 5
+	g := cfg.NewGraph(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 1)
+	g.AddEdge(4, 5)
+	d := cfg.NewDFS(g)
+	f := Build(g, d)
+	if f.NumLoops() != 2 {
+		t.Fatalf("loops = %d, want 2", f.NumLoops())
+	}
+	inner := f.LoopOf[2]
+	outer := f.LoopOf[1]
+	if inner == nil || outer == nil || inner == outer {
+		t.Fatal("loop assignment broken")
+	}
+	if inner.Header != 2 || outer.Header != 1 {
+		t.Fatalf("headers: inner=%d outer=%d", inner.Header, outer.Header)
+	}
+	if inner.Parent != outer || inner.Depth != 2 || outer.Depth != 1 {
+		t.Fatalf("nesting broken: parent=%v depths=%d/%d", inner.Parent, inner.Depth, outer.Depth)
+	}
+	if f.Depth(3) != 2 || f.Depth(4) != 1 || f.Depth(5) != 0 {
+		t.Fatalf("node depths: %d %d %d", f.Depth(3), f.Depth(4), f.Depth(5))
+	}
+	if !f.Contains(outer, 3) || !f.Contains(inner, 3) || f.Contains(inner, 4) {
+		t.Fatal("Contains broken")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := cfg.NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 1)
+	g.AddEdge(1, 2)
+	d := cfg.NewDFS(g)
+	f := Build(g, d)
+	if f.NumLoops() != 1 || f.Loops[0].Header != 1 {
+		t.Fatalf("self loop not detected: %+v", f.Loops)
+	}
+	if f.Depth(1) != 1 {
+		t.Fatal("self loop depth wrong")
+	}
+}
+
+func TestIrreducibleLoopMarked(t *testing.T) {
+	// Two-entry loop: 0->1, 0->2, 1->2, 2->1.
+	g := cfg.NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1)
+	d := cfg.NewDFS(g)
+	f := Build(g, d)
+	if f.NumLoops() == 0 {
+		t.Fatal("no loop found")
+	}
+	anyIrr := false
+	for _, l := range f.Loops {
+		anyIrr = anyIrr || l.Irreducible
+	}
+	if !anyIrr {
+		t.Fatal("irreducible loop not marked")
+	}
+}
+
+// Reference check on random reducible graphs: natural-loop membership per
+// back edge must be contained in the Havlak loop of that header.
+func TestAgainstNaturalLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 120; trial++ {
+		g := graphgen.RandomReducible(rng, graphgen.Default)
+		d := cfg.NewDFS(g)
+		tree := dom.Iterative(g, d)
+		if !dom.IsReducible(d, tree) {
+			t.Fatal("generator produced irreducible graph")
+		}
+		f := Build(g, d)
+		for _, l := range f.Loops {
+			if l.Irreducible {
+				t.Fatalf("trial %d: loop %d marked irreducible in reducible graph", trial, l.Header)
+			}
+		}
+		for _, e := range d.BackEdges {
+			nat := naturalLoop(g, e.T, e.S)
+			hl := f.LoopOf[e.T]
+			if hl == nil {
+				t.Fatalf("trial %d: back edge target %d not in a loop", trial, e.T)
+			}
+			// The loop headed at e.T (walk up to it).
+			var headerLoop *Loop
+			for x := hl; x != nil; x = x.Parent {
+				if x.Header == e.T {
+					headerLoop = x
+					break
+				}
+			}
+			if headerLoop == nil {
+				t.Fatalf("trial %d: no loop headed at %d", trial, e.T)
+			}
+			members := map[int]bool{}
+			for _, b := range headerLoop.Blocks {
+				members[b] = true
+			}
+			for n := range nat {
+				if !members[n] {
+					t.Fatalf("trial %d: natural loop node %d missing from Havlak loop of %d",
+						trial, n, e.T)
+				}
+			}
+		}
+	}
+}
+
+// naturalLoop computes the classic natural loop of back edge (s,t): t plus
+// all nodes that reach s without passing through t.
+func naturalLoop(g *cfg.Graph, t, s int) map[int]bool {
+	loop := map[int]bool{t: true}
+	var stack []int
+	if !loop[s] {
+		loop[s] = true
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.Preds[v] {
+			if !loop[p] {
+				loop[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return loop
+}
+
+// The extension's headline property: loop-forest liveness equals iterative
+// data-flow liveness on reducible SSA programs.
+func TestLivenessMatchesDataflow(t *testing.T) {
+	for trial := 0; trial < 80; trial++ {
+		c := gen.Default(int64(trial) * 137)
+		c.TargetBlocks = 4 + trial
+		f := gen.Generate("t", c)
+		ssa.Construct(f)
+		want := dataflow.Analyze(f)
+		got, err := Liveness(f)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ok := true
+		f.Values(func(v *ir.Value) {
+			if !v.Op.HasResult() || !ok {
+				return
+			}
+			for _, b := range f.Blocks {
+				if got.IsLiveIn(v, b) != want.IsLiveIn(v, b) {
+					t.Errorf("trial %d: IsLiveIn(%s,%s) = %v, want %v",
+						trial, v, b, got.IsLiveIn(v, b), want.IsLiveIn(v, b))
+					ok = false
+					return
+				}
+				if got.IsLiveOut(v, b) != want.IsLiveOut(v, b) {
+					t.Errorf("trial %d: IsLiveOut(%s,%s) = %v, want %v",
+						trial, v, b, got.IsLiveOut(v, b), want.IsLiveOut(v, b))
+					ok = false
+					return
+				}
+			}
+		})
+		if !ok {
+			return
+		}
+	}
+}
+
+func TestLivenessRejectsIrreducible(t *testing.T) {
+	found := false
+	for trial := 0; trial < 30 && !found; trial++ {
+		c := gen.Default(int64(trial) * 7)
+		c.TargetBlocks = 40
+		c.Irreducible = true
+		f := gen.Generate("t", c)
+		ssa.Construct(f)
+		g, _ := cfg.FromFunc(f)
+		d := cfg.NewDFS(g)
+		tree := dom.Iterative(g, d)
+		if dom.IsReducible(d, tree) {
+			continue
+		}
+		found = true
+		if _, err := Liveness(f); err != ErrIrreducible {
+			t.Fatalf("want ErrIrreducible, got %v", err)
+		}
+	}
+	if !found {
+		t.Skip("no irreducible sample generated")
+	}
+}

@@ -1,0 +1,113 @@
+// Package pervar implements the per-variable SSA liveness algorithm the
+// paper discusses as related work [2] (Appel & Palsberg, "Modern Compiler
+// Implementation in Java"): for each variable, walk backward from every use
+// to the definition along the def-use chain, marking the blocks passed
+// through as live.
+//
+// Like the paper's checker it exploits that a variable can only be live
+// inside the dominance subtree of its definition and never traverses the
+// instructions inside a block; unlike the checker, its result is an
+// explicit set representation that program edits invalidate (§7: "it is as
+// vulnerable to program modifications as the data-flow approaches").
+//
+// It can be run per variable in isolation, which the destruction driver
+// exploits; Analyze precomputes all variables for the cross-validation
+// tests.
+package pervar
+
+import (
+	"fastliveness/internal/bitset"
+	"fastliveness/internal/ir"
+)
+
+// Result records, per variable, the blocks where it is live-in/live-out.
+type Result struct {
+	// liveIn[blockPos] has bit v.ID set when v is live-in there.
+	liveIn, liveOut []*bitset.Set
+	blockPos        map[*ir.Block]int
+}
+
+// Analyze computes liveness for every value of f.
+func Analyze(f *ir.Func) *Result {
+	r := newResult(f)
+	f.Values(func(v *ir.Value) {
+		if v.Op.HasResult() {
+			r.analyzeValue(v)
+		}
+	})
+	return r
+}
+
+// AnalyzeValues computes liveness for the given values only — the property
+// the paper highlights about this algorithm (§7): "it can be run on each
+// variable separately". Queries about unanalyzed values return false.
+func AnalyzeValues(f *ir.Func, values []*ir.Value) *Result {
+	r := newResult(f)
+	for _, v := range values {
+		if v.Op.HasResult() {
+			r.analyzeValue(v)
+		}
+	}
+	return r
+}
+
+func newResult(f *ir.Func) *Result {
+	r := &Result{
+		liveIn:   make([]*bitset.Set, len(f.Blocks)),
+		liveOut:  make([]*bitset.Set, len(f.Blocks)),
+		blockPos: make(map[*ir.Block]int, len(f.Blocks)),
+	}
+	nv := f.NumValues()
+	for i, b := range f.Blocks {
+		r.blockPos[b] = i
+		r.liveIn[i] = bitset.New(nv)
+		r.liveOut[i] = bitset.New(nv)
+	}
+	return r
+}
+
+// analyzeValue marks liveness for one variable by backward walks from its
+// uses (paper Definition 1 placement) to its definition.
+func (r *Result) analyzeValue(v *ir.Value) {
+	def := v.Block
+	var walkIn func(b *ir.Block)
+	walkIn = func(b *ir.Block) {
+		i := r.blockPos[b]
+		if r.liveIn[i].Has(v.ID) {
+			return
+		}
+		if b == def {
+			// Never live-in at the definition block (Definition 2: the
+			// path must not contain def).
+			return
+		}
+		r.liveIn[i].Add(v.ID)
+		for _, e := range b.Preds {
+			p := r.blockPos[e.B]
+			if !r.liveOut[p].Has(v.ID) {
+				r.liveOut[p].Add(v.ID)
+				walkIn(e.B)
+			}
+		}
+	}
+	for _, u := range v.Uses() {
+		switch {
+		case u.UserBlock != nil:
+			walkIn(u.UserBlock)
+		case u.User.Op == ir.OpPhi:
+			walkIn(u.User.Block.Preds[u.Index].B)
+		default:
+			walkIn(u.User.Block)
+		}
+	}
+}
+
+// IsLiveIn reports whether v is live-in at b.
+func (r *Result) IsLiveIn(v *ir.Value, b *ir.Block) bool {
+	return r.liveIn[r.blockPos[b]].Has(v.ID)
+}
+
+// IsLiveOut reports whether v is live-out at b.
+func (r *Result) IsLiveOut(v *ir.Value, b *ir.Block) bool {
+	return r.liveOut[r.blockPos[b]].Has(v.ID)
+}

@@ -1,0 +1,130 @@
+package pervar
+
+import (
+	"testing"
+
+	"fastliveness/internal/dataflow"
+	"fastliveness/internal/ir"
+)
+
+func TestAnalyzeValuesIsolated(t *testing.T) {
+	f := ir.MustParse(`
+func @g(%a, %b) {
+b0:
+  %x = add %a, %b
+  %y = mul %a, %a
+  br b1
+b1:
+  %s = add %x, %y
+  ret %s
+}
+`)
+	x := f.ValueByName("x")
+	y := f.ValueByName("y")
+	b1 := f.BlockByName("b1")
+	r := pervarAnalyzeOnly(f, x)
+	if !r.IsLiveIn(x, b1) {
+		t.Fatal("x should be live-in at b1")
+	}
+	// y was not analyzed: the partial result knows nothing about it.
+	if r.IsLiveIn(y, b1) {
+		t.Fatal("unanalyzed variable should report false")
+	}
+	// Analyzing y separately matches the full analysis for y.
+	full := Analyze(f)
+	ry := pervarAnalyzeOnly(f, y)
+	for _, b := range f.Blocks {
+		if ry.IsLiveIn(y, b) != full.IsLiveIn(y, b) || ry.IsLiveOut(y, b) != full.IsLiveOut(y, b) {
+			t.Fatalf("per-variable run differs from full analysis at %s", b)
+		}
+	}
+}
+
+func pervarAnalyzeOnly(f *ir.Func, v *ir.Value) *Result {
+	return AnalyzeValues(f, []*ir.Value{v})
+}
+
+func TestMatchesDataflowOnHandPrograms(t *testing.T) {
+	srcs := []string{
+		`
+func @loop(%n) {
+entry:
+  %zero = const 0
+  %one = const 1
+  br head
+head:
+  %i = phi [%zero, entry], [%inext, body]
+  %cmp = cmplt %i, %n
+  if %cmp -> body, exit
+body:
+  %inext = add %i, %one
+  br head
+exit:
+  ret %i
+}
+`,
+		`
+func @nested(%n) {
+b0:
+  %z = const 0
+  br h1
+h1:
+  %i = phi [%z, b0], [%i2, l1]
+  %c1 = cmplt %i, %n
+  if %c1 -> h2, done
+h2:
+  %j = phi [%z, h1], [%j2, body]
+  %c2 = cmplt %j, %i
+  if %c2 -> body, l1
+body:
+  %j2 = add %j, %i
+  br h2
+l1:
+  %one = const 1
+  %i2 = add %i, %one
+  br h1
+done:
+  ret %i
+}
+`,
+		`
+func @irreducible(%p) {
+b0:
+  %a = const 1
+  %x = add %a, %a
+  if %p -> l1, l2
+l1:
+  %u = add %x, %a
+  br l2
+l2:
+  %y = add %a, %x
+  if %y -> l1, out
+out:
+  ret %y
+}
+`,
+	}
+	for _, src := range srcs {
+		f, err := ir.Parse(src)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, src)
+		}
+		want := dataflow.Analyze(f)
+		got := Analyze(f)
+		f.Values(func(v *ir.Value) {
+			if !v.Op.HasResult() {
+				return
+			}
+			for _, b := range f.Blocks {
+				if got.IsLiveIn(v, b) != want.IsLiveIn(v, b) {
+					t.Errorf("%s: IsLiveIn(%s, %s) = %v, want %v",
+						f.Name, v, b, got.IsLiveIn(v, b), want.IsLiveIn(v, b))
+				}
+				if got.IsLiveOut(v, b) != want.IsLiveOut(v, b) {
+					t.Errorf("%s: IsLiveOut(%s, %s) = %v, want %v",
+						f.Name, v, b, got.IsLiveOut(v, b), want.IsLiveOut(v, b))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,182 @@
+// Package sorted implements sets as sorted dense arrays with binary-search
+// membership.
+//
+// This is the representation the LAO code generator uses for its global
+// liveness sets (paper §6.2): "sets represented as sorted dense arrays of
+// pointers (to variables) … Testing set membership only requires a binary
+// search, which takes logarithmic time in the set cardinality." For
+// procedures with many variables this is far more memory-efficient than bit
+// vectors, which is exactly the trade-off the paper measures against.
+//
+// Elements are int32 indices into a variable universe table, mirroring LAO's
+// dense variable numbering.
+package sorted
+
+import "sort"
+
+// Set is a sorted array of distinct int32 elements.
+// The zero value is an empty set ready to use.
+type Set struct {
+	elems []int32
+}
+
+// New returns an empty set with capacity hint n.
+func New(n int) *Set { return &Set{elems: make([]int32, 0, n)} }
+
+// FromSlice builds a set from arbitrary (possibly unsorted, duplicated)
+// values.
+func FromSlice(vals []int32) *Set {
+	s := New(len(vals))
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return s
+}
+
+// Len returns the cardinality.
+func (s *Set) Len() int { return len(s.elems) }
+
+// search returns the insertion index for v.
+func (s *Set) search(v int32) int {
+	return sort.Search(len(s.elems), func(i int) bool { return s.elems[i] >= v })
+}
+
+// Has reports membership via binary search.
+func (s *Set) Has(v int32) bool {
+	i := s.search(v)
+	return i < len(s.elems) && s.elems[i] == v
+}
+
+// Add inserts v, keeping the array sorted. Reports whether the set changed.
+func (s *Set) Add(v int32) bool {
+	i := s.search(v)
+	if i < len(s.elems) && s.elems[i] == v {
+		return false
+	}
+	s.elems = append(s.elems, 0)
+	copy(s.elems[i+1:], s.elems[i:])
+	s.elems[i] = v
+	return true
+}
+
+// Remove deletes v if present and reports whether the set changed.
+func (s *Set) Remove(v int32) bool {
+	i := s.search(v)
+	if i >= len(s.elems) || s.elems[i] != v {
+		return false
+	}
+	s.elems = append(s.elems[:i], s.elems[i+1:]...)
+	return true
+}
+
+// UnionWith merges o into s with a linear merge and reports whether s
+// changed. This is the bulk operation the data-flow solver leans on, so it
+// avoids allocating: a first pass counts the union size, and when s has
+// enough capacity the merge runs backward in place.
+func (s *Set) UnionWith(o *Set) bool {
+	if o.Len() == 0 {
+		return false
+	}
+	if s.Len() == 0 {
+		s.elems = append(s.elems[:0], o.elems...)
+		return true
+	}
+	// Count the union size; also detects the no-change steady state of an
+	// iterative solver.
+	size := 0
+	i, j := 0, 0
+	for i < len(s.elems) && j < len(o.elems) {
+		switch {
+		case s.elems[i] < o.elems[j]:
+			i++
+		case s.elems[i] > o.elems[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+		size++
+	}
+	size += len(s.elems) - i + len(o.elems) - j
+	if size == len(s.elems) {
+		return false
+	}
+	oldLen := len(s.elems)
+	if cap(s.elems) >= size {
+		s.elems = s.elems[:size]
+	} else {
+		grown := make([]int32, size, size+size/2)
+		copy(grown, s.elems[:oldLen])
+		s.elems = grown
+	}
+	// Backward merge: read positions never overtake the write position.
+	w := size - 1
+	i, j = oldLen-1, len(o.elems)-1
+	for j >= 0 {
+		if i >= 0 && s.elems[i] > o.elems[j] {
+			s.elems[w] = s.elems[i]
+			i--
+		} else {
+			if i >= 0 && s.elems[i] == o.elems[j] {
+				i--
+			}
+			s.elems[w] = o.elems[j]
+			j--
+		}
+		w--
+	}
+	// Remaining s prefix is already in place.
+	return true
+}
+
+func (s *Set) containsAll(o *Set) bool {
+	i, j := 0, 0
+	for j < len(o.elems) {
+		for i < len(s.elems) && s.elems[i] < o.elems[j] {
+			i++
+		}
+		if i >= len(s.elems) || s.elems[i] != o.elems[j] {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// Equal reports element-wise equality.
+func (s *Set) Equal(o *Set) bool {
+	if len(s.elems) != len(o.elems) {
+		return false
+	}
+	for i, v := range s.elems {
+		if o.elems[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	c := &Set{elems: make([]int32, len(s.elems))}
+	copy(c.elems, s.elems)
+	return c
+}
+
+// Clear empties the set, retaining capacity.
+func (s *Set) Clear() { s.elems = s.elems[:0] }
+
+// Elements returns the members in increasing order. The slice aliases
+// internal storage.
+func (s *Set) Elements() []int32 { return s.elems }
+
+// ForEach calls f on every member in increasing order.
+func (s *Set) ForEach(f func(v int32)) {
+	for _, v := range s.elems {
+		f(v)
+	}
+}
+
+// MemoryBytes approximates the payload footprint, for the paper's §6.1
+// break-even discussion (sorted arrays vs. bitsets).
+func (s *Set) MemoryBytes() int { return cap(s.elems) * 4 }

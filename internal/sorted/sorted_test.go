@@ -1,0 +1,169 @@
+package sorted
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddKeepsSortedDistinct(t *testing.T) {
+	s := New(0)
+	in := []int32{5, 1, 9, 5, 3, 9, 0}
+	for _, v := range in {
+		s.Add(v)
+	}
+	want := []int32{0, 1, 3, 5, 9}
+	got := s.Elements()
+	if len(got) != len(want) {
+		t.Fatalf("Elements = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHasRemove(t *testing.T) {
+	s := FromSlice([]int32{2, 4, 6})
+	if !s.Has(4) || s.Has(5) {
+		t.Fatal("Has wrong")
+	}
+	if !s.Remove(4) {
+		t.Fatal("Remove(4) should report change")
+	}
+	if s.Remove(4) {
+		t.Fatal("second Remove(4) should be a no-op")
+	}
+	if s.Has(4) || s.Len() != 2 {
+		t.Fatal("Remove did not delete")
+	}
+}
+
+func TestAddReportsChange(t *testing.T) {
+	s := New(4)
+	if !s.Add(7) {
+		t.Fatal("first Add should change")
+	}
+	if s.Add(7) {
+		t.Fatal("duplicate Add should not change")
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	a := FromSlice([]int32{1, 3, 5})
+	b := FromSlice([]int32{2, 3, 6})
+	if !a.UnionWith(b) {
+		t.Fatal("union should change a")
+	}
+	want := []int32{1, 2, 3, 5, 6}
+	got := a.Elements()
+	if len(got) != len(want) {
+		t.Fatalf("union = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("union = %v, want %v", got, want)
+		}
+	}
+	// Unioning a subset must not report change (solver termination depends
+	// on this).
+	if a.UnionWith(b) {
+		t.Fatal("second union should be a fixed point")
+	}
+	if a.UnionWith(New(0)) {
+		t.Fatal("union with empty should not change")
+	}
+	empty := New(0)
+	if !empty.UnionWith(a) {
+		t.Fatal("empty ∪ a should change")
+	}
+	if !empty.Equal(a) {
+		t.Fatal("empty ∪ a should equal a")
+	}
+}
+
+func TestEqualCloneClear(t *testing.T) {
+	a := FromSlice([]int32{1, 2, 3})
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone unequal")
+	}
+	b.Add(4)
+	if a.Equal(b) || a.Has(4) {
+		t.Fatal("clone aliases original")
+	}
+	b.Clear()
+	if b.Len() != 0 {
+		t.Fatal("clear failed")
+	}
+	if a.Equal(FromSlice([]int32{1, 2, 4})) {
+		t.Fatal("different sets equal")
+	}
+}
+
+// Property: Set under random ops behaves like a reference map, and Elements
+// is always sorted and duplicate-free.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(0)
+		ref := map[int32]bool{}
+		for op := 0; op < 300; op++ {
+			v := int32(rng.Intn(100))
+			if rng.Intn(3) == 0 {
+				s.Remove(v)
+				delete(ref, v)
+			} else {
+				s.Add(v)
+				ref[v] = true
+			}
+			if s.Has(v) != ref[v] || s.Len() != len(ref) {
+				return false
+			}
+		}
+		el := s.Elements()
+		if !sort.SliceIsSorted(el, func(i, j int) bool { return el[i] < el[j] }) {
+			return false
+		}
+		for i := 1; i < len(el); i++ {
+			if el[i] == el[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: UnionWith agrees with map union.
+func TestQuickUnion(t *testing.T) {
+	f := func(xs, ys []int16) bool {
+		a, b := New(0), New(0)
+		ref := map[int32]bool{}
+		for _, x := range xs {
+			a.Add(int32(x))
+			ref[int32(x)] = true
+		}
+		for _, y := range ys {
+			b.Add(int32(y))
+			ref[int32(y)] = true
+		}
+		a.UnionWith(b)
+		if a.Len() != len(ref) {
+			return false
+		}
+		for v := range ref {
+			if !a.Has(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

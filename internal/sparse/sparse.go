@@ -1,0 +1,79 @@
+// Package sparse implements the sparse-set representation of Briggs and
+// Torczon (An Efficient Representation for Sparse Sets, LOPLAS 1993).
+//
+// The paper's "native" baseline, the LAO liveness analysis, performs its
+// local (per-block) analysis with exactly this structure (§6.2): O(1) add,
+// membership, clear and iteration over a fixed universe, at the price of two
+// words per universe element. The trick is mutual indexing: dense[k] lists
+// the members, sparse[v] remembers where v sits in dense, and v is a member
+// iff sparse[v] < len(dense) and dense[sparse[v]] == v — so Clear is O(1)
+// because stale sparse entries are simply never validated.
+package sparse
+
+// Set is a Briggs–Torczon sparse set over the universe [0, cap).
+type Set struct {
+	dense  []int32
+	sparse []int32
+}
+
+// New returns an empty set over the universe [0, universe).
+func New(universe int) *Set {
+	if universe < 0 {
+		panic("sparse: negative universe")
+	}
+	return &Set{
+		dense:  make([]int32, 0, universe),
+		sparse: make([]int32, universe),
+	}
+}
+
+// Universe returns the universe size.
+func (s *Set) Universe() int { return cap(s.dense) }
+
+// Len returns the number of members.
+func (s *Set) Len() int { return len(s.dense) }
+
+// Has reports whether v is a member.
+func (s *Set) Has(v int) bool {
+	if uint(v) >= uint(len(s.sparse)) {
+		return false
+	}
+	i := s.sparse[v]
+	return int(i) < len(s.dense) && s.dense[i] == int32(v)
+}
+
+// Add inserts v; it is a no-op if v is already present.
+func (s *Set) Add(v int) {
+	if s.Has(v) {
+		return
+	}
+	s.sparse[v] = int32(len(s.dense))
+	s.dense = append(s.dense, int32(v))
+}
+
+// Remove deletes v by swapping the last member into its slot; no-op when
+// absent. Iteration order is therefore not insertion order after removals.
+func (s *Set) Remove(v int) {
+	if !s.Has(v) {
+		return
+	}
+	i := s.sparse[v]
+	last := s.dense[len(s.dense)-1]
+	s.dense[i] = last
+	s.sparse[last] = i
+	s.dense = s.dense[:len(s.dense)-1]
+}
+
+// Clear empties the set in O(1).
+func (s *Set) Clear() { s.dense = s.dense[:0] }
+
+// Members returns the members in unspecified order. The returned slice
+// aliases internal storage and is invalidated by the next mutation.
+func (s *Set) Members() []int32 { return s.dense }
+
+// ForEach calls f on each member in unspecified order.
+func (s *Set) ForEach(f func(v int)) {
+	for _, v := range s.dense {
+		f(int(v))
+	}
+}

@@ -1,0 +1,141 @@
+package sparse
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(10)
+	if s.Len() != 0 || s.Has(3) {
+		t.Fatal("fresh set not empty")
+	}
+	s.Add(3)
+	s.Add(7)
+	s.Add(3) // duplicate
+	if s.Len() != 2 || !s.Has(3) || !s.Has(7) || s.Has(5) {
+		t.Fatalf("unexpected contents, Len=%d", s.Len())
+	}
+	s.Remove(3)
+	if s.Len() != 1 || s.Has(3) || !s.Has(7) {
+		t.Fatal("Remove(3) failed")
+	}
+	s.Remove(3) // absent: no-op
+	if s.Len() != 1 {
+		t.Fatal("removing absent element changed length")
+	}
+}
+
+func TestClearIsO1AndCorrect(t *testing.T) {
+	s := New(100)
+	for i := 0; i < 100; i++ {
+		s.Add(i)
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatal("Clear did not empty")
+	}
+	for i := 0; i < 100; i++ {
+		if s.Has(i) {
+			t.Fatalf("stale member %d after Clear", i)
+		}
+	}
+	// Re-adding after clear works, including elements whose sparse slots are
+	// stale from the previous generation.
+	s.Add(42)
+	if !s.Has(42) || s.Len() != 1 {
+		t.Fatal("Add after Clear broken")
+	}
+	if s.Has(41) {
+		t.Fatal("stale sparse entry validated as member")
+	}
+}
+
+func TestHasOutOfRange(t *testing.T) {
+	s := New(5)
+	if s.Has(-1) || s.Has(5) {
+		t.Fatal("out-of-range Has should be false")
+	}
+}
+
+func TestMembersAliasAndOrderAgnostic(t *testing.T) {
+	s := New(50)
+	want := []int32{9, 1, 30}
+	for _, v := range want {
+		s.Add(int(v))
+	}
+	got := append([]int32(nil), s.Members()...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSwapRemoveKeepsInvariant(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 8; i++ {
+		s.Add(i)
+	}
+	// Remove from the middle repeatedly; remaining membership must be exact.
+	s.Remove(0)
+	s.Remove(4)
+	s.Remove(7)
+	for i := 0; i < 8; i++ {
+		want := i != 0 && i != 4 && i != 7
+		if s.Has(i) != want {
+			t.Fatalf("Has(%d) = %v, want %v", i, s.Has(i), want)
+		}
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+}
+
+// Property: a sparse set behaves like map[int]bool under a random operation
+// sequence.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		s := New(n)
+		ref := map[int]bool{}
+		for op := 0; op < 500; op++ {
+			v := rng.Intn(n)
+			switch rng.Intn(4) {
+			case 0, 1:
+				s.Add(v)
+				ref[v] = true
+			case 2:
+				s.Remove(v)
+				delete(ref, v)
+			case 3:
+				if rng.Intn(20) == 0 {
+					s.Clear()
+					ref = map[int]bool{}
+				}
+			}
+			if s.Len() != len(ref) {
+				return false
+			}
+			if s.Has(v) != ref[v] {
+				return false
+			}
+		}
+		count := 0
+		s.ForEach(func(v int) {
+			if !ref[v] {
+				count = -1 << 30
+			}
+			count++
+		})
+		return count == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,270 @@
+package ssa
+
+import (
+	"fastliveness/internal/ir"
+)
+
+// ConstructBraun converts a slot-form function into strict SSA with the
+// incremental algorithm of Braun, Buchwald, Hack, Leißa, Mallon and Zwinkau
+// ("Simple and Efficient Construction of Static Single Assignment Form",
+// CC 2013). It requires no dominance information: blocks are filled in
+// reverse postorder, a block is sealed once all its predecessors are
+// filled, and reads in unsealed blocks create operandless φs completed at
+// sealing time. Trivial φs are removed recursively, so the output is
+// pruned and, on reducible CFGs, minimal.
+func ConstructBraun(f *ir.Func) {
+	if f.NumSlots == 0 {
+		return
+	}
+	b := &braun{
+		f:          f,
+		currentDef: make([]map[*ir.Block]*ir.Value, f.NumSlots),
+		sealed:     map[*ir.Block]bool{},
+		filled:     map[*ir.Block]bool{},
+		incomplete: map[*ir.Block]map[int]*ir.Value{},
+		phiSlot:    map[*ir.Value]int{},
+		building:   map[*ir.Value]bool{},
+		replaced:   map[*ir.Value]*ir.Value{},
+	}
+	for s := range b.currentDef {
+		b.currentDef[s] = map[*ir.Block]*ir.Value{}
+	}
+
+	order := reversePostorder(f)
+	// The entry can be sealed immediately: it has no predecessors.
+	b.sealBlock(f.Entry())
+	for _, blk := range order {
+		b.fillBlock(blk)
+		b.filled[blk] = true
+		// Seal every successor whose predecessors are now all filled.
+		for _, e := range blk.Succs {
+			b.trySeal(e.B)
+		}
+	}
+	// Reverse postorder covers only reachable blocks, so by now every
+	// reachable predecessor is filled and everything seals.
+	for _, blk := range order {
+		b.trySeal(blk)
+	}
+	if len(b.incomplete) > 0 {
+		panic("ssa: blocks with unreachable predecessors; remove unreachable blocks before SSA construction")
+	}
+	f.NumSlots = 0
+}
+
+type braun struct {
+	f          *ir.Func
+	currentDef []map[*ir.Block]*ir.Value // per slot
+	sealed     map[*ir.Block]bool
+	filled     map[*ir.Block]bool
+	incomplete map[*ir.Block]map[int]*ir.Value // unsealed block -> slot -> φ
+	phiSlot    map[*ir.Value]int
+	building   map[*ir.Value]bool // φs whose operand lists are being filled
+	// replaced forwards removed trivial φs to their replacement; the
+	// replacement may itself be removed later, so chains are followed.
+	replaced map[*ir.Value]*ir.Value
+	zeroInit *ir.Value
+}
+
+func (b *braun) trySeal(blk *ir.Block) {
+	if b.sealed[blk] {
+		return
+	}
+	for _, e := range blk.Preds {
+		if !b.filled[e.B] {
+			return
+		}
+	}
+	b.sealBlock(blk)
+}
+
+func (b *braun) sealBlock(blk *ir.Block) {
+	// Mark sealed and detach the pending map first: operand completion can
+	// re-enter readVariable on this very block (self loops, cycles), which
+	// must observe the sealed state and the φs' currentDef entries rather
+	// than registering fresh incomplete φs that the loop below would miss.
+	pending := b.incomplete[blk]
+	delete(b.incomplete, blk)
+	b.sealed[blk] = true
+	for slot, phi := range pending {
+		b.addPhiOperands(slot, phi)
+	}
+}
+
+func (b *braun) fillBlock(blk *ir.Block) {
+	for _, v := range append([]*ir.Value(nil), blk.Values...) {
+		switch v.Op {
+		case ir.OpSlotLoad:
+			def := b.readVariable(int(v.AuxInt), blk)
+			v.ReplaceUsesWith(def)
+			blk.RemoveValue(v)
+		case ir.OpSlotStore:
+			b.writeVariable(int(v.AuxInt), blk, v.Args[0])
+			blk.RemoveValue(v)
+		}
+	}
+}
+
+func (b *braun) writeVariable(slot int, blk *ir.Block, v *ir.Value) {
+	b.currentDef[slot][blk] = v
+}
+
+func (b *braun) readVariable(slot int, blk *ir.Block) *ir.Value {
+	if v := b.currentDef[slot][blk]; v != nil {
+		// The cached definition may have been removed as a trivial φ since
+		// it was recorded; path-compress to the live replacement.
+		v = b.resolve(v)
+		b.currentDef[slot][blk] = v
+		return v
+	}
+	return b.readVariableRecursive(slot, blk)
+}
+
+func (b *braun) readVariableRecursive(slot int, blk *ir.Block) *ir.Value {
+	var v *ir.Value
+	switch {
+	case !b.sealed[blk]:
+		// Incomplete CFG knowledge: place an operandless φ to be completed
+		// when the block seals.
+		v = blk.InsertValueFront(ir.OpPhi)
+		b.phiSlot[v] = slot
+		m := b.incomplete[blk]
+		if m == nil {
+			m = map[int]*ir.Value{}
+			b.incomplete[blk] = m
+		}
+		m[slot] = v
+	case len(blk.Preds) == 0:
+		// Reading an undefined slot at the entry: it observes 0, matching
+		// the interpreter's zero-initialized slot storage.
+		v = b.zeroConst()
+	case len(blk.Preds) == 1:
+		v = b.readVariable(slot, blk.Preds[0].B)
+	default:
+		// Break potential cycles with an operandless φ before recursing.
+		phi := blk.InsertValueFront(ir.OpPhi)
+		b.phiSlot[phi] = slot
+		b.writeVariable(slot, blk, phi)
+		v = b.addPhiOperands(slot, phi)
+	}
+	b.writeVariable(slot, blk, v)
+	return v
+}
+
+func (b *braun) addPhiOperands(slot int, phi *ir.Value) *ir.Value {
+	// Guard against reentrant triviality checks: while operands are being
+	// added, a recursive removal of some operand φ may reach this φ via
+	// its use list and misjudge the partial operand list as trivial. Such
+	// φs are skipped and re-examined below, once complete.
+	b.building[phi] = true
+	for _, e := range phi.Block.Preds {
+		phi.AddArg(b.readVariable(slot, e.B))
+	}
+	delete(b.building, phi)
+	return b.tryRemoveTrivialPhi(phi)
+}
+
+// tryRemoveTrivialPhi removes φs of the shape φ(x, x, φ-itself, x) that
+// merge a single value, replacing them by that value and re-examining φ
+// users that may have become trivial in turn.
+func (b *braun) tryRemoveTrivialPhi(phi *ir.Value) *ir.Value {
+	if phi.Block == nil {
+		// Already removed by an earlier step of the recursion.
+		return phi
+	}
+	if b.building[phi] {
+		// Operand list incomplete; addPhiOperands re-checks when done.
+		return phi
+	}
+	var same *ir.Value
+	for _, a := range phi.Args {
+		if a == same || a == phi {
+			continue // self-reference or duplicate
+		}
+		if same != nil {
+			return phi // merges at least two values: not trivial
+		}
+		same = a
+	}
+	if same == nil {
+		// Unreachable φ referencing only itself; keep 0 semantics.
+		same = b.zeroConst()
+	}
+	// Collect φ users before rewriting.
+	var phiUsers []*ir.Value
+	for _, u := range phi.Uses() {
+		if u.User != nil && u.User.Op == ir.OpPhi && u.User != phi {
+			phiUsers = append(phiUsers, u.User)
+		}
+	}
+	phi.ReplaceUsesWith(same)
+	// The φ may be recorded as a current definition; redirect those
+	// entries.
+	slot := b.phiSlot[phi]
+	for blk, def := range b.currentDef[slot] {
+		if def == phi {
+			b.currentDef[slot][blk] = same
+		}
+	}
+	phi.Block.RemoveValue(phi)
+	b.replaced[phi] = same
+	for _, u := range phiUsers {
+		b.tryRemoveTrivialPhi(u)
+	}
+	// The recursion may have found `same` itself trivial and removed it;
+	// follow the forwarding chain so callers never see a detached value.
+	return b.resolve(same)
+}
+
+// resolve follows removed-φ forwarding to the live replacement.
+func (b *braun) resolve(v *ir.Value) *ir.Value {
+	for {
+		w := b.replaced[v]
+		if w == nil {
+			return v
+		}
+		v = w
+	}
+}
+
+func (b *braun) zeroConst() *ir.Value {
+	if b.zeroInit == nil {
+		entry := b.f.Entry()
+		z := entry.NewValueI(ir.OpConst, 0)
+		z.Name = "braun.init0"
+		// Move it to the front so every later value may use it.
+		copy(entry.Values[1:], entry.Values[:len(entry.Values)-1])
+		entry.Values[0] = z
+		b.zeroInit = z
+	}
+	return b.zeroInit
+}
+
+// reversePostorder lists the reachable blocks, entry first.
+func reversePostorder(f *ir.Func) []*ir.Block {
+	seen := map[*ir.Block]bool{f.Entry(): true}
+	var post []*ir.Block
+	type frame struct {
+		b    *ir.Block
+		next int
+	}
+	stack := []frame{{b: f.Entry()}}
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.next < len(fr.b.Succs) {
+			s := fr.b.Succs[fr.next].B
+			fr.next++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		post = append(post, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

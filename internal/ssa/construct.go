@@ -1,0 +1,191 @@
+package ssa
+
+import (
+	"fastliveness/internal/cfg"
+	"fastliveness/internal/dom"
+	"fastliveness/internal/ir"
+)
+
+// Construct converts a slot-form function into strict SSA with the
+// algorithm of Cytron, Ferrante, Rosen, Wegman and Zadeck: φ-functions are
+// placed at the iterated dominance frontier of each slot's definition
+// blocks, then a renaming walk over the dominator tree replaces loads with
+// the reaching definition and removes all slot operations.
+//
+// Slots that can be read before any store observe the constant 0: an
+// initializing store is added in the entry block on demand, which keeps the
+// output strict even for programs (or irreducible goto shapes) where a path
+// skips the original initialization.
+func Construct(f *ir.Func) {
+	if f.NumSlots == 0 {
+		return
+	}
+	g, index := cfg.FromFunc(f)
+	d := cfg.NewDFS(g)
+	if d.NumReachable != len(f.Blocks) {
+		panic("ssa: remove unreachable blocks before SSA construction")
+	}
+	tree := dom.Iterative(g, d)
+	df := dom.Frontiers(g, d, tree)
+	node := func(b *ir.Block) int { return index[b.ID] }
+
+	nSlots := f.NumSlots
+
+	// Guarantee a definition of every used slot in the entry block, so the
+	// renaming stacks are never empty at a load.
+	ensureEntryDefs(f)
+
+	// Collect definition blocks per slot.
+	defBlocks := make([][]int, nSlots)
+	seenDef := make([][]bool, nSlots)
+	for s := 0; s < nSlots; s++ {
+		seenDef[s] = make([]bool, g.N())
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpSlotStore {
+				s := int(v.AuxInt)
+				if !seenDef[s][node(b)] {
+					seenDef[s][node(b)] = true
+					defBlocks[s] = append(defBlocks[s], node(b))
+				}
+			}
+		}
+	}
+
+	// φ placement at iterated dominance frontiers (minimal SSA).
+	// phiFor[slot][node] is the inserted φ.
+	phiFor := make([]map[int]*ir.Value, nSlots)
+	for s := 0; s < nSlots; s++ {
+		phiFor[s] = map[int]*ir.Value{}
+		work := append([]int(nil), defBlocks[s]...)
+		onWork := make([]bool, g.N())
+		for _, n := range work {
+			onWork[n] = true
+		}
+		for len(work) > 0 {
+			n := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, y := range df[n] {
+				if phiFor[s][y] != nil {
+					continue
+				}
+				phi := f.Blocks[y].InsertValueFront(ir.OpPhi)
+				phiFor[s][y] = phi
+				if !onWork[y] {
+					onWork[y] = true
+					work = append(work, y)
+				}
+			}
+		}
+	}
+
+	// Renaming walk over the dominator tree. φ arguments are collected on
+	// the side (a φ's argument list must align with predecessor order, and
+	// predecessors are visited out of order).
+	stacks := make([][]*ir.Value, nSlots)
+	phiArgs := map[*ir.Value][]*ir.Value{}
+	for s := 0; s < nSlots; s++ {
+		for _, phi := range phiFor[s] {
+			phiArgs[phi] = make([]*ir.Value, len(phi.Block.Preds))
+		}
+	}
+
+	var walk func(n int)
+	walk = func(n int) {
+		b := f.Blocks[n]
+		var localPush []int // slots pushed in this block, popped on exit
+		// φs first: they define their slot.
+		for s := 0; s < nSlots; s++ {
+			if phi := phiFor[s][n]; phi != nil {
+				stacks[s] = append(stacks[s], phi)
+				localPush = append(localPush, s)
+			}
+		}
+		// Rewrite the body. Values is mutated (loads/stores removed), so
+		// iterate over a snapshot.
+		for _, v := range append([]*ir.Value(nil), b.Values...) {
+			switch v.Op {
+			case ir.OpSlotLoad:
+				s := int(v.AuxInt)
+				cur := stacks[s][len(stacks[s])-1]
+				v.ReplaceUsesWith(cur)
+				b.RemoveValue(v)
+			case ir.OpSlotStore:
+				s := int(v.AuxInt)
+				stacks[s] = append(stacks[s], v.Args[0])
+				localPush = append(localPush, s)
+				b.RemoveValue(v)
+			}
+		}
+		// Feed successor φs through this predecessor edge.
+		for _, e := range b.Succs {
+			succ := e.B
+			predIdx := e.I
+			for s := 0; s < nSlots; s++ {
+				if phi := phiFor[s][node(succ)]; phi != nil {
+					phiArgs[phi][predIdx] = stacks[s][len(stacks[s])-1]
+				}
+			}
+		}
+		// Recurse into dominator-tree children.
+		for _, c := range tree.Children[n] {
+			walk(c)
+		}
+		// Pop this block's definitions.
+		for i := len(localPush) - 1; i >= 0; i-- {
+			s := localPush[i]
+			stacks[s] = stacks[s][:len(stacks[s])-1]
+		}
+	}
+	walk(0)
+
+	// Install the collected φ arguments.
+	for phi, args := range phiArgs {
+		for _, a := range args {
+			if a == nil {
+				panic("ssa: φ argument not reached by renaming (unreachable predecessor?)")
+			}
+			phi.AddArg(a)
+		}
+	}
+
+	f.NumSlots = 0
+}
+
+// ensureEntryDefs prepends `const 0; slotstore` for every used slot, so the
+// renaming stacks are never empty at a load. The first real store shadows
+// the initializer, and unread initializers feed no load, so semantics are
+// unchanged except that reads of never-stored slots observe 0 — the same
+// semantics the interpreter gives slot storage.
+func ensureEntryDefs(f *ir.Func) {
+	used := make([]bool, f.NumSlots)
+	f.Values(func(v *ir.Value) {
+		if v.Op == ir.OpSlotLoad || v.Op == ir.OpSlotStore {
+			used[v.AuxInt] = true
+		}
+	})
+	entry := f.Entry()
+	any := false
+	for s := len(used) - 1; s >= 0; s-- {
+		if used[s] {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	// Build the initializer sequence at the end, then rotate it to the
+	// front of the entry block (the entry has no φs to respect).
+	firstNew := len(entry.Values)
+	zero := entry.NewValueI(ir.OpConst, 0)
+	zero.Name = "ssa.init0"
+	for s := 0; s < len(used); s++ {
+		if used[s] {
+			entry.NewValueI(ir.OpSlotStore, int64(s), zero)
+		}
+	}
+	tail := append([]*ir.Value(nil), entry.Values[firstNew:]...)
+	copy(entry.Values[len(tail):], entry.Values[:firstNew])
+	copy(entry.Values, tail)
+}

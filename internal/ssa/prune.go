@@ -1,0 +1,53 @@
+package ssa
+
+import "fastliveness/internal/ir"
+
+// PruneDeadPhis removes φ-functions whose values can never reach a real
+// (non-φ) use, including cyclic φ webs that only feed each other. The
+// Cytron construction inserts φs at every iterated dominance frontier of a
+// store, which is minimal but not pruned; this pass brings it to pruned
+// SSA. It returns the number of φs removed.
+func PruneDeadPhis(f *ir.Func) int {
+	// Mark φs that (transitively) reach a non-φ use or a block control.
+	useful := map[*ir.Value]bool{}
+	var mark func(v *ir.Value)
+	mark = func(v *ir.Value) {
+		if v.Op != ir.OpPhi || useful[v] {
+			return
+		}
+		useful[v] = true
+		for _, a := range v.Args {
+			mark(a)
+		}
+	}
+	f.Values(func(v *ir.Value) {
+		if v.Op == ir.OpPhi {
+			return
+		}
+		for _, a := range v.Args {
+			mark(a)
+		}
+	})
+	for _, b := range f.Blocks {
+		if b.Control != nil {
+			mark(b.Control)
+		}
+	}
+
+	// Remove the rest. Dead φs may reference each other, so break their
+	// argument links first.
+	var dead []*ir.Value
+	f.Values(func(v *ir.Value) {
+		if v.Op == ir.OpPhi && !useful[v] {
+			dead = append(dead, v)
+		}
+	})
+	for _, v := range dead {
+		// Stop using anything, in particular the other dead φs.
+		v.ClearArgs()
+	}
+	for _, v := range dead {
+		v.Block.RemoveValue(v)
+	}
+	return len(dead)
+}

@@ -1,0 +1,182 @@
+// Package stats provides the small statistical toolbox the workload
+// generator and the benchmark harness share: a normal quantile function
+// (used to fit per-benchmark lognormal block-count distributions to the
+// shape statistics of the paper's Table 1), summary helpers, and aligned
+// text tables in the style of the paper.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// NormQuantile returns Φ⁻¹(p), the standard normal quantile, using Peter
+// Acklam's rational approximation (relative error < 1.15e-9). It panics for
+// p outside (0,1).
+func NormQuantile(p float64) float64 {
+	if !(p > 0 && p < 1) {
+		panic(fmt.Sprintf("stats: quantile of p=%v", p))
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// FitLognormal returns (mu, sigma) of a lognormal distribution with the
+// given mean whose CDF at x equals pAtX. This is how the generator turns
+// Table 1's "average blocks" and "% ≤ 32 blocks" into a sampling
+// distribution: solving
+//
+//	mean     = exp(mu + sigma²/2)
+//	P(X ≤ x) = Φ((ln x − mu)/sigma) = pAtX
+//
+// for sigma via the quadratic sigma²/2 − z·sigma + ln(x/mean) = 0 with
+// z = Φ⁻¹(pAtX).
+func FitLognormal(mean, x, pAtX float64) (mu, sigma float64) {
+	z := NormQuantile(pAtX)
+	disc := z*z - 2*math.Log(x/mean)
+	if disc < 0 {
+		// Inconsistent inputs; fall back to a moderate spread.
+		sigma = 0.8
+	} else {
+		sigma = z + math.Sqrt(disc)
+		if sigma <= 0.05 {
+			sigma = 0.05
+		}
+	}
+	mu = math.Log(x) - sigma*z
+	return mu, sigma
+}
+
+// Summary describes a sample of integer observations.
+type Summary struct {
+	N    int
+	Sum  int
+	Mean float64
+	Max  int
+}
+
+// Summarize computes the summary of xs.
+func Summarize(xs []int) Summary {
+	s := Summary{N: len(xs)}
+	for _, x := range xs {
+		s.Sum += x
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	if s.N > 0 {
+		s.Mean = float64(s.Sum) / float64(s.N)
+	}
+	return s
+}
+
+// PctLE returns the percentage of xs that are ≤ limit.
+func PctLE(xs []int, limit int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= limit {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs.
+func Percentile(xs []int, p float64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Table accumulates rows and renders them with aligned columns, in the
+// plain style of the paper's tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i := range t.header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%*s", width[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := len(width)*2 - 2
+	for _, w := range width {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// F formats a float with the given decimals, for table cells.
+func F(x float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, x)
+}

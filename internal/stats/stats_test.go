@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNormQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.8413447, 1.0},
+		{0.1586553, -1.0},
+		{0.9772499, 2.0},
+		{0.0013499, -3.0},
+		{0.9986501, 3.0},
+	}
+	for _, c := range cases {
+		if got := NormQuantile(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Symmetry.
+	for _, p := range []float64{0.01, 0.1, 0.3, 0.45} {
+		if got := NormQuantile(p) + NormQuantile(1-p); math.Abs(got) > 1e-9 {
+			t.Errorf("asymmetry at p=%v: %v", p, got)
+		}
+	}
+}
+
+func TestNormQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormQuantile(%v) should panic", p)
+				}
+			}()
+			NormQuantile(p)
+		}()
+	}
+}
+
+// FitLognormal must hit both its constraints: the mean and the CDF value.
+func TestFitLognormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct{ mean, x, p float64 }{
+		{33.35, 32, 0.6951}, // gzip
+		{69.28, 32, 0.5963}, // crafty
+		{20.31, 32, 0.8461}, // mcf
+	}
+	for _, c := range cases {
+		mu, sigma := FitLognormal(c.mean, c.x, c.p)
+		// Empirical check by sampling.
+		n := 200000
+		sum, le := 0.0, 0
+		for i := 0; i < n; i++ {
+			v := math.Exp(mu + sigma*rng.NormFloat64())
+			sum += v
+			if v <= c.x {
+				le++
+			}
+		}
+		if gotMean := sum / float64(n); math.Abs(gotMean-c.mean) > 0.08*c.mean {
+			t.Errorf("mean(%v): got %.2f, want %.2f", c, gotMean, c.mean)
+		}
+		if gotP := float64(le) / float64(n); math.Abs(gotP-c.p) > 0.02 {
+			t.Errorf("P≤x(%v): got %.3f, want %.3f", c, gotP, c.p)
+		}
+	}
+}
+
+func TestSummaryAndPercentiles(t *testing.T) {
+	xs := []int{5, 1, 9, 3}
+	s := Summarize(xs)
+	if s.N != 4 || s.Sum != 18 || s.Max != 9 || math.Abs(s.Mean-4.5) > 1e-9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if got := PctLE(xs, 4); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("PctLE = %v", got)
+	}
+	if got := PctLE(nil, 4); got != 0 {
+		t.Fatalf("PctLE(nil) = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("P0 = %d", got)
+	}
+	if got := Percentile(xs, 100); got != 9 {
+		t.Fatalf("P100 = %d", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("P50(nil) = %d", got)
+	}
+	if s := Summarize(nil); s.Mean != 0 {
+		t.Fatal("empty summary mean should be 0")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Name", "Value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b") // short row padded
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Name") || !strings.Contains(lines[2], "alpha") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+	// Columns aligned: header and data rows have the same width.
+	if len(lines[0]) != len(lines[2]) {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+	if F(3.14159, 2) != "3.14" {
+		t.Fatal("F broken")
+	}
+}

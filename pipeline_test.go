@@ -1,0 +1,114 @@
+package fastliveness_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastliveness"
+	"fastliveness/internal/dataflow"
+	"fastliveness/internal/destruct"
+	"fastliveness/internal/gen"
+	"fastliveness/internal/interp"
+	"fastliveness/internal/ir"
+	"fastliveness/internal/ssa"
+)
+
+type checkerOracle struct {
+	live    *fastliveness.Liveness
+	queries int
+}
+
+func (o *checkerOracle) IsLiveOut(v *ir.Value, b *ir.Block) bool {
+	o.queries++
+	return o.live.IsLiveOut(v, b)
+}
+
+// TestPaperPipelineEndToEnd runs the paper's full §6 pipeline with the
+// checker in the oracle seat: generate → SSA → split critical edges →
+// analyze once → destruct (querying the checker while the pass inserts
+// copies) → verify the result is φ-free and semantically identical.
+//
+// This exercises the headline property under real load: the destruction
+// pass adds copy instructions between queries, and the analysis stays
+// valid because the CFG never changes after Prepare.
+func TestPaperPipelineEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	totalQueries := 0
+	for trial := 0; trial < 60; trial++ {
+		c := gen.Default(int64(trial)*501 + 13)
+		c.TargetBlocks = 6 + rng.Intn(60)
+		c.Irreducible = trial%8 == 3
+		f := gen.Generate("p", c)
+		ssa.Construct(f)
+		ref := ir.Clone(f)
+
+		destruct.Prepare(f)
+		live, err := fastliveness.Analyze(f, fastliveness.Config{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		oracle := &checkerOracle{live: live}
+		st := destruct.Run(f, oracle, destruct.ModeCoalesce)
+		totalQueries += oracle.queries
+
+		if err := ir.Verify(f); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		f.Values(func(v *ir.Value) {
+			if v.Op == ir.OpPhi {
+				t.Fatalf("trial %d: φ survived destruction", trial)
+			}
+		})
+		if st.Phis == 0 && oracle.queries > 0 {
+			t.Fatalf("trial %d: queries without φs", trial)
+		}
+
+		for run := 0; run < 4; run++ {
+			args := []int64{rng.Int63n(100) - 50, rng.Int63n(100) - 50, rng.Int63()}
+			want, err1 := interp.Run(ref, args, interp.Options{})
+			got, err2 := interp.Run(f, args, interp.Options{})
+			if err1 != nil || err2 != nil {
+				t.Fatalf("trial %d: interp errors %v / %v", trial, err1, err2)
+			}
+			if want.Ret != got.Ret {
+				t.Fatalf("trial %d args %v: %d before, %d after destruction",
+					trial, args, want.Ret, got.Ret)
+			}
+		}
+	}
+	if totalQueries == 0 {
+		t.Fatal("pipeline issued no queries at all")
+	}
+}
+
+// The checker-driven destruction must make the same coalescing decisions as
+// a dataflow-driven one — same copies, same classes — because the oracles
+// agree on every answer.
+func TestOracleChoiceDoesNotChangeDecisions(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		c := gen.Default(int64(trial)*77 + 3)
+		c.TargetBlocks = 8 + trial
+		f1 := gen.Generate("p", c)
+		ssa.Construct(f1)
+		f2 := ir.Clone(f1)
+
+		destruct.Prepare(f1)
+		live, err := fastliveness.Analyze(f1, fastliveness.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1 := destruct.Run(f1, &checkerOracle{live: live}, destruct.ModeCoalesce)
+
+		destruct.Prepare(f2)
+		r := dataflow.Analyze(f2)
+		s2 := destruct.Run(f2, oracleFunc(r.IsLiveOut), destruct.ModeCoalesce)
+
+		if s1.Copies != s2.Copies || s1.CoalescedArgs != s2.CoalescedArgs ||
+			s1.Classes != s2.Classes || s1.Phis != s2.Phis {
+			t.Fatalf("trial %d: decisions differ: checker %+v vs dataflow %+v", trial, s1, s2)
+		}
+		if ir.Print(f1) != ir.Print(f2) {
+			t.Fatalf("trial %d: destructed programs differ", trial)
+		}
+	}
+}
