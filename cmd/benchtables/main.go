@@ -3,25 +3,37 @@
 //
 // Usage:
 //
-//	benchtables [-table 1|2|edges|fullprecomp|scaling|queries|all] [-limit N]
+//	benchtables [-table 1|2|edges|fullprecomp|scaling|queries|engine|all] [-limit N]
 //
 // -limit caps the number of procedures generated per benchmark (0 = the
 // full corpus, 4823 procedures — Table 2 then takes a few minutes).
-// The default limit of 120 yields stable shapes quickly.
+// The default limit of 120 yields stable shapes quickly. The engine table
+// uses its own whole-program corpus, sized by -funcs and spread over the
+// -workers counts.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"fastliveness/internal/bench"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table: 1|2|edges|fullprecomp|queries|scaling|all")
+	table := flag.String("table", "all", "which table: 1|2|edges|fullprecomp|queries|scaling|engine|all")
 	limit := flag.Int("limit", 120, "procedures per benchmark (0 = full corpus)")
+	workers := flag.String("workers", "1,2,4,8", "worker counts for -table engine")
+	funcs := flag.Int("funcs", 128, "corpus size for -table engine")
 	flag.Parse()
+
+	workerCounts, err := parseWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	needCorpus := map[string]bool{"1": true, "2": true, "edges": true,
 		"fullprecomp": true, "queries": true, "all": true}[*table]
@@ -44,6 +56,8 @@ func main() {
 		fmt.Println(bench.DestructionStats(corpora))
 	case "scaling":
 		fmt.Println(bench.ScalingSeries([]int{64, 128, 256, 512, 1024, 2048, 4096}))
+	case "engine":
+		fmt.Println(bench.ProgramTable(*funcs, workerCounts, 3))
 	case "all":
 		fmt.Println(bench.Table1(corpora))
 		fmt.Println(bench.EdgeStats(corpora))
@@ -51,8 +65,22 @@ func main() {
 		fmt.Println(bench.DestructionStats(corpora))
 		fmt.Println(bench.FullPrecompStats(corpora))
 		fmt.Println(bench.ScalingSeries([]int{64, 128, 256, 512, 1024, 2048}))
+		fmt.Println(bench.ProgramTable(*funcs, workerCounts, 3))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)
 	}
+}
+
+// parseWorkers reads the -workers list ("1,2,4,8").
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q (want positive integers, comma-separated)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

@@ -1,9 +1,11 @@
-// Command livecheck answers liveness queries for a textual IR function.
+// Command livecheck answers liveness queries for textual IR functions.
 //
 // Usage:
 //
 //	livecheck [flags] file.ssair
 //	livecheck [flags] -            # read from stdin
+//	livecheck [flags] dir/         # whole-program mode: every *.ssair below dir
+//	livecheck [flags] a.ssair b.ssair ...
 //
 // With -q, it answers individual queries; without, it dumps the live-in and
 // live-out sets of every block (computed through the checker's
@@ -11,19 +13,29 @@
 //
 //	livecheck -q '%x@b3' -q 'out:%y@b2' prog.ssair
 //
+// Whole-program mode (a directory argument, or several files) analyzes one
+// function per file through the concurrent engine and prints a per-function
+// summary; queries then name their function with a third '@' component:
+//
+//	livecheck -parallel 8 -q '%x@b3@myfunc' build/ssair/
+//
 // Flags:
 //
 //	-construct    run SSA construction first (for slot-form inputs)
-//	-engine       checker | dataflow | lao | pervar | loops
+//	-engine       checker | dataflow | lao | pervar | loops (single-function mode)
 //	-verify       verify strict SSA before analyzing (default true)
 //	-stats        print CFG/analysis statistics
+//	-parallel     precompute worker count in whole-program mode (0 = GOMAXPROCS)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"fastliveness"
@@ -48,19 +60,157 @@ func main() {
 		engine    = flag.String("engine", "checker", "liveness engine: checker|dataflow|lao|pervar|loops")
 		verify    = flag.Bool("verify", true, "verify strict SSA before analyzing")
 		stat      = flag.Bool("stats", false, "print CFG/analysis statistics")
+		parallel  = flag.Int("parallel", 0, "whole-program precompute workers (0 = GOMAXPROCS)")
 		queries   queryList
 	)
-	flag.Var(&queries, "q", "query '[in:|out:]%value@block' (repeatable)")
+	flag.Var(&queries, "q", "query '[in:|out:]%value@block[@func]' (repeatable)")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: livecheck [flags] file.ssair (or - for stdin)")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: livecheck [flags] file.ssair | - | dir/ | file...")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *construct, *engine, *verify, *stat, queries); err != nil {
+	paths, program, err := programArgs(flag.Args())
+	if err == nil {
+		if program {
+			err = runProgram(paths, *construct, *engine, *verify, *stat, *parallel, queries)
+		} else {
+			err = run(flag.Arg(0), *construct, *engine, *verify, *stat, queries)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "livecheck:", err)
 		os.Exit(1)
 	}
+}
+
+// programArgs expands directory arguments into their *.ssair files and
+// reports whether the invocation is whole-program mode (any directory, or
+// more than one file).
+func programArgs(args []string) ([]string, bool, error) {
+	var paths []string
+	program := len(args) > 1
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err == nil && info.IsDir() {
+			program = true
+			err := filepath.WalkDir(a, func(p string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() && strings.HasSuffix(p, ".ssair") {
+					paths = append(paths, p)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, true, fmt.Errorf("walking %s: %w", a, err)
+			}
+			continue
+		}
+		paths = append(paths, a)
+	}
+	sort.Strings(paths)
+	return paths, program, nil
+}
+
+// runProgram is whole-program mode: one function per file, analyzed
+// concurrently by the engine, summarized (or queried) in sorted file
+// order so output is deterministic regardless of parallelism.
+func runProgram(paths []string, construct bool, engine string, verify, stat bool, parallel int, queries queryList) error {
+	if engine != "checker" {
+		return fmt.Errorf("whole-program mode supports only -engine checker (got %q)", engine)
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no .ssair files found")
+	}
+	funcs := make([]*ir.Func, 0, len(paths))
+	byName := make(map[string]*ir.Func, len(paths))
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		f, err := ir.Parse(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		if construct {
+			ssa.Construct(f)
+		}
+		if verify {
+			if err := ssa.VerifyStrict(f); err != nil {
+				return fmt.Errorf("%s: not strict SSA: %w", p, err)
+			}
+		}
+		if _, dup := byName[f.Name]; dup {
+			return fmt.Errorf("%s: duplicate function name @%s", p, f.Name)
+		}
+		byName[f.Name] = f
+		funcs = append(funcs, f)
+	}
+
+	eng, err := fastliveness.AnalyzeProgram(funcs, fastliveness.EngineConfig{Parallelism: parallel})
+	if err != nil {
+		return err
+	}
+
+	if len(queries) > 0 {
+		if stat {
+			for _, f := range funcs {
+				printStats(f)
+			}
+		}
+		for _, q := range queries {
+			if err := answerProgram(eng, byName, q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for i, f := range funcs {
+		live, err := eng.Liveness(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: ", paths[i])
+		printStats(f)
+		if stat {
+			fmt.Printf("  precomputed sets: %dB\n", live.MemoryBytes())
+		}
+	}
+	fmt.Printf("%d functions analyzed (%d resident, %d bytes of precomputed sets)\n",
+		len(funcs), eng.Resident(), eng.MemoryBytes())
+	return nil
+}
+
+// answerProgram resolves a '[in:|out:]%value@block@func' query against the
+// engine. With exactly one function loaded, the '@func' component may be
+// omitted.
+func answerProgram(eng *fastliveness.Engine, byName map[string]*ir.Func, q string) error {
+	kind, rest := splitKind(q)
+	parts := strings.Split(rest, "@")
+	var f *ir.Func
+	switch {
+	case len(parts) == 3:
+		f = byName[parts[2]]
+		if f == nil {
+			return fmt.Errorf("unknown function %q in query %q", parts[2], q)
+		}
+		rest = parts[0] + "@" + parts[1]
+	case len(parts) == 2 && len(byName) == 1:
+		for _, only := range byName {
+			f = only
+		}
+	default:
+		return fmt.Errorf("bad query %q (want '[in:|out:]%%value@block@func' in whole-program mode)", q)
+	}
+	live, err := eng.Liveness(f)
+	if err != nil {
+		return err
+	}
+	return answer(f, kind, rest, live.IsLiveIn, live.IsLiveOut)
 }
 
 func run(path string, construct bool, engine string, verify, stat bool, queries queryList) error {
@@ -98,7 +248,8 @@ func run(path string, construct bool, engine string, verify, stat bool, queries 
 
 	if len(queries) > 0 {
 		for _, q := range queries {
-			if err := answer(f, q, liveIn, liveOut); err != nil {
+			kind, rest := splitKind(q)
+			if err := answer(f, kind, rest, liveIn, liveOut); err != nil {
 				return err
 			}
 		}
@@ -154,18 +305,28 @@ func buildEngine(name string, f *ir.Func) (liveIn, liveOut queryFunc, err error)
 	return nil, nil, fmt.Errorf("unknown engine %q", name)
 }
 
-func answer(f *ir.Func, q string, liveIn, liveOut queryFunc) error {
-	kind := "in"
-	rest := q
+// splitKind strips the optional 'in:'/'out:' query prefix, returning it
+// (with the colon) and the remainder.
+func splitKind(q string) (kind, rest string) {
 	switch {
 	case strings.HasPrefix(q, "in:"):
-		rest = q[3:]
+		return "in:", q[3:]
 	case strings.HasPrefix(q, "out:"):
-		kind, rest = "out", q[4:]
+		return "out:", q[4:]
+	}
+	return "", q
+}
+
+// answer resolves and prints one query, already split by splitKind into
+// its prefix ("", "in:" or "out:") and '%value@block' remainder.
+func answer(f *ir.Func, prefix, rest string, liveIn, liveOut queryFunc) error {
+	kind := "in"
+	if prefix == "out:" {
+		kind = "out"
 	}
 	at := strings.IndexByte(rest, '@')
 	if at < 0 || !strings.HasPrefix(rest, "%") {
-		return fmt.Errorf("bad query %q (want '[in:|out:]%%value@block')", q)
+		return fmt.Errorf("bad query %q (want '[in:|out:]%%value@block')", prefix+rest)
 	}
 	v := f.ValueByName(rest[1:at])
 	if v == nil {

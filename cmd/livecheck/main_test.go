@@ -121,3 +121,100 @@ func TestBuildEngineAgreement(t *testing.T) {
 		}
 	})
 }
+
+const clampSrc = `
+func @clamp(%x, %lo, %hi) {
+entry:
+  %small = cmplt %x, %lo
+  if %small -> retlo, checkhi
+retlo:
+  br join
+checkhi:
+  %big = cmplt %hi, %x
+  if %big -> rethi, join
+rethi:
+  br join
+join:
+  %r = phi [%lo, retlo], [%x, checkhi], [%hi, rethi]
+  ret %r
+}
+`
+
+// writeProgram lays out a directory with one .ssair file per function.
+func writeProgram(t *testing.T, srcs map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range srcs {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestProgramArgsExpandsDirectories(t *testing.T) {
+	dir := writeProgram(t, map[string]string{
+		"loop.ssair": loopSrc, "clamp.ssair": clampSrc, "note.txt": "ignored",
+	})
+	paths, program, err := programArgs([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !program {
+		t.Fatal("directory argument should select whole-program mode")
+	}
+	if len(paths) != 2 {
+		t.Fatalf("found %d .ssair files, want 2: %v", len(paths), paths)
+	}
+	if _, program, _ := programArgs([]string{filepath.Join(dir, "loop.ssair")}); program {
+		t.Fatal("single file should stay in single-function mode")
+	}
+}
+
+func TestRunProgramSummaryAndQueries(t *testing.T) {
+	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
+	paths, _, _ := programArgs([]string{dir})
+	if err := runProgram(paths, false, "checker", true, true, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	qs := queryList{"%i@body@loop", "out:%x@entry@clamp", "in:%r@join@clamp"}
+	if err := runProgram(paths, false, "checker", true, false, 2, qs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProgramErrors(t *testing.T) {
+	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
+	paths, _, _ := programArgs([]string{dir})
+	cases := []struct {
+		queries queryList
+		engine  string
+		want    string
+	}{
+		{queryList{"%i@body@nosuch"}, "checker", "unknown function"},
+		{queryList{"%i@body"}, "checker", "bad query"},
+		{nil, "dataflow", "only -engine checker"},
+	}
+	for _, c := range cases {
+		err := runProgram(paths, false, c.engine, true, false, 1, c.queries)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("queries %v engine %s: err = %v, want %q", c.queries, c.engine, err, c.want)
+		}
+	}
+	if err := runProgram(nil, false, "checker", true, false, 1, nil); err == nil {
+		t.Error("empty program should error")
+	}
+	// Duplicate function names across files are rejected.
+	dup := writeProgram(t, map[string]string{"a.ssair": loopSrc, "b.ssair": loopSrc})
+	paths, _, _ = programArgs([]string{dup})
+	if err := runProgram(paths, false, "checker", true, false, 1, nil); err == nil ||
+		!strings.Contains(err.Error(), "duplicate function name") {
+		t.Errorf("duplicate names: err = %v", err)
+	}
+	// Single-file program mode may omit the @func component.
+	single := writeProgram(t, map[string]string{"loop.ssair": loopSrc})
+	paths, _, _ = programArgs([]string{single})
+	if err := runProgram(paths, false, "checker", true, false, 1, queryList{"out:%i@head"}); err != nil {
+		t.Errorf("single-function program without @func: %v", err)
+	}
+}

@@ -1,0 +1,325 @@
+// Program-level engine: many functions, one analysis service.
+//
+// The per-function checker of this package precomputes R/T sets in
+// near-linear time, but a whole program has thousands of functions and the
+// precomputations are completely independent — the natural axis of
+// parallelism for a compiler server or JIT that must analyze a module, not
+// a procedure. Engine owns that axis: it registers many ir.Funcs,
+// precomputes their analyses across a bounded worker pool, keeps the
+// results behind a thread-safe LRU-cached handle, and batches queries so
+// callers amortize per-query overhead.
+
+package fastliveness
+
+import (
+	"container/list"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fastliveness/internal/ir"
+)
+
+// EngineConfig tunes a program-level Engine. The zero value analyzes with
+// the paper's per-function configuration, uses one worker per CPU, and
+// caches every analysis.
+type EngineConfig struct {
+	// Config is the per-function analysis configuration.
+	Config Config
+	// Parallelism bounds the precompute worker pool and the fan-out of
+	// large batched queries. 0 means GOMAXPROCS.
+	Parallelism int
+	// MaxCached bounds how many per-function analyses stay resident; the
+	// least recently used are evicted and transparently rebuilt on the
+	// next request. 0 means unlimited.
+	MaxCached int
+}
+
+func (c EngineConfig) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Query is one liveness question: is V live (in or out, per the method
+// called) at block B. V and B must belong to the function the batch is
+// issued against.
+type Query struct {
+	V *ir.Value
+	B *ir.Block
+}
+
+// handle is the engine's per-function cache slot. All fields are guarded
+// by the engine mutex; the Analyze call itself runs unlocked with
+// `building` set so concurrent requesters wait instead of duplicating it.
+type handle struct {
+	f        *ir.Func
+	live     *Liveness
+	err      error // sticky Analyze failure
+	building bool
+	gen      int // bumped by Invalidate; in-flight builds from older gens are discarded
+	elem     *list.Element
+}
+
+// Engine analyzes a whole program: a set of functions registered with Add
+// (or all at once via AnalyzeProgram), precomputed in parallel by
+// Precompute, and queried through per-function Liveness handles or the
+// batched query methods. All methods are safe for concurrent use.
+//
+// The per-function contract carries over: a cached analysis stays valid
+// under any edit that leaves that function's CFG alone, and must be dropped
+// with Invalidate when blocks or edges change.
+type Engine struct {
+	config EngineConfig
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	funcs []*ir.Func // registration order: the deterministic program order
+	index map[*ir.Func]*handle
+	lru   *list.List // resident handles, most recent first
+}
+
+// NewEngine returns an empty engine; register functions with Add.
+func NewEngine(config EngineConfig) *Engine {
+	e := &Engine{
+		config: config,
+		index:  make(map[*ir.Func]*handle),
+		lru:    list.New(),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// AnalyzeProgram builds an engine over funcs and precomputes every
+// analysis across the configured worker pool. It fails with the first
+// error in registration order; the engine remains usable for the
+// functions that analyzed cleanly.
+func AnalyzeProgram(funcs []*ir.Func, config EngineConfig) (*Engine, error) {
+	e := NewEngine(config)
+	e.Add(funcs...)
+	if err := e.Precompute(); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+// Add registers functions with the engine. Registration is cheap — no
+// analysis runs until Precompute or the first query. Re-adding a
+// registered function is a no-op.
+func (e *Engine) Add(funcs ...*ir.Func) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, f := range funcs {
+		if _, ok := e.index[f]; ok {
+			continue
+		}
+		e.funcs = append(e.funcs, f)
+		e.index[f] = &handle{f: f}
+	}
+}
+
+// Funcs returns the registered functions in registration order.
+func (e *Engine) Funcs() []*ir.Func {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*ir.Func, len(e.funcs))
+	copy(out, e.funcs)
+	return out
+}
+
+// Precompute analyzes every registered function that is not already
+// resident, spreading the work over the worker pool. The result is
+// deterministic regardless of parallelism: each function's analysis
+// depends only on that function, and the returned error is the first
+// failure in registration order (nil if all succeed). The one
+// scheduling-dependent artifact is which analyses remain resident when
+// MaxCached is smaller than the program — LRU order follows completion
+// order — but evicted analyses rebuild on demand to identical answers.
+func (e *Engine) Precompute() error {
+	e.mu.Lock()
+	funcs := make([]*ir.Func, len(e.funcs))
+	copy(funcs, e.funcs)
+	e.mu.Unlock()
+
+	workers := e.config.workers()
+	if workers > len(funcs) {
+		workers = len(funcs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, len(funcs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(funcs) {
+					return
+				}
+				_, errs[i] = e.Liveness(funcs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("fastliveness: engine precompute %s: %w", funcs[i].Name, err)
+		}
+	}
+	return nil
+}
+
+// Liveness returns the analysis for a registered function, building it on
+// demand (and transparently rebuilding after eviction). Concurrent calls
+// for the same function share one build. The returned Liveness stays
+// valid even if the engine later evicts it; as with Analyze, its query
+// methods reuse a scratch buffer, so use NewQuerier (or the engine's batch
+// methods) for concurrent querying.
+func (e *Engine) Liveness(f *ir.Func) (*Liveness, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h, ok := e.index[f]
+	if !ok {
+		return nil, fmt.Errorf("fastliveness: function %s is not registered with the engine", f.Name)
+	}
+	for {
+		switch {
+		case h.err != nil:
+			return nil, h.err
+		case h.live != nil:
+			e.lru.MoveToFront(h.elem)
+			return h.live, nil
+		case !h.building:
+			return e.build(h)
+		}
+		e.cond.Wait()
+	}
+}
+
+// build analyzes h.f with the engine unlocked, then publishes the result.
+// Called (and returns) with e.mu held.
+func (e *Engine) build(h *handle) (*Liveness, error) {
+	h.building = true
+	gen := h.gen
+	e.mu.Unlock()
+	live, err := Analyze(h.f, e.config.Config)
+	e.mu.Lock()
+	h.building = false
+	e.cond.Broadcast()
+	if h.gen != gen {
+		// Invalidated mid-build: the result describes a CFG that may no
+		// longer exist. Hand it to this caller (whose view predates the
+		// invalidation) but do not cache it.
+		return live, err
+	}
+	h.live, h.err = live, err
+	if err != nil {
+		return nil, err
+	}
+	h.elem = e.lru.PushFront(h)
+	for e.config.MaxCached > 0 && e.lru.Len() > e.config.MaxCached {
+		old := e.lru.Remove(e.lru.Back()).(*handle)
+		old.live, old.elem = nil, nil
+	}
+	return live, nil
+}
+
+// Invalidate drops any cached analysis (and any sticky error) for f, e.g.
+// after its CFG changed. The next request re-analyzes. Analyses already
+// handed out keep answering against the old CFG.
+func (e *Engine) Invalidate(f *ir.Func) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h, ok := e.index[f]
+	if !ok {
+		return
+	}
+	h.gen++
+	h.err = nil
+	if h.elem != nil {
+		e.lru.Remove(h.elem)
+	}
+	h.live, h.elem = nil, nil
+}
+
+// Resident reports how many per-function analyses are currently cached.
+func (e *Engine) Resident() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lru.Len()
+}
+
+// MemoryBytes reports the total footprint of the resident precomputed
+// sets (§6.1, summed over the cache).
+func (e *Engine) MemoryBytes() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	total := 0
+	for el := e.lru.Front(); el != nil; el = el.Next() {
+		total += el.Value.(*handle).live.MemoryBytes()
+	}
+	return total
+}
+
+// batchParallelThreshold is the batch size below which sharding the batch
+// over goroutines costs more than it saves.
+const batchParallelThreshold = 256
+
+// BatchIsLiveIn answers queries[i] = IsLiveIn(V, B) for every query, all
+// against function f. One analysis lookup and one query handle serve the
+// whole batch (large batches are sharded over the worker pool), so the
+// per-query overhead of the one-at-a-time API is paid once. Answers are
+// positionally identical to calling Liveness.IsLiveIn per query.
+func (e *Engine) BatchIsLiveIn(f *ir.Func, queries []Query) ([]bool, error) {
+	return e.batch(f, queries, (*Querier).IsLiveIn)
+}
+
+// BatchIsLiveOut is BatchIsLiveIn for live-out queries.
+func (e *Engine) BatchIsLiveOut(f *ir.Func, queries []Query) ([]bool, error) {
+	return e.batch(f, queries, (*Querier).IsLiveOut)
+}
+
+func (e *Engine) batch(f *ir.Func, queries []Query, ask func(*Querier, *ir.Value, *ir.Block) bool) ([]bool, error) {
+	live, err := e.Liveness(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(queries))
+	workers := e.config.workers()
+	if len(queries) < batchParallelThreshold || workers < 2 {
+		qr := live.NewQuerier()
+		for i, q := range queries {
+			out[i] = ask(qr, q.V, q.B)
+		}
+		return out, nil
+	}
+	// Shard into contiguous ranges, one querier per shard; each shard
+	// writes disjoint indices, so the result is order-independent.
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	per := (len(queries) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(queries); lo += per {
+		hi := lo + per
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			qr := live.NewQuerier()
+			for i := lo; i < hi; i++ {
+				out[i] = ask(qr, queries[i].V, queries[i].B)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,298 @@
+package fastliveness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"fastliveness/internal/gen"
+	"fastliveness/internal/ir"
+	"fastliveness/internal/ssa"
+)
+
+// engineCorpus generates a deterministic multi-function SSA corpus with
+// mixed shapes, including some irreducible control flow.
+func engineCorpus(tb testing.TB, n int, seed int64) []*ir.Func {
+	tb.Helper()
+	funcs := make([]*ir.Func, n)
+	for i := range funcs {
+		c := gen.Default(seed + int64(i)*7919)
+		c.TargetBlocks = 12 + (i*17)%60
+		c.Irreducible = i%11 == 3
+		f := gen.Generate(fmt.Sprintf("f%03d", i), c)
+		ssa.Construct(f)
+		funcs[i] = f
+	}
+	return funcs
+}
+
+// fingerprint renders every (value, block) live-in/out answer of every
+// function, in program order, as one string — the byte-identical shape the
+// determinism and equivalence tests compare.
+func fingerprint(tb testing.TB, e *Engine, funcs []*ir.Func) string {
+	tb.Helper()
+	var sb strings.Builder
+	for _, f := range funcs {
+		live, err := e.Liveness(f)
+		if err != nil {
+			tb.Fatalf("%s: %v", f.Name, err)
+		}
+		fmt.Fprintf(&sb, "func %s\n", f.Name)
+		f.Values(func(v *ir.Value) {
+			if !v.Op.HasResult() {
+				return
+			}
+			for _, b := range f.Blocks {
+				fmt.Fprintf(&sb, "%s@%s:%v,%v ", v, b, live.IsLiveIn(v, b), live.IsLiveOut(v, b))
+			}
+		})
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestEngineDeterministicAcrossParallelism(t *testing.T) {
+	funcs := engineCorpus(t, 24, 1)
+	var prints []string
+	for _, workers := range []int{1, 4, 16} {
+		e, err := AnalyzeProgram(funcs, EngineConfig{Parallelism: workers})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", workers, err)
+		}
+		prints = append(prints, fingerprint(t, e, funcs))
+	}
+	for i := 1; i < len(prints); i++ {
+		if prints[i] != prints[0] {
+			t.Fatalf("results differ between parallelism 1 and %d", []int{1, 4, 16}[i])
+		}
+	}
+}
+
+// allQueries enumerates every (variable, block) pair of f.
+func allQueries(f *ir.Func) []Query {
+	var qs []Query
+	f.Values(func(v *ir.Value) {
+		if !v.Op.HasResult() {
+			return
+		}
+		for _, b := range f.Blocks {
+			qs = append(qs, Query{V: v, B: b})
+		}
+	})
+	return qs
+}
+
+func TestBatchMatchesSingleQueries(t *testing.T) {
+	funcs := engineCorpus(t, 8, 42)
+	e, err := AnalyzeProgram(funcs, EngineConfig{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range funcs {
+		qs := allQueries(f)
+		if len(qs) <= batchParallelThreshold && f == funcs[0] {
+			t.Logf("note: %s has only %d queries; sharded path exercised by larger funcs", f.Name, len(qs))
+		}
+		ins, err := e.BatchIsLiveIn(f, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := e.BatchIsLiveOut(f, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live, err := e.Liveness(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range qs {
+			if want := live.IsLiveIn(q.V, q.B); ins[i] != want {
+				t.Fatalf("%s: batch live-in(%s,%s)=%v, single=%v", f.Name, q.V, q.B, ins[i], want)
+			}
+			if want := live.IsLiveOut(q.V, q.B); outs[i] != want {
+				t.Fatalf("%s: batch live-out(%s,%s)=%v, single=%v", f.Name, q.V, q.B, outs[i], want)
+			}
+		}
+	}
+}
+
+func TestEngineEvictionRebuilds(t *testing.T) {
+	funcs := engineCorpus(t, 6, 7)
+	e, err := AnalyzeProgram(funcs, EngineConfig{MaxCached: 2, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Resident(); got != 2 {
+		t.Fatalf("Resident = %d after precompute with MaxCached=2", got)
+	}
+	// Un-cached engine as the reference for a fully evicted function.
+	ref, err := Analyze(funcs[0], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := e.Liveness(funcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range funcs[0].Blocks {
+		funcs[0].Values(func(v *ir.Value) {
+			if !v.Op.HasResult() {
+				return
+			}
+			if rebuilt.IsLiveIn(v, b) != ref.IsLiveIn(v, b) {
+				t.Fatalf("rebuilt analysis disagrees at live-in(%s,%s)", v, b)
+			}
+		})
+	}
+	if got := e.Resident(); got != 2 {
+		t.Fatalf("Resident = %d after rebuild, want 2", got)
+	}
+	if e.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes should be positive with resident analyses")
+	}
+}
+
+func TestEnginePrecomputeErrorNamesFunction(t *testing.T) {
+	good := engineCorpus(t, 2, 3)
+	bad := ir.NewFunc("island")
+	bad.NewBlock(ir.BlockRet)
+	bad.NewBlock(ir.BlockRet) // unreachable
+	e := NewEngine(EngineConfig{Parallelism: 2})
+	e.Add(good[0], bad, good[1])
+	err := e.Precompute()
+	if err == nil || !strings.Contains(err.Error(), "island") {
+		t.Fatalf("Precompute error = %v, want mention of 'island'", err)
+	}
+	// Healthy functions are still served.
+	if _, err := e.Liveness(good[1]); err != nil {
+		t.Fatalf("good function after failed precompute: %v", err)
+	}
+	// The failure is sticky until invalidated.
+	if _, err := e.Liveness(bad); err == nil {
+		t.Fatal("bad function should keep failing")
+	}
+}
+
+func TestEngineRejectsUnregistered(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	f := engineCorpus(t, 1, 9)[0]
+	if _, err := e.Liveness(f); err == nil {
+		t.Fatal("Liveness on an unregistered function should fail")
+	}
+	if _, err := e.BatchIsLiveIn(f, nil); err == nil {
+		t.Fatal("BatchIsLiveIn on an unregistered function should fail")
+	}
+}
+
+func TestEngineInvalidate(t *testing.T) {
+	funcs := engineCorpus(t, 1, 11)
+	f := funcs[0]
+	e, err := AnalyzeProgram(funcs, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := e.Liveness(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Invalidate(f)
+	if got := e.Resident(); got != 0 {
+		t.Fatalf("Resident = %d after Invalidate, want 0", got)
+	}
+	after, err := e.Liveness(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == after {
+		t.Fatal("Invalidate should force a fresh analysis object")
+	}
+}
+
+// TestEngineConcurrentStress hammers one engine from many goroutines —
+// cache hits, rebuild-after-eviction races, shared batch queries — and is
+// the workload the CI -race run checks. Answers are validated against
+// per-function reference analyses.
+func TestEngineConcurrentStress(t *testing.T) {
+	n := 16
+	if testing.Short() {
+		n = 6
+	}
+	funcs := engineCorpus(t, n, 23)
+	refs := make(map[*ir.Func]*Liveness, n)
+	for _, f := range funcs {
+		ref, err := Analyze(f, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[f] = ref
+	}
+	e, err := AnalyzeProgram(funcs, EngineConfig{Parallelism: 8, MaxCached: n / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 12
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 40; iter++ {
+				f := funcs[(w*31+iter*13)%len(funcs)]
+				qs := allQueries(f)
+				if len(qs) > 300 {
+					qs = qs[(w*97)%100 : (w*97)%100+300]
+				}
+				got, err := e.BatchIsLiveIn(f, qs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ref := refs[f].NewQuerier()
+				for i, q := range qs {
+					if got[i] != ref.IsLiveIn(q.V, q.B) {
+						errs <- fmt.Errorf("worker %d: %s live-in(%s,%s) mismatch", w, f.Name, q.V, q.B)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEngineSharedBuildSingleFlight checks that concurrent first requests
+// for one function share a single Analyze (same returned pointer).
+func TestEngineSharedBuildSingleFlight(t *testing.T) {
+	f := engineCorpus(t, 1, 31)[0]
+	e := NewEngine(EngineConfig{})
+	e.Add(f)
+	const workers = 8
+	results := make([]*Liveness, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			live, err := e.Liveness(f)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = live
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Fatal("concurrent first requests built distinct analyses")
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module fastliveness
+
+go 1.24

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"fastliveness"
+	"fastliveness/internal/gen"
+	"fastliveness/internal/ir"
+	"fastliveness/internal/ssa"
+)
+
+// BuildProgram generates a whole-program corpus: n strict-SSA functions of
+// mixed shapes (a spread of sizes plus the occasional irreducible CFG),
+// deterministically from the seed. This is the workload of the
+// program-level engine experiments — many independent functions whose
+// precomputations can proceed in parallel.
+func BuildProgram(n int, seed int64) []*ir.Func {
+	funcs := make([]*ir.Func, n)
+	for i := range funcs {
+		c := gen.Default(seed + int64(i)*6151)
+		c.TargetBlocks = 16 + (i*29)%80
+		c.Irreducible = i%13 == 5
+		f := gen.Generate(fmt.Sprintf("p%04d", i), c)
+		ssa.Construct(f)
+		funcs[i] = f
+	}
+	return funcs
+}
+
+// PrecomputeOnce analyzes the whole program with the given worker count
+// and returns the wall-clock time. MaxCached 0 keeps every analysis
+// resident, so the measurement is pure precompute fan-out.
+func PrecomputeOnce(funcs []*ir.Func, workers int) time.Duration {
+	start := time.Now()
+	if _, err := fastliveness.AnalyzeProgram(funcs, fastliveness.EngineConfig{
+		Parallelism: workers,
+	}); err != nil {
+		panic(err)
+	}
+	return time.Since(start)
+}
+
+// ProgramSpeedups measures whole-program precompute wall time at each
+// worker count, repeating each measurement `reps` times and keeping the
+// minimum (the standard noise filter for wall-clock scaling numbers).
+// The returned slice is parallel to workers; speedups are relative to
+// workers[0].
+func ProgramSpeedups(funcs []*ir.Func, workers []int, reps int) []time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	best := make([]time.Duration, len(workers))
+	for i, w := range workers {
+		for r := 0; r < reps; r++ {
+			d := PrecomputeOnce(funcs, w)
+			if r == 0 || d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+	return best
+}
+
+// ProgramTable renders the program-level engine experiment: precompute
+// wall time and speedup by worker count over an n-function corpus, plus a
+// batched-vs-single query comparison on the same corpus. This is the
+// scaling seam the paper leaves open — its precomputation is per function
+// (§6.1) and embarrassingly parallel across a program.
+func ProgramTable(nFuncs int, workers []int, reps int) string {
+	funcs := BuildProgram(nFuncs, 2008)
+	blocks := 0
+	for _, f := range funcs {
+		blocks += len(f.Blocks)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Program-level engine: parallel precompute over %d functions (%d blocks total)\n",
+		len(funcs), blocks)
+	fmt.Fprintf(&sb, "GOMAXPROCS=%d; wall-clock speedup saturates at the hardware's core count.\n\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&sb, "%8s %14s %10s\n", "workers", "wall-ns", "speedup")
+	times := ProgramSpeedups(funcs, workers, reps)
+	for i, w := range workers {
+		fmt.Fprintf(&sb, "%8d %14d %10.2f\n", w, times[i].Nanoseconds(),
+			float64(times[0])/float64(times[i]))
+	}
+	sb.WriteByte('\n')
+	sb.WriteString(batchQuerySection(funcs))
+	return sb.String()
+}
+
+// batchQuerySection compares the engine's per-query path (a cache lookup
+// plus one IsLiveIn per question) against its batched API on the same
+// query stream: same answers, the lookup overhead paid once per batch.
+func batchQuerySection(funcs []*ir.Func) string {
+	engine, err := fastliveness.AnalyzeProgram(funcs, fastliveness.EngineConfig{})
+	if err != nil {
+		panic(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("Batched queries vs. per-query engine lookups (all (var, block) pairs per function)\n\n")
+	fmt.Fprintf(&sb, "%10s %14s %14s %10s\n", "queries", "single-ns/q", "batch-ns/q", "speedup")
+	var nQ int
+	var singleNs, batchNs float64
+	for _, f := range funcs {
+		qs := programQueries(f)
+		if len(qs) == 0 {
+			continue
+		}
+		s := timeOp(perProcBudget, func() {
+			for _, q := range qs {
+				live, err := engine.Liveness(f)
+				if err != nil {
+					panic(err)
+				}
+				live.IsLiveIn(q.V, q.B)
+			}
+		})
+		b := timeOp(perProcBudget, func() {
+			if _, err := engine.BatchIsLiveIn(f, qs); err != nil {
+				panic(err)
+			}
+		})
+		nQ += len(qs)
+		singleNs += s
+		batchNs += b
+	}
+	fmt.Fprintf(&sb, "%10d %14.2f %14.2f %10.2f\n", nQ,
+		singleNs/float64(nQ), batchNs/float64(nQ), singleNs/batchNs)
+	return sb.String()
+}
+
+// programQueries enumerates every (variable, block) pair of f as an engine
+// query batch.
+func programQueries(f *ir.Func) []fastliveness.Query {
+	var qs []fastliveness.Query
+	f.Values(func(v *ir.Value) {
+		if !v.Op.HasResult() {
+			return
+		}
+		for _, b := range f.Blocks {
+			qs = append(qs, fastliveness.Query{V: v, B: b})
+		}
+	})
+	return qs
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"fastliveness"
+)
+
+// programCorpusSize satisfies the program-level experiment's floor of a
+// ≥100-function corpus.
+const programCorpusSize = 128
+
+// BenchmarkProgramPrecompute measures whole-program precompute wall time
+// by worker count. On a machine with ≥4 cores the workers=4 case runs
+// >1.5x faster than workers=1 (the work is embarrassingly parallel across
+// functions); on fewer cores the speedup saturates at the core count.
+func BenchmarkProgramPrecompute(b *testing.B) {
+	funcs := BuildProgram(programCorpusSize, 2008)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				PrecomputeOnce(funcs, w)
+			}
+		})
+	}
+}
+
+// BenchmarkProgramBatchQueries measures the batched query API against the
+// one-at-a-time API on the same query stream.
+func BenchmarkProgramBatchQueries(b *testing.B) {
+	funcs := BuildProgram(16, 2008)
+	engine, err := fastliveness.AnalyzeProgram(funcs, fastliveness.EngineConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := make([][]fastliveness.Query, len(funcs))
+	total := 0
+	for i, f := range funcs {
+		batches[i] = programQueries(f)
+		total += len(batches[i])
+	}
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, f := range funcs {
+				for _, q := range batches[j] {
+					live, err := engine.Liveness(f)
+					if err != nil {
+						b.Fatal(err)
+					}
+					live.IsLiveIn(q.V, q.B)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*total), "ns/query")
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, f := range funcs {
+				if _, err := engine.BatchIsLiveIn(f, batches[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*total), "ns/query")
+	})
+}
+
+// TestProgramParallelSpeedup asserts the >1.5x-at-4-workers scaling claim
+// on hardware that can express it; single- and dual-core machines (and CI
+// sandboxes) skip, since wall-clock parallel speedup is bounded by the
+// core count.
+func TestProgramParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus generation and timing in -short mode")
+	}
+	if p := runtime.GOMAXPROCS(0); p < 4 {
+		t.Skipf("GOMAXPROCS=%d: 4-worker wall-clock speedup needs >=4 cores", p)
+	}
+	funcs := BuildProgram(programCorpusSize, 2008)
+	times := ProgramSpeedups(funcs, []int{1, 4}, 5)
+	speedup := float64(times[0]) / float64(times[1])
+	t.Logf("precompute over %d funcs: 1 worker %v, 4 workers %v (%.2fx)",
+		len(funcs), times[0], times[1], speedup)
+	if speedup < 1.5 {
+		t.Errorf("4-worker speedup %.2fx, want >1.5x", speedup)
+	}
+}
+
+// TestProgramBatchByteIdentical checks, over the whole program corpus,
+// that the engine's batched answers are positionally identical to the
+// per-query Liveness.IsLiveIn/IsLiveOut answers.
+func TestProgramBatchByteIdentical(t *testing.T) {
+	n := 32
+	if testing.Short() {
+		n = 8
+	}
+	funcs := BuildProgram(n, 99)
+	engine, err := fastliveness.AnalyzeProgram(funcs, fastliveness.EngineConfig{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range funcs {
+		qs := programQueries(f)
+		ins, err := engine.BatchIsLiveIn(f, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := engine.BatchIsLiveOut(f, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live, err := engine.Liveness(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range qs {
+			if ins[i] != live.IsLiveIn(q.V, q.B) || outs[i] != live.IsLiveOut(q.V, q.B) {
+				t.Fatalf("%s: batch answer differs from single query at %s@%s", f.Name, q.V, q.B)
+			}
+		}
+	}
+}

@@ -1,11 +1,3 @@
-// Package cfg provides the control-flow-graph analyses the liveness checker
-// precomputation rests on (paper §2.1): a depth-first search with edge
-// classification (tree, back, forward, cross), preorder/postorder
-// numberings, and the reducibility test.
-//
-// The graph form is deliberately abstract — nodes are dense integers with
-// successor/predecessor adjacency — so the algorithmic packages (dom, core,
-// loops) can be exercised on raw random graphs as well as on IR functions.
 package cfg
 
 import (

@@ -1,0 +1,18 @@
+// Package cfg provides the control-flow-graph analyses the liveness checker
+// precomputation rests on (paper §2.1): a depth-first search with edge
+// classification (tree, back, forward, cross), preorder/postorder
+// numberings, and the reducibility test.
+//
+// The paper's reduced graph G̃ — the CFG with DFS back edges removed, a DAG
+// (Definition 4) — is not materialized anywhere; instead DFS.IsBackEdge
+// lets every traversal skip back edges in place, which is all the R/T
+// precomputation of package core needs. The DFS also exposes the back-edge
+// list itself, since T sets (Definition 5) are sets of back-edge targets.
+//
+// The graph form is deliberately abstract — nodes are dense integers with
+// successor/predecessor adjacency, node 0 the entry r — so the algorithmic
+// packages (dom, core, loops) can be exercised on raw random graphs
+// (package graphgen) as well as on IR functions via FromFunc, which returns
+// the block-ID-to-node index the fastliveness facade keeps for query
+// translation. dot.go renders graphs for debugging.
+package cfg

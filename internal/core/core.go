@@ -1,26 +1,3 @@
-// Package core implements the liveness checking algorithm of Boissinot,
-// Hack, Grund, Dupont de Dinechin and Rastello, "Fast Liveness Checking for
-// SSA-Form Programs" (CGO 2008).
-//
-// The algorithm splits liveness queries into a variable-independent
-// precomputation over the CFG and a cheap online check:
-//
-//   - R_v (Definition 4): the set of nodes reachable from v in the reduced
-//     graph G̃ (the CFG minus DFS back edges, a DAG).
-//   - T_q (Definition 5): the back-edge targets relevant for queries at q —
-//     targets reachable from q along paths that never re-enter a dominance
-//     subtree they left.
-//
-// A live-in query (Algorithm 1/3) intersects T_q with the dominance subtree
-// of the variable's definition and asks whether any use is
-// reduced-reachable from one of the surviving nodes. Because R and T depend
-// only on the CFG, the precomputed data stays valid under any program edit
-// that leaves the CFG alone — the paper's headline robustness property.
-//
-// Both sets are bitsets indexed by the dominance-tree preorder numbering of
-// package dom (§5.1), so "strictly dominated by def" is a contiguous bit
-// interval and the most-dominating candidate is the lowest set bit, which
-// by Theorem 2 is the only candidate that matters on reducible CFGs.
 package core
 
 import (

@@ -1,0 +1,38 @@
+// Package core implements the liveness checking algorithm of Boissinot,
+// Hack, Grund, Dupont de Dinechin and Rastello, "Fast Liveness Checking for
+// SSA-Form Programs" (CGO 2008). It is the heart of the repository: every
+// other layer either feeds it (cfg, dom, ir), competes with it (dataflow,
+// lao, pervar, loops), or measures it (bench).
+//
+// The algorithm splits liveness queries into a variable-independent
+// precomputation over the CFG and a cheap online check:
+//
+//   - R_v (Definition 4): the set of nodes reachable from v in the reduced
+//     graph G̃ (the CFG minus DFS back edges, a DAG). Built by
+//     Checker.precomputeR as one reverse-postorder sweep.
+//   - T_q (Definition 5 / Equation 1): the back-edge targets relevant for
+//     queries at q — targets reachable from q along paths that never
+//     re-enter a dominance subtree they left. Checker.precomputeTExact
+//     evaluates the definition directly (the specification, quadratic);
+//     Checker.precomputeTPropagate is the paper's practical §5.2 scheme
+//     that propagates T sets along reduced edges in reverse postorder.
+//     Options.Strategy selects between them; both must agree, and the
+//     cross-check is part of the test suite (core_test.go).
+//
+// A live-in query (Algorithm 1, refined into Algorithm 3) intersects T_q
+// with the dominance subtree of the variable's definition and asks whether
+// any use is reduced-reachable (via R) from one of the surviving nodes;
+// live-out (Algorithm 2) differs only at the query block itself. Because R
+// and T depend only on the CFG, the precomputed data stays valid under any
+// program edit that leaves the CFG alone — the paper's headline robustness
+// property, and what lets the fastliveness.Engine cache one Checker per
+// function while the program around it is rewritten.
+//
+// Both sets are bitsets indexed by the dominance-tree preorder numbering of
+// package dom (§5.1), so "strictly dominated by def" is a contiguous bit
+// interval and the most-dominating candidate is the lowest set bit, which
+// by Theorem 2 is the only candidate that matters on reducible CFGs
+// (Checker.Reducible reports whether that fast path is active;
+// Options.NoReducibleFastPath ablates it). Options.SortedT swaps the T
+// bitsets for sorted arrays, the §6.1 memory/time trade-off.
+package core

@@ -1,11 +1,3 @@
-// Package dom computes dominator trees, the dominance-preorder numbering the
-// paper's bitset implementation indexes by (§5.1), and dominance frontiers.
-//
-// Two independent constructions are provided and cross-checked by the test
-// suite: the iterative algorithm of Cooper, Harvey and Kennedy ("A Simple,
-// Fast Dominance Algorithm") and the classic Lengauer–Tarjan algorithm with
-// path compression. Both run in effectively O(|E|) on the CFG sizes the
-// paper reports (§6.1: avg 35 blocks, max ~2240).
 package dom
 
 import (

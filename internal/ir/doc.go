@@ -1,0 +1,25 @@
+// Package ir defines the SSA intermediate representation the liveness
+// engines operate on: functions of basic blocks holding values
+// (instructions), with maintained def-use chains.
+//
+// The representation follows the prerequisites the paper lists in §1:
+//   - a control-flow graph G = (V, E, r) whose entry r has no incoming edge,
+//   - strict SSA (each variable has a single definition that dominates all
+//     its uses),
+//   - def-use chains per variable, cheap to keep current under edits.
+//
+// A "variable" in the paper's sense is simply a *Value with a result here —
+// SSA makes values and variables interchangeable. φ-functions use their
+// arguments at the corresponding predecessor block (paper Definition 1);
+// Value.UseBlockIDs implements exactly that placement, and is what the
+// fastliveness facade reads fresh at query time, so liveness answers track
+// program edits without re-analysis.
+//
+// The query side of the paper needs only stable block identities and
+// def-use chains; the transformation side (SplitEdge, SplitCriticalEdges)
+// provides the one CFG change SSA destruction performs up front (§6.2), and
+// parse.go/print.go give the textual round-trip format (.ssair) that
+// cmd/livecheck and the test suite use. Programs may also exist in non-SSA
+// "slot form" (OpSlotLoad/OpSlotStore on mutable variable slots); package
+// ssa converts slot form into strict SSA.
+package ir

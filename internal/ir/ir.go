@@ -1,20 +1,3 @@
-// Package ir defines the SSA intermediate representation the liveness
-// engines operate on: functions of basic blocks holding values
-// (instructions), with maintained def-use chains.
-//
-// The representation follows the prerequisites the paper lists in §1:
-//   - a control-flow graph G = (V, E, r) whose entry r has no incoming edge,
-//   - strict SSA (each variable has a single definition that dominates all
-//     its uses),
-//   - def-use chains per variable, cheap to keep current under edits.
-//
-// A "variable" in the paper's sense is simply a *Value with a result here —
-// SSA makes values and variables interchangeable. φ-functions use their
-// arguments at the corresponding predecessor block (paper Definition 1);
-// Value.UseBlockIDs implements exactly that placement.
-//
-// Programs may also exist in non-SSA "slot form" (OpSlotLoad/OpSlotStore on
-// mutable variable slots); package ssa converts slot form into strict SSA.
 package ir
 
 import "fmt"
