@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	benchtables [-table 1|2|edges|fullprecomp|scaling|queries|engine|all] [-limit N]
+//	benchtables [-table 1|2|edges|fullprecomp|scaling|queries|engine|backends|all] [-limit N] [-json]
 //
 // -limit caps the number of procedures generated per benchmark (0 = the
 // full corpus, 4823 procedures — Table 2 then takes a few minutes).
 // The default limit of 120 yields stable shapes quickly. The engine table
 // uses its own whole-program corpus, sized by -funcs and spread over the
 // -workers counts.
+//
+// -table backends runs every backend registered with internal/backend over
+// the same corpus and query stream — the paper's §6.2 engine comparison
+// generalized to the whole registry. With -json the rows are emitted as
+// machine-readable JSON (name, ns_per_op, query_ns_per_op, bytes), the
+// format of the repository's BENCH_*.json performance trajectory.
 package main
 
 import (
@@ -23,11 +29,17 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table: 1|2|edges|fullprecomp|queries|scaling|engine|all")
+	table := flag.String("table", "all", "which table: 1|2|edges|fullprecomp|queries|scaling|engine|backends|all")
 	limit := flag.Int("limit", 120, "procedures per benchmark (0 = full corpus)")
 	workers := flag.String("workers", "1,2,4,8", "worker counts for -table engine")
 	funcs := flag.Int("funcs", 128, "corpus size for -table engine")
+	jsonOut := flag.Bool("json", false, "emit -table backends rows as JSON")
 	flag.Parse()
+
+	if *jsonOut && *table != "backends" {
+		fmt.Fprintln(os.Stderr, "-json is only supported with -table backends")
+		os.Exit(2)
+	}
 
 	workerCounts, err := parseWorkers(*workers)
 	if err != nil {
@@ -36,7 +48,7 @@ func main() {
 	}
 
 	needCorpus := map[string]bool{"1": true, "2": true, "edges": true,
-		"fullprecomp": true, "queries": true, "all": true}[*table]
+		"fullprecomp": true, "queries": true, "backends": true, "all": true}[*table]
 	var corpora []*bench.Corpus
 	if needCorpus {
 		fmt.Fprintf(os.Stderr, "generating corpus (limit %d per benchmark)...\n", *limit)
@@ -58,6 +70,22 @@ func main() {
 		fmt.Println(bench.ScalingSeries([]int{64, 128, 256, 512, 1024, 2048, 4096}))
 	case "engine":
 		fmt.Println(bench.ProgramTable(*funcs, workerCounts, 3))
+	case "backends":
+		if *jsonOut {
+			rows, err := bench.MeasureBackends(corpora)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			out, err := bench.BackendJSON(rows)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+		} else {
+			fmt.Println(bench.BackendTable(corpora))
+		}
 	case "all":
 		fmt.Println(bench.Table1(corpora))
 		fmt.Println(bench.EdgeStats(corpora))
@@ -66,6 +94,7 @@ func main() {
 		fmt.Println(bench.FullPrecompStats(corpora))
 		fmt.Println(bench.ScalingSeries([]int{64, 128, 256, 512, 1024, 2048}))
 		fmt.Println(bench.ProgramTable(*funcs, workerCounts, 3))
+		fmt.Println(bench.BackendTable(corpora))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)

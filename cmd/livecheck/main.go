@@ -8,7 +8,7 @@
 //	livecheck [flags] a.ssair b.ssair ...
 //
 // With -q, it answers individual queries; without, it dumps the live-in and
-// live-out sets of every block (computed through the checker's
+// live-out sets of every block (computed through the selected backend's
 // characteristic function).
 //
 //	livecheck -q '%x@b3' -q 'out:%y@b2' prog.ssair
@@ -22,7 +22,14 @@
 // Flags:
 //
 //	-construct    run SSA construction first (for slot-form inputs)
-//	-engine       checker | dataflow | lao | pervar | loops (single-function mode)
+//	-backend      liveness backend: checker (default) | dataflow | lao |
+//	              pervar | loops | auto — any name in the internal/backend
+//	              registry. Every backend answers queries identically (the
+//	              differential suite proves it), so changing the flag never
+//	              changes query answers or set dumps, only the engine that
+//	              computes them — -stats output (backend names, set bytes)
+//	              naturally differs per backend. Works in single-function
+//	              and whole-program mode alike.
 //	-verify       verify strict SSA before analyzing (default true)
 //	-stats        print CFG/analysis statistics
 //	-parallel     precompute worker count in whole-program mode (0 = GOMAXPROCS)
@@ -40,14 +47,14 @@ import (
 
 	"fastliveness"
 	"fastliveness/internal/cfg"
-	"fastliveness/internal/dataflow"
 	"fastliveness/internal/dom"
 	"fastliveness/internal/ir"
-	"fastliveness/internal/lao"
-	"fastliveness/internal/loops"
-	"fastliveness/internal/pervar"
 	"fastliveness/internal/ssa"
 )
+
+// stdout is the destination of all normal output; tests retarget it to
+// capture golden runs.
+var stdout io.Writer = os.Stdout
 
 type queryList []string
 
@@ -57,11 +64,12 @@ func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
 func main() {
 	var (
 		construct = flag.Bool("construct", false, "run SSA construction (slot-form inputs)")
-		engine    = flag.String("engine", "checker", "liveness engine: checker|dataflow|lao|pervar|loops")
-		verify    = flag.Bool("verify", true, "verify strict SSA before analyzing")
-		stat      = flag.Bool("stats", false, "print CFG/analysis statistics")
-		parallel  = flag.Int("parallel", 0, "whole-program precompute workers (0 = GOMAXPROCS)")
-		queries   queryList
+		backendN  = flag.String("backend", "checker",
+			"liveness backend: "+strings.Join(fastliveness.Backends(), "|"))
+		verify   = flag.Bool("verify", true, "verify strict SSA before analyzing")
+		stat     = flag.Bool("stats", false, "print CFG/analysis statistics")
+		parallel = flag.Int("parallel", 0, "whole-program precompute workers (0 = GOMAXPROCS)")
+		queries  queryList
 	)
 	flag.Var(&queries, "q", "query '[in:|out:]%value@block[@func]' (repeatable)")
 	flag.Parse()
@@ -73,9 +81,9 @@ func main() {
 	paths, program, err := programArgs(flag.Args())
 	if err == nil {
 		if program {
-			err = runProgram(paths, *construct, *engine, *verify, *stat, *parallel, queries)
+			err = runProgram(paths, *construct, *backendN, *verify, *stat, *parallel, queries)
 		} else {
-			err = run(flag.Arg(0), *construct, *engine, *verify, *stat, queries)
+			err = run(flag.Arg(0), *construct, *backendN, *verify, *stat, queries)
 		}
 	}
 	if err != nil {
@@ -115,12 +123,10 @@ func programArgs(args []string) ([]string, bool, error) {
 }
 
 // runProgram is whole-program mode: one function per file, analyzed
-// concurrently by the engine, summarized (or queried) in sorted file
-// order so output is deterministic regardless of parallelism.
-func runProgram(paths []string, construct bool, engine string, verify, stat bool, parallel int, queries queryList) error {
-	if engine != "checker" {
-		return fmt.Errorf("whole-program mode supports only -engine checker (got %q)", engine)
-	}
+// concurrently by the engine with the selected backend, summarized (or
+// queried) in sorted file order so output is deterministic regardless of
+// parallelism.
+func runProgram(paths []string, construct bool, backendName string, verify, stat bool, parallel int, queries queryList) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("no .ssair files found")
 	}
@@ -150,7 +156,10 @@ func runProgram(paths []string, construct bool, engine string, verify, stat bool
 		funcs = append(funcs, f)
 	}
 
-	eng, err := fastliveness.AnalyzeProgram(funcs, fastliveness.EngineConfig{Parallelism: parallel})
+	eng, err := fastliveness.AnalyzeProgram(funcs, fastliveness.EngineConfig{
+		Config:      fastliveness.Config{Backend: backendName},
+		Parallelism: parallel,
+	})
 	if err != nil {
 		return err
 	}
@@ -174,13 +183,14 @@ func runProgram(paths []string, construct bool, engine string, verify, stat bool
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s: ", paths[i])
+		fmt.Fprintf(stdout, "%s: ", paths[i])
 		printStats(f)
 		if stat {
-			fmt.Printf("  precomputed sets: %dB\n", live.MemoryBytes())
+			fmt.Fprintf(stdout, "  backend %s, precomputed sets: %dB\n",
+				live.Backend(), live.MemoryBytes())
 		}
 	}
-	fmt.Printf("%d functions analyzed (%d resident, %d bytes of precomputed sets)\n",
+	fmt.Fprintf(stdout, "%d functions analyzed (%d resident, %d bytes of precomputed sets)\n",
 		len(funcs), eng.Resident(), eng.MemoryBytes())
 	return nil
 }
@@ -213,7 +223,7 @@ func answerProgram(eng *fastliveness.Engine, byName map[string]*ir.Func, q strin
 	return answer(f, kind, rest, live.IsLiveIn, live.IsLiveOut)
 }
 
-func run(path string, construct bool, engine string, verify, stat bool, queries queryList) error {
+func run(path string, construct bool, backendName string, verify, stat bool, queries queryList) error {
 	var src []byte
 	var err error
 	if path == "-" {
@@ -237,10 +247,11 @@ func run(path string, construct bool, engine string, verify, stat bool, queries 
 		}
 	}
 
-	liveIn, liveOut, err := buildEngine(engine, f)
+	live, err := fastliveness.Analyze(f, fastliveness.Config{Backend: backendName})
 	if err != nil {
 		return err
 	}
+	liveIn, liveOut := queryFunc(live.IsLiveIn), queryFunc(live.IsLiveOut)
 
 	if stat {
 		printStats(f)
@@ -270,40 +281,13 @@ func run(path string, construct bool, engine string, verify, stat bool, queries 
 				outs = append(outs, v.String())
 			}
 		})
-		fmt.Printf("%s:\n  live-in : %s\n  live-out: %s\n",
+		fmt.Fprintf(stdout, "%s:\n  live-in : %s\n  live-out: %s\n",
 			b, strings.Join(ins, " "), strings.Join(outs, " "))
 	}
 	return nil
 }
 
 type queryFunc func(*ir.Value, *ir.Block) bool
-
-func buildEngine(name string, f *ir.Func) (liveIn, liveOut queryFunc, err error) {
-	switch name {
-	case "checker":
-		live, err := fastliveness.Analyze(f, fastliveness.Config{})
-		if err != nil {
-			return nil, nil, err
-		}
-		return live.IsLiveIn, live.IsLiveOut, nil
-	case "dataflow":
-		r := dataflow.Analyze(f)
-		return r.IsLiveIn, r.IsLiveOut, nil
-	case "lao":
-		r := lao.Analyze(f, lao.Options{})
-		return r.IsLiveIn, r.IsLiveOut, nil
-	case "pervar":
-		r := pervar.Analyze(f)
-		return r.IsLiveIn, r.IsLiveOut, nil
-	case "loops":
-		r, err := loops.Liveness(f)
-		if err != nil {
-			return nil, nil, err
-		}
-		return r.IsLiveIn, r.IsLiveOut, nil
-	}
-	return nil, nil, fmt.Errorf("unknown engine %q", name)
-}
 
 // splitKind strips the optional 'in:'/'out:' query prefix, returning it
 // (with the colon) and the remainder.
@@ -342,7 +326,7 @@ func answer(f *ir.Func, prefix, rest string, liveIn, liveOut queryFunc) error {
 	} else {
 		res = liveOut(v, b)
 	}
-	fmt.Printf("live-%s(%s, %s) = %v\n", kind, v, b, res)
+	fmt.Fprintf(stdout, "live-%s(%s, %s) = %v\n", kind, v, b, res)
 	return nil
 }
 
@@ -356,6 +340,6 @@ func printStats(f *ir.Func) {
 			vars++
 		}
 	})
-	fmt.Printf("func @%s: %d blocks, %d edges (%d back), %d variables, reducible=%v\n",
+	fmt.Fprintf(stdout, "func @%s: %d blocks, %d edges (%d back), %d variables, reducible=%v\n",
 		f.Name, len(f.Blocks), g.NumEdges(), len(d.BackEdges), vars, dom.IsReducible(d, tree))
 }

@@ -1,12 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
-	"fastliveness/internal/ir"
+	"fastliveness"
 )
 
 const loopSrc = `
@@ -36,11 +37,72 @@ func writeTemp(t *testing.T, src string) string {
 	return p
 }
 
+// capture redirects the command's output for golden comparisons.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	var buf bytes.Buffer
+	old := stdout
+	stdout = &buf
+	defer func() { stdout = old }()
+	if err := fn(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// goldenDump is livecheck's set dump for loopSrc. Every backend must
+// reproduce it byte for byte: the -backend flag changes the engine, never
+// the answers.
+const goldenDump = `entry:
+  live-in :
+  live-out: %n %one
+head:
+  live-in : %n %one
+  live-out: %n %one %i
+body:
+  live-in : %n %one %i
+  live-out: %n %one
+exit:
+  live-in : %i
+  live-out:
+`
+
+// trimLines strips trailing whitespace per line so golden literals need no
+// invisible trailing spaces (empty sets print after "live-in : ").
+func trimLines(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " \t")
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestRunGoldenPerBackend(t *testing.T) {
+	p := writeTemp(t, loopSrc)
+	for _, name := range fastliveness.Backends() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			got := capture(t, func() error { return run(p, false, name, true, false, nil) })
+			if trimLines(got) != trimLines(goldenDump) {
+				t.Errorf("backend %s dump:\n%s\nwant:\n%s", name, got, goldenDump)
+			}
+			queries := capture(t, func() error {
+				return run(p, false, name, true, false,
+					queryList{"%n@body", "out:%i@head", "in:%one@exit"})
+			})
+			want := "live-in(%n, body) = true\nlive-out(%i, head) = true\nlive-in(%one, exit) = false\n"
+			if queries != want {
+				t.Errorf("backend %s queries:\n%s\nwant:\n%s", name, queries, want)
+			}
+		})
+	}
+}
+
 func TestRunDumpsSets(t *testing.T) {
 	p := writeTemp(t, loopSrc)
-	for _, engine := range []string{"checker", "dataflow", "lao", "pervar", "loops"} {
-		if err := run(p, false, engine, true, true, nil); err != nil {
-			t.Fatalf("engine %s: %v", engine, err)
+	for _, name := range fastliveness.Backends() {
+		if err := run(p, false, name, true, true, nil); err != nil {
+			t.Fatalf("backend %s: %v", name, err)
 		}
 	}
 }
@@ -58,18 +120,18 @@ func TestRunErrors(t *testing.T) {
 	p := writeTemp(t, loopSrc)
 	cases := []struct {
 		queries queryList
-		engine  string
+		backend string
 		want    string
 	}{
 		{queryList{"%nosuch@body"}, "checker", "unknown value"},
 		{queryList{"%n@nowhere"}, "checker", "unknown block"},
 		{queryList{"garbage"}, "checker", "bad query"},
-		{nil, "frobnicate", "unknown engine"},
+		{nil, "frobnicate", "unknown backend"},
 	}
 	for _, c := range cases {
-		err := run(p, false, c.engine, true, false, c.queries)
+		err := run(p, false, c.backend, true, false, c.queries)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
-			t.Errorf("queries %v engine %s: err = %v, want %q", c.queries, c.engine, err, c.want)
+			t.Errorf("queries %v backend %s: err = %v, want %q", c.queries, c.backend, err, c.want)
 		}
 	}
 	if err := run(filepath.Join(t.TempDir(), "missing"), false, "checker", true, false, nil); err == nil {
@@ -98,28 +160,6 @@ b1:
 	if err := run(p, true, "checker", true, false, nil); err != nil {
 		t.Fatal(err)
 	}
-}
-
-func TestBuildEngineAgreement(t *testing.T) {
-	f := ir.MustParse(loopSrc)
-	in1, out1, err := buildEngine("checker", f)
-	if err != nil {
-		t.Fatal(err)
-	}
-	in2, out2, err := buildEngine("dataflow", f)
-	if err != nil {
-		t.Fatal(err)
-	}
-	f.Values(func(v *ir.Value) {
-		if !v.Op.HasResult() {
-			return
-		}
-		for _, b := range f.Blocks {
-			if in1(v, b) != in2(v, b) || out1(v, b) != out2(v, b) {
-				t.Fatalf("engines disagree at (%s, %s)", v, b)
-			}
-		}
-	})
 }
 
 const clampSrc = `
@@ -183,22 +223,42 @@ func TestRunProgramSummaryAndQueries(t *testing.T) {
 	}
 }
 
+// Whole-program mode accepts every registered backend and answers the same
+// queries identically through each.
+func TestRunProgramPerBackend(t *testing.T) {
+	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
+	paths, _, _ := programArgs([]string{dir})
+	qs := queryList{"out:%i@head@loop", "in:%r@join@clamp"}
+	var want string
+	for i, name := range fastliveness.Backends() {
+		got := capture(t, func() error { return runProgram(paths, false, name, true, false, 2, qs) })
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("backend %s answers:\n%s\nwant (backend %s):\n%s",
+				name, got, fastliveness.Backends()[0], want)
+		}
+	}
+}
+
 func TestRunProgramErrors(t *testing.T) {
 	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
 	paths, _, _ := programArgs([]string{dir})
 	cases := []struct {
 		queries queryList
-		engine  string
+		backend string
 		want    string
 	}{
 		{queryList{"%i@body@nosuch"}, "checker", "unknown function"},
 		{queryList{"%i@body"}, "checker", "bad query"},
-		{nil, "dataflow", "only -engine checker"},
+		{nil, "frobnicate", "unknown backend"},
 	}
 	for _, c := range cases {
-		err := runProgram(paths, false, c.engine, true, false, 1, c.queries)
+		err := runProgram(paths, false, c.backend, true, false, 1, c.queries)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
-			t.Errorf("queries %v engine %s: err = %v, want %q", c.queries, c.engine, err, c.want)
+			t.Errorf("queries %v backend %s: err = %v, want %q", c.queries, c.backend, err, c.want)
 		}
 	}
 	if err := runProgram(nil, false, "checker", true, false, 1, nil); err == nil {

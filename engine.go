@@ -68,9 +68,13 @@ type handle struct {
 // Precompute, and queried through per-function Liveness handles or the
 // batched query methods. All methods are safe for concurrent use.
 //
-// The per-function contract carries over: a cached analysis stays valid
-// under any edit that leaves that function's CFG alone, and must be dropped
-// with Invalidate when blocks or edges change.
+// The per-function contract carries over, and depends on the configured
+// backend: with the default checker a cached analysis stays valid under
+// any edit that leaves that function's CFG alone and must be dropped with
+// Invalidate only when blocks or edges change; with a set-producing
+// backend ("dataflow", "lao", "pervar", "loops", or "auto" when it picks
+// one) the cached sets describe the program as of analysis time, so any
+// edit to the function — even instruction-only — requires Invalidate.
 type Engine struct {
 	config EngineConfig
 
@@ -230,9 +234,11 @@ func (e *Engine) build(h *handle) (*Liveness, error) {
 	return live, nil
 }
 
-// Invalidate drops any cached analysis (and any sticky error) for f, e.g.
-// after its CFG changed. The next request re-analyzes. Analyses already
-// handed out keep answering against the old CFG.
+// Invalidate drops any cached analysis (and any sticky error) for f: after
+// its CFG changed, or — when the configured backend materializes sets —
+// after any edit to f at all (see the Engine invalidation contract). The
+// next request re-analyzes. Analyses already handed out keep answering
+// against the old program.
 func (e *Engine) Invalidate(f *ir.Func) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -253,6 +259,32 @@ func (e *Engine) Resident() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.lru.Len()
+}
+
+// BackendStats summarizes the resident analyses served by one backend.
+type BackendStats struct {
+	// Funcs counts resident analyses this backend produced.
+	Funcs int
+	// MemoryBytes sums their precomputed-set footprints.
+	MemoryBytes int
+}
+
+// Stats groups the resident analyses by the backend that produced them.
+// With Config.Backend "auto" the keys are the engines the selector
+// actually picked per function, which is how callers observe the
+// selection mix of a whole program.
+func (e *Engine) Stats() map[string]BackendStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]BackendStats)
+	for el := e.lru.Front(); el != nil; el = el.Next() {
+		live := el.Value.(*handle).live
+		s := out[live.Backend()]
+		s.Funcs++
+		s.MemoryBytes += live.MemoryBytes()
+		out[live.Backend()] = s
+	}
+	return out
 }
 
 // MemoryBytes reports the total footprint of the resident precomputed

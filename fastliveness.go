@@ -15,6 +15,12 @@
 // critical edges once up front, analyzes, and then queries freely while it
 // rewrites the program.
 //
+// The checker is one of five interchangeable engines behind the
+// internal/backend registry (the others are the baselines of the paper's
+// evaluation: iterative data-flow, the LAO-style native solver, the
+// per-variable walker and the loop-forest engine). Config.Backend selects
+// one by name; "auto" picks per function.
+//
 // Example:
 //
 //	live, err := fastliveness.Analyze(f, fastliveness.Config{})
@@ -23,11 +29,10 @@
 package fastliveness
 
 import (
-	"fmt"
+	"sync"
 
-	"fastliveness/internal/cfg"
+	"fastliveness/internal/backend"
 	"fastliveness/internal/core"
-	"fastliveness/internal/dom"
 	"fastliveness/internal/ir"
 )
 
@@ -55,7 +60,21 @@ type Config struct {
 	// SortedT stores T sets as sorted arrays instead of bitsets (§6.1
 	// memory variant).
 	SortedT bool
+	// Backend names the liveness engine serving the queries: one of
+	// Backends() — "checker" (the paper's R/T checker, the default),
+	// "dataflow", "lao", "pervar", "loops", or "auto" (per-function
+	// adaptive selection). The empty string means "checker". The fields
+	// above tune the checker and are ignored by the other backends.
+	//
+	// Every backend answers queries identically (the differential suite
+	// proves it); they differ in precompute cost, memory, and what
+	// invalidates them — set-producing backends are invalidated by any
+	// program edit, the checker only by CFG changes.
+	Backend string
 }
+
+// Backends lists the registered backend names accepted by Config.Backend.
+func Backends() []string { return backend.Names() }
 
 // Liveness answers liveness queries for one function. It is bound to the
 // function's CFG at Analyze time; see the package comment for what
@@ -63,99 +82,146 @@ type Config struct {
 // buffer is reused); create one Liveness per goroutine if needed.
 type Liveness struct {
 	f       *ir.Func
-	graph   *cfg.Graph
-	index   []int // block ID -> node
-	dfs     *cfg.DFS
-	tree    *dom.Tree
-	checker *core.Checker
+	prep    *backend.Prep
+	res     backend.Result
+	checker *core.Checker // non-nil iff the checker serves the queries
 	scratch []int
+	// enum is the lazily built set-producing result behind LiveIn/LiveOut;
+	// enumStale (set by ResetSets) forces the rebuild through a fresh set
+	// analysis even when res itself materializes sets. enumMu guards both:
+	// an Engine reports MemoryBytes concurrently with the handle owner's
+	// first enumeration, so this corner of the otherwise single-goroutine
+	// Liveness must synchronize.
+	enumMu    sync.Mutex
+	enum      backend.Result
+	enumStale bool
 }
 
-// Analyze precomputes the liveness-checking sets for f's CFG. The function
-// must be well formed (ir.Verify) with every block reachable from the
-// entry, and queries assume strict SSA (ssa.VerifyStrict); liveness of a
-// variable whose definition does not dominate its uses is undefined.
+// Analyze precomputes liveness for f with the backend named by the config
+// (the paper's R/T checker unless Config.Backend says otherwise). The
+// function must be well formed (ir.Verify) with every block reachable from
+// the entry, and queries assume strict SSA (ssa.VerifyStrict); liveness of
+// a variable whose definition does not dominate its uses is undefined.
 func Analyze(f *ir.Func, config Config) (*Liveness, error) {
-	if err := ir.Verify(f); err != nil {
+	prep, err := backend.Prepare(f)
+	if err != nil {
 		return nil, err
 	}
-	g, index := cfg.FromFunc(f)
-	d := cfg.NewDFS(g)
-	if d.NumReachable != g.N() {
-		return nil, fmt.Errorf("fastliveness: %s: %d of %d blocks unreachable from entry",
-			f.Name, g.N()-d.NumReachable, g.N())
+	var res backend.Result
+	switch config.Backend {
+	case "", backend.DefaultName:
+		// The checker honors the strategy/ablation knobs; going through
+		// the registry would lose them.
+		res = backend.NewCheckerResult(prep, core.Options{
+			Strategy:            config.Strategy,
+			NoSkipSubtrees:      config.NoSkipSubtrees,
+			NoReducibleFastPath: config.NoReducibleFastPath,
+			SortedT:             config.SortedT,
+		})
+	default:
+		b, err := backend.Get(config.Backend)
+		if err != nil {
+			return nil, err
+		}
+		if res, err = backend.AnalyzeWith(b, f, prep); err != nil {
+			return nil, err
+		}
 	}
-	tree := dom.Iterative(g, d)
-	checker := core.NewFrom(g, d, tree, core.Options{
-		Strategy:            config.Strategy,
-		NoSkipSubtrees:      config.NoSkipSubtrees,
-		NoReducibleFastPath: config.NoReducibleFastPath,
-		SortedT:             config.SortedT,
-	})
-	return &Liveness{
-		f:       f,
-		graph:   g,
-		index:   index,
-		dfs:     d,
-		tree:    tree,
-		checker: checker,
-	}, nil
+	l := &Liveness{f: f, prep: prep, res: res}
+	if cr, ok := res.(*backend.CheckerResult); ok {
+		// Route queries through this handle's own scratch (and the
+		// Querier's), never the shared result's.
+		l.checker = cr.Checker()
+	}
+	return l, nil
 }
 
 // node maps a block to its CFG node, tolerating blocks added after Analyze
 // only if the CFG has not changed — which the API contract forbids anyway.
-func (l *Liveness) node(b *ir.Block) int {
-	if b.ID >= len(l.index) || l.index[b.ID] < 0 {
-		panic(fmt.Sprintf("fastliveness: block %s is not part of the analyzed CFG", b))
-	}
-	return l.index[b.ID]
-}
+func (l *Liveness) node(b *ir.Block) int { return l.prep.Node(b) }
 
 // useNodes reads v's def-use chain (Definition 1 placement) into the
 // scratch buffer as CFG nodes.
 func (l *Liveness) useNodes(v *ir.Value) []int {
-	l.scratch = v.UseBlockIDs(l.scratch[:0])
-	for i, id := range l.scratch {
-		l.scratch[i] = l.index[id]
-	}
+	l.scratch = l.prep.UseNodes(l.scratch, v)
 	return l.scratch
 }
 
 // IsLiveIn reports whether v is live-in at block b (paper Definition 2 /
 // Algorithm 3).
 func (l *Liveness) IsLiveIn(v *ir.Value, b *ir.Block) bool {
-	return l.checker.IsLiveIn(l.node(v.Block), l.useNodes(v), l.node(b))
+	if l.checker != nil {
+		return l.checker.IsLiveIn(l.node(v.Block), l.useNodes(v), l.node(b))
+	}
+	return l.res.IsLiveIn(v, b)
 }
 
 // IsLiveOut reports whether v is live-out at block b (paper Definition 3 /
 // Algorithm 2).
 func (l *Liveness) IsLiveOut(v *ir.Value, b *ir.Block) bool {
-	return l.checker.IsLiveOut(l.node(v.Block), l.useNodes(v), l.node(b))
+	if l.checker != nil {
+		return l.checker.IsLiveOut(l.node(v.Block), l.useNodes(v), l.node(b))
+	}
+	return l.res.IsLiveOut(v, b)
 }
 
-// LiveIn enumerates the variables live-in at b by querying every value —
-// the paper deliberately provides only the characteristic function, so
-// this convenience costs one query per value. Intended for tools and
-// debugging, not for hot paths.
-func (l *Liveness) LiveIn(b *ir.Block) []*ir.Value {
-	var out []*ir.Value
-	l.f.Values(func(v *ir.Value) {
-		if v.Op.HasResult() && l.IsLiveIn(v, b) {
-			out = append(out, v)
+// sets returns the set-producing result behind LiveIn/LiveOut: the
+// analysis itself when it already materializes sets (and no ResetSets has
+// intervened), else the cheapest set-producing backend for this CFG
+// (loop-forest where reducible, iterative data-flow otherwise), built once
+// and cached.
+func (l *Liveness) sets() backend.Result {
+	l.enumMu.Lock()
+	enum, stale := l.enum, l.enumStale
+	l.enumMu.Unlock()
+	if enum != nil {
+		return enum
+	}
+	// Build outside the lock: enumMu only guards the pointer, so an Engine
+	// reporting MemoryBytes never stalls behind a set analysis in flight.
+	if !stale && l.res.Invalidation() == backend.InvalidatedByAnyEdit {
+		enum = l.res
+	} else {
+		e, err := backend.AnalyzeSets(l.f, l.prep)
+		if err != nil {
+			// The prep is already built and verified; set engines cannot
+			// fail on it.
+			panic("fastliveness: set enumeration backend: " + err.Error())
 		}
-	})
-	return out
+		enum = e
+	}
+	l.enumMu.Lock()
+	if l.enum == nil {
+		l.enum = enum
+	} else {
+		enum = l.enum
+	}
+	l.enumMu.Unlock()
+	return enum
 }
+
+// LiveIn enumerates the variables live-in at b. It delegates to a
+// set-producing backend (built lazily on first call and cached) instead of
+// issuing one checker query per value. Unlike IsLiveIn, the cached sets
+// describe the program as of the first enumeration: after adding or
+// removing instructions, call ResetSets (or re-Analyze) before enumerating
+// again.
+func (l *Liveness) LiveIn(b *ir.Block) []*ir.Value { return l.sets().LiveInSet(b) }
 
 // LiveOut enumerates the variables live-out at b; see LiveIn's caveats.
-func (l *Liveness) LiveOut(b *ir.Block) []*ir.Value {
-	var out []*ir.Value
-	l.f.Values(func(v *ir.Value) {
-		if v.Op.HasResult() && l.IsLiveOut(v, b) {
-			out = append(out, v)
-		}
-	})
-	return out
+func (l *Liveness) LiveOut(b *ir.Block) []*ir.Value { return l.sets().LiveOutSet(b) }
+
+// ResetSets drops the cached enumeration sets behind LiveIn/LiveOut so the
+// next enumeration recomputes them against the current program — for every
+// backend, including set-producing ones (where the rebuild runs through a
+// fresh set analysis). Checker-backed queries (IsLiveIn/IsLiveOut) never
+// need this; with a set-producing Config.Backend the queries themselves
+// also describe the pre-edit program, and only re-Analyze refreshes them.
+func (l *Liveness) ResetSets() {
+	l.enumMu.Lock()
+	l.enum = nil
+	l.enumStale = true
+	l.enumMu.Unlock()
 }
 
 // Interfere reports whether the live ranges of x and y overlap, using the
@@ -168,15 +234,23 @@ func (l *Liveness) LiveOut(b *ir.Block) []*ir.Value {
 //
 // This is what register allocators and coalescers (see examples/jitregalloc
 // and internal/destruct) ask instead of materializing an interference
-// graph.
+// graph. Like the query methods it reuses this handle's scratch buffer;
+// concurrent callers use Querier.Interfere.
 func (l *Liveness) Interfere(x, y *ir.Value) bool {
+	return l.interfere(x, y, l.IsLiveOut)
+}
+
+// interfere is the backend-independent Budimlić test, parameterized over
+// the live-out oracle so Liveness and Querier each route it through their
+// own scratch space.
+func (l *Liveness) interfere(x, y *ir.Value, isLiveOut func(*ir.Value, *ir.Block) bool) bool {
 	if x == y {
 		return false
 	}
 	bx, by := l.node(x.Block), l.node(y.Block)
 	switch {
-	case l.tree.Dominates(bx, by):
-	case l.tree.Dominates(by, bx):
+	case l.prep.Tree.Dominates(bx, by):
+	case l.prep.Tree.Dominates(by, bx):
 		x, y = y, x
 	default:
 		return false
@@ -184,7 +258,7 @@ func (l *Liveness) Interfere(x, y *ir.Value) bool {
 	if x.Block == y.Block && x.Block.ValueIndex(x) > y.Block.ValueIndex(y) {
 		x, y = y, x
 	}
-	if l.IsLiveOut(x, y.Block) {
+	if isLiveOut(x, y.Block) {
 		return true
 	}
 	yPos := y.Block.ValueIndex(y)
@@ -217,31 +291,62 @@ type Querier struct {
 func (l *Liveness) NewQuerier() *Querier { return &Querier{l: l} }
 
 func (qr *Querier) useNodes(v *ir.Value) []int {
-	qr.scratch = v.UseBlockIDs(qr.scratch[:0])
-	for i, id := range qr.scratch {
-		qr.scratch[i] = qr.l.index[id]
-	}
+	qr.scratch = qr.l.prep.UseNodes(qr.scratch, v)
 	return qr.scratch
 }
 
 // IsLiveIn is Liveness.IsLiveIn through this handle's scratch space.
 func (qr *Querier) IsLiveIn(v *ir.Value, b *ir.Block) bool {
 	l := qr.l
-	return l.checker.IsLiveIn(l.node(v.Block), qr.useNodes(v), l.node(b))
+	if l.checker != nil {
+		return l.checker.IsLiveIn(l.node(v.Block), qr.useNodes(v), l.node(b))
+	}
+	return l.res.IsLiveIn(v, b)
 }
 
 // IsLiveOut is Liveness.IsLiveOut through this handle's scratch space.
 func (qr *Querier) IsLiveOut(v *ir.Value, b *ir.Block) bool {
 	l := qr.l
-	return l.checker.IsLiveOut(l.node(v.Block), qr.useNodes(v), l.node(b))
+	if l.checker != nil {
+		return l.checker.IsLiveOut(l.node(v.Block), qr.useNodes(v), l.node(b))
+	}
+	return l.res.IsLiveOut(v, b)
+}
+
+// Interfere is Liveness.Interfere through this handle's scratch space:
+// interference queries issue IsLiveOut internally, so routing them through
+// the shared Liveness would race concurrent Queriers on its scratch
+// buffer. Through this method they are safe to run from any number of
+// goroutines.
+func (qr *Querier) Interfere(x, y *ir.Value) bool {
+	return qr.l.interfere(x, y, qr.IsLiveOut)
 }
 
 // Reducible reports whether the function's CFG is reducible; on reducible
-// CFGs queries take the Theorem 2 single-test fast path.
-func (l *Liveness) Reducible() bool { return l.checker.Reducible() }
+// CFGs checker queries take the Theorem 2 single-test fast path.
+func (l *Liveness) Reducible() bool {
+	if l.checker != nil {
+		return l.checker.Reducible()
+	}
+	return l.prep.Reducible()
+}
 
-// MemoryBytes reports the footprint of the precomputed sets (§6.1).
-func (l *Liveness) MemoryBytes() int { return l.checker.MemoryBytes() }
+// MemoryBytes reports the footprint of the precomputed sets (§6.1),
+// including the enumeration sets LiveIn/LiveOut may have materialized on
+// top of the primary analysis.
+func (l *Liveness) MemoryBytes() int {
+	total := l.res.MemoryBytes()
+	l.enumMu.Lock()
+	if l.enum != nil && l.enum != l.res {
+		total += l.enum.MemoryBytes()
+	}
+	l.enumMu.Unlock()
+	return total
+}
+
+// Backend names the backend serving this handle's queries. With
+// Config.Backend "auto" this is the engine the selector picked.
+func (l *Liveness) Backend() string { return l.res.Backend() }
 
 // Func returns the analyzed function.
 func (l *Liveness) Func() *ir.Func { return l.f }

@@ -1,0 +1,211 @@
+package backend
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"fastliveness/internal/ir"
+	"fastliveness/internal/loops"
+)
+
+const reducibleSrc = `
+func @red(%n) {
+entry:
+  %zero = const 0
+  %one = const 1
+  br head
+head:
+  %i = phi [%zero, entry], [%inext, body]
+  %cmp = cmplt %i, %n
+  if %cmp -> body, exit
+body:
+  %inext = add %i, %one
+  br head
+exit:
+  ret %i
+}
+`
+
+// Two-entry cycle a<->b: classic irreducible control flow.
+const irreducibleSrc = `
+func @irr(%p) {
+entry:
+  %c = cmplt %p, %p
+  if %c -> a, b
+a:
+  %x = add %p, %p
+  br b
+b:
+  %y = add %p, %c
+  if %y -> a, exit
+exit:
+  ret %p
+}
+`
+
+func TestRegistryHoldsAllFiveEnginesPlusAuto(t *testing.T) {
+	want := []string{"auto", "checker", "dataflow", "lao", "loops", "pervar"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if b.Name() != name {
+			t.Fatalf("Get(%q).Name() = %q", name, b.Name())
+		}
+	}
+}
+
+func TestGetEmptyResolvesToDefault(t *testing.T) {
+	b, err := Get("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != DefaultName {
+		t.Fatalf("empty name resolved to %q, want %q", b.Name(), DefaultName)
+	}
+	if _, err := Get("nosuch"); err == nil {
+		t.Fatal("Get of unknown backend should fail")
+	}
+}
+
+type dummyBackend struct{ name string }
+
+func (d dummyBackend) Name() string                   { return d.name }
+func (dummyBackend) Analyze(*ir.Func) (Result, error) { return nil, nil }
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register should panic")
+		}
+	}()
+	Register(dummyBackend{name: DefaultName})
+}
+
+// The loops backend must reject irreducible control flow with the loops
+// package's sentinel error, visible through the registry; the adaptive
+// backend must not fail there but fall back to the R/T checker.
+func TestIrreducibleParity(t *testing.T) {
+	f := ir.MustParse(irreducibleSrc)
+	p, err := Prepare(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Reducible() {
+		t.Fatal("test program should be irreducible")
+	}
+
+	lb, err := Get("loops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lb.Analyze(f); !errors.Is(err, loops.ErrIrreducible) {
+		t.Fatalf("loops backend on irreducible CFG: err = %v, want loops.ErrIrreducible", err)
+	}
+
+	ab, err := Get(AutoName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ab.Analyze(f)
+	if err != nil {
+		t.Fatalf("auto backend must not fail on irreducible CFGs: %v", err)
+	}
+	if res.Backend() != "checker" {
+		t.Fatalf("auto picked %q on irreducible CFG, want checker", res.Backend())
+	}
+	if res.Invalidation() != InvalidatedByCFGChanges {
+		t.Fatalf("checker result invalidation = %v, want %v",
+			res.Invalidation(), InvalidatedByCFGChanges)
+	}
+}
+
+func TestAutoPicksLoopsOnReducible(t *testing.T) {
+	f := ir.MustParse(reducibleSrc)
+	ab, err := Get(AutoName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ab.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend() != "loops" {
+		t.Fatalf("auto picked %q on reducible CFG, want loops", res.Backend())
+	}
+	if res.Invalidation() != InvalidatedByAnyEdit {
+		t.Fatalf("loops result invalidation = %v, want %v",
+			res.Invalidation(), InvalidatedByAnyEdit)
+	}
+}
+
+func TestAnalyzeSetsSelection(t *testing.T) {
+	red := ir.MustParse(reducibleSrc)
+	res, err := AnalyzeSets(red, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend() != "loops" {
+		t.Fatalf("AnalyzeSets on reducible CFG used %q, want loops", res.Backend())
+	}
+	irr := ir.MustParse(irreducibleSrc)
+	res, err = AnalyzeSets(irr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend() != "dataflow" {
+		t.Fatalf("AnalyzeSets on irreducible CFG used %q, want dataflow", res.Backend())
+	}
+}
+
+// AnalyzeWith must share one Prep with prep-aware backends instead of
+// rebuilding the CFG analyses.
+func TestAnalyzeWithSharesPrep(t *testing.T) {
+	f := ir.MustParse(reducibleSrc)
+	p, err := Prepare(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Get("checker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeWith(b, f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, ok := res.(*CheckerResult)
+	if !ok {
+		t.Fatalf("checker backend returned %T", res)
+	}
+	if cr.Prep() != p {
+		t.Fatal("AnalyzeWith rebuilt the prep instead of sharing it")
+	}
+}
+
+func TestPrepareRejectsUnreachable(t *testing.T) {
+	f := ir.NewFunc("orphan")
+	entry := f.NewBlock(ir.BlockRet)
+	entry.SetControl(entry.NewValueI(ir.OpConst, 1))
+	f.NewBlock(ir.BlockRet) // never linked to the entry
+	if _, err := Prepare(f); err == nil {
+		t.Fatal("Prepare should reject unreachable blocks")
+	}
+}
+
+func TestInvalidationStrings(t *testing.T) {
+	if got := InvalidatedByCFGChanges.String(); got != "cfg-changes" {
+		t.Errorf("InvalidatedByCFGChanges = %q", got)
+	}
+	if got := InvalidatedByAnyEdit.String(); got != "any-edit" {
+		t.Errorf("InvalidatedByAnyEdit = %q", got)
+	}
+	if got := Invalidation(9).String(); got != "invalidation(9)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}

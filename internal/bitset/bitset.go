@@ -217,6 +217,19 @@ func (s *Set) Elements() []int {
 // the benchmark harness to reproduce the paper's memory discussion (§6.1).
 func (s *Set) WordBytes() int { return len(s.words) * 8 }
 
+// TotalWordBytes sums WordBytes over slices of sets — the one definition of
+// set-payload footprint every engine's MemoryBytes reports, so the §6.1
+// cross-backend memory comparison can never use inconsistent accounting.
+func TotalWordBytes(sets ...[]*Set) int {
+	total := 0
+	for _, ss := range sets {
+		for _, s := range ss {
+			total += s.WordBytes()
+		}
+	}
+	return total
+}
+
 // String renders the set as {a, b, c} for debugging and test failures.
 func (s *Set) String() string {
 	var b strings.Builder

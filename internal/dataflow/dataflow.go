@@ -178,6 +178,22 @@ func (r *Result) IsLiveOut(v *ir.Value, b *ir.Block) bool {
 	return r.LiveOut[r.blockPos[b]].Has(v.ID)
 }
 
+// LiveInIDs returns the IDs of the values live-in at b, ascending.
+func (r *Result) LiveInIDs(b *ir.Block) []int {
+	return r.LiveIn[r.blockPos[b]].Elements()
+}
+
+// LiveOutIDs returns the IDs of the values live-out at b, ascending.
+func (r *Result) LiveOutIDs(b *ir.Block) []int {
+	return r.LiveOut[r.blockPos[b]].Elements()
+}
+
+// MemoryBytes reports the payload footprint of the live sets (the local
+// UEVar/Defs sets are solver inputs, not part of the queryable result).
+func (r *Result) MemoryBytes() int {
+	return bitset.TotalWordBytes(r.LiveIn, r.LiveOut)
+}
+
 // AvgLiveIn returns the mean live-in set cardinality over all blocks — the
 // "fill ratio" statistic the paper reports in §6.2 (3.16 for φ-related
 // SPEC2000 liveness, 18.52 for the full analysis).

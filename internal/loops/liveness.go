@@ -31,7 +31,13 @@ type Result struct {
 func Liveness(f *ir.Func) (*Result, error) {
 	g, _ := cfg.FromFunc(f)
 	d := cfg.NewDFS(g)
-	tree := dom.Iterative(g, d)
+	return LivenessFrom(f, g, d, dom.Iterative(g, d))
+}
+
+// LivenessFrom is Liveness against existing CFG analyses of f (node i of g
+// must correspond to f.Blocks[i], as cfg.FromFunc guarantees), so callers
+// that already prepared the graph — the backend layer — don't rebuild it.
+func LivenessFrom(f *ir.Func, g *cfg.Graph, d *cfg.DFS, tree *dom.Tree) (*Result, error) {
 	if !dom.IsReducible(d, tree) {
 		return nil, ErrIrreducible
 	}
@@ -107,4 +113,20 @@ func (r *Result) IsLiveIn(v *ir.Value, b *ir.Block) bool {
 // IsLiveOut reports whether v is live-out at b.
 func (r *Result) IsLiveOut(v *ir.Value, b *ir.Block) bool {
 	return r.LiveOut[r.blockPos[b]].Has(v.ID)
+}
+
+// LiveInIDs returns the IDs of the values live-in at b, ascending.
+func (r *Result) LiveInIDs(b *ir.Block) []int {
+	return r.LiveIn[r.blockPos[b]].Elements()
+}
+
+// LiveOutIDs returns the IDs of the values live-out at b, ascending.
+func (r *Result) LiveOutIDs(b *ir.Block) []int {
+	return r.LiveOut[r.blockPos[b]].Elements()
+}
+
+// MemoryBytes reports the payload footprint of the live sets, for the
+// §6.1-style memory comparison across engines.
+func (r *Result) MemoryBytes() int {
+	return bitset.TotalWordBytes(r.LiveIn, r.LiveOut)
 }

@@ -111,3 +111,18 @@ func (r *Result) IsLiveIn(v *ir.Value, b *ir.Block) bool {
 func (r *Result) IsLiveOut(v *ir.Value, b *ir.Block) bool {
 	return r.liveOut[r.blockPos[b]].Has(v.ID)
 }
+
+// LiveInIDs returns the IDs of the values live-in at b, ascending.
+func (r *Result) LiveInIDs(b *ir.Block) []int {
+	return r.liveIn[r.blockPos[b]].Elements()
+}
+
+// LiveOutIDs returns the IDs of the values live-out at b, ascending.
+func (r *Result) LiveOutIDs(b *ir.Block) []int {
+	return r.liveOut[r.blockPos[b]].Elements()
+}
+
+// MemoryBytes reports the payload footprint of the live sets.
+func (r *Result) MemoryBytes() int {
+	return bitset.TotalWordBytes(r.liveIn, r.liveOut)
+}
