@@ -1,0 +1,133 @@
+package fastliveness
+
+// The arena PR's contract: steady-state IsLiveIn/IsLiveOut checker queries
+// allocate nothing — not on the default fresh-read path, not on the
+// CacheUses path once a value's use-set is built, not through a Querier.
+// These tests pin that at 0 allocs/op with testing.AllocsPerRun so a
+// regression (a scratch buffer that stops being reused, a row view that
+// starts escaping) fails loudly instead of showing up as a benchmark
+// drift.
+
+import (
+	"testing"
+
+	"fastliveness/internal/gen"
+	"fastliveness/internal/ir"
+	"fastliveness/internal/ssa"
+)
+
+func allocWorkload(t *testing.T) (*ir.Func, []*ir.Value) {
+	t.Helper()
+	c := gen.Default(987654)
+	c.TargetBlocks = 40
+	f := gen.Generate("zeroalloc", c)
+	ssa.Construct(f)
+	var vals []*ir.Value
+	f.Values(func(v *ir.Value) {
+		if v.Op.HasResult() {
+			vals = append(vals, v)
+		}
+	})
+	if len(vals) == 0 {
+		t.Fatal("workload has no values")
+	}
+	return f, vals
+}
+
+func TestCheckerQueriesZeroAlloc(t *testing.T) {
+	f, vals := allocWorkload(t)
+	for _, tc := range []struct {
+		name   string
+		config Config
+	}{
+		{"default", Config{}},
+		{"cacheUses", Config{CacheUses: true}},
+		{"sortedT", Config{SortedT: true}},
+		{"cacheUses+sortedT", Config{CacheUses: true, SortedT: true}},
+		{"exact", Config{Strategy: StrategyExact}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			live, err := Analyze(f, tc.config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sweep := func(in func(*ir.Value, *ir.Block) bool, out func(*ir.Value, *ir.Block) bool) func() {
+				return func() {
+					for _, v := range vals {
+						for _, b := range f.Blocks {
+							in(v, b)
+							out(v, b)
+						}
+					}
+				}
+			}
+
+			liveSweep := sweep(live.IsLiveIn, live.IsLiveOut)
+			liveSweep() // warm: scratch capacity, use-set cache entries
+			if avg := testing.AllocsPerRun(10, liveSweep); avg != 0 {
+				t.Errorf("Liveness steady-state sweep: %v allocs, want 0", avg)
+			}
+
+			qr := live.NewQuerier()
+			qrSweep := sweep(qr.IsLiveIn, qr.IsLiveOut)
+			qrSweep()
+			if avg := testing.AllocsPerRun(10, qrSweep); avg != 0 {
+				t.Errorf("Querier steady-state sweep: %v allocs, want 0", avg)
+			}
+		})
+	}
+}
+
+// CacheUses answers must track ResetSets: a cached use-set describes the
+// uses as of its build, ResetSets flushes every handle's cache (Liveness
+// and Queriers alike) through the epoch, and the refreshed answers must
+// again match both a fresh analysis and the fresh-read default path.
+func TestCacheUsesResetSets(t *testing.T) {
+	f, vals := allocWorkload(t)
+	cached, err := Analyze(f, Config{CacheUses: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr := cached.NewQuerier()
+
+	agree := func(stage string) {
+		t.Helper()
+		fresh, err := Analyze(f, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vals {
+			for _, b := range f.Blocks {
+				if got, want := cached.IsLiveOut(v, b), fresh.IsLiveOut(v, b); got != want {
+					t.Fatalf("%s: cached IsLiveOut(%s, %s) = %v, fresh analysis says %v", stage, v, b, got, want)
+				}
+				if got, want := qr.IsLiveIn(v, b), fresh.IsLiveIn(v, b); got != want {
+					t.Fatalf("%s: cached Querier.IsLiveIn(%s, %s) = %v, fresh analysis says %v", stage, v, b, got, want)
+				}
+			}
+		}
+	}
+	agree("baseline")
+
+	// Extend a live range: give the first value a brand-new use in every
+	// block it dominates... its own block suffices and is always legal.
+	v := vals[0]
+	added := v.Block.NewValue(ir.OpNeg, v)
+	if err := ssa.VerifyStrict(f); err != nil {
+		t.Fatal(err)
+	}
+	cached.ResetSets()
+	agree("after adding a use")
+
+	// Shrink it again.
+	v.Block.RemoveValue(added)
+	cached.ResetSets()
+	agree("after removing the use")
+
+	// New values appearing after analysis must be queryable without any
+	// reset — they build fresh cache entries past the end of the slice the
+	// cache was sized for.
+	w := v.Block.NewValue(ir.OpCopy, v)
+	vals = append(vals, w)
+	agree("after adding a new value")
+}

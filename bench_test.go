@@ -62,6 +62,7 @@ func BenchmarkTable2_PrecomputeNative(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			procs := corpus(b, name).Procs
 			b.ResetTimer()
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				lao.Analyze(procs[i%len(procs)].F, lao.Options{PhiRelatedOnly: true})
 			}
@@ -85,6 +86,7 @@ func BenchmarkTable2_PrecomputeNew(b *testing.B) {
 				pres[i] = pre{g, d, dom.Iterative(g, d)}
 			}
 			b.ResetTimer()
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				p := pres[i%len(pres)]
 				core.NewFrom(p.g, p.d, p.tree, core.Options{})
@@ -119,6 +121,7 @@ func BenchmarkTable2_QueryNative(b *testing.B) {
 				oracle[p.F] = lao.Analyze(p.F, lao.Options{PhiRelatedOnly: true})
 			}
 			b.ResetTimer()
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				q := qs[i%len(qs)]
 				oracle[q.V.Block.Func].IsLiveOut(q.V, q.B)
@@ -140,6 +143,35 @@ func BenchmarkTable2_QueryNew(b *testing.B) {
 				oracle[p.F] = l
 			}
 			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := qs[i%len(qs)]
+				oracle[q.V.Block.Func].IsLiveOut(q.V, q.B)
+			}
+		})
+	}
+}
+
+// BenchmarkTable2_QueryNewCachedUses is BenchmarkTable2_QueryNew through
+// the opt-in use-set cache (Config.CacheUses): the per-use inner loop of
+// Algorithm 3 collapses to one word-loop intersection against the R arena.
+func BenchmarkTable2_QueryNewCachedUses(b *testing.B) {
+	for _, name := range []string{"164.gzip", "186.crafty"} {
+		b.Run(name, func(b *testing.B) {
+			qs, c := queryStream(b, name)
+			oracle := map[*ir.Func]*fastliveness.Liveness{}
+			for _, p := range c.Procs {
+				l, err := fastliveness.Analyze(p.F, fastliveness.Config{CacheUses: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				oracle[p.F] = l
+			}
+			for _, q := range qs {
+				oracle[q.V.Block.Func].IsLiveOut(q.V, q.B) // warm the use-sets
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				q := qs[i%len(qs)]
 				oracle[q.V.Block.Func].IsLiveOut(q.V, q.B)
@@ -175,6 +207,7 @@ func BenchmarkFigure3_Queries(b *testing.B) {
 	c := core.New(g, core.Options{})
 	defX, usesX, q10, q4 := 2, []int{8}, 9, 3
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.IsLiveIn(defX, usesX, q10) // true, two T candidates
 		c.IsLiveIn(defX, usesX, q4)  // false
@@ -183,6 +216,7 @@ func BenchmarkFigure3_Queries(b *testing.B) {
 
 func BenchmarkFigure3_Precompute(b *testing.B) {
 	g := figure3Graph()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		core.New(g, core.Options{})
 	}
@@ -202,6 +236,7 @@ func BenchmarkScaling_Precompute(b *testing.B) {
 			tree := dom.Iterative(g, d)
 			var mem int
 			b.ResetTimer()
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ck := core.NewFrom(g, d, tree, core.Options{})
 				mem = ck.MemoryBytes()
@@ -254,6 +289,7 @@ func BenchmarkQueryVsUses(b *testing.B) {
 				}
 			}
 			b.ResetTimer()
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ck.IsLiveIn(0, uses, qs[i%len(qs)])
 			}
@@ -302,6 +338,7 @@ func benchQueriesWithOptions(b *testing.B, reducible bool, opts core.Options) {
 		})
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		in := insts[i%len(insts)]
 		in.ck.IsLiveIn(in.def, in.uses, in.qs[i%len(in.qs)])
@@ -350,6 +387,7 @@ func BenchmarkAblationStrategy(b *testing.B) {
 	tree := dom.Iterative(g, d)
 	for _, s := range []core.Strategy{core.StrategyExact, core.StrategyPropagate} {
 		b.Run(s.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				core.NewFrom(g, d, tree, core.Options{Strategy: s})
 			}
@@ -365,16 +403,19 @@ func BenchmarkLiveSets(b *testing.B) {
 	f := gen.Generate("sets", c)
 	ssa.Construct(f)
 	b.Run("dataflow", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			dataflow.Analyze(f)
 		}
 	})
 	b.Run("lao", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			lao.Analyze(f, lao.Options{})
 		}
 	})
 	b.Run("loopforest", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := loops.Liveness(f); err != nil {
 				b.Fatal(err)
@@ -401,11 +442,13 @@ func BenchmarkCheckerVariants(b *testing.B) {
 	uses := []int{dominated[len(dominated)/2], dominated[len(dominated)-1]}
 
 	b.Run("precompute/rt", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			core.NewFrom(g, d, tree, core.Options{})
 		}
 	})
 	b.Run("precompute/loopforest", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := loops.NewChecker(g); err != nil {
 				b.Fatal(err)
@@ -419,11 +462,13 @@ func BenchmarkCheckerVariants(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("query/rt", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rt.IsLiveIn(0, uses, dominated[i%len(dominated)])
 		}
 	})
 	b.Run("query/loopforest", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			lf.IsLiveIn(0, uses, dominated[i%len(dominated)])
 		}
@@ -443,6 +488,7 @@ func BenchmarkDestructionEndToEnd(b *testing.B) {
 	ssa.Construct(base)
 	destruct.Prepare(base)
 	b.Run("checker-oracle", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			f := ir.Clone(base)
 			live, err := fastliveness.Analyze(f, fastliveness.Config{})
@@ -453,6 +499,7 @@ func BenchmarkDestructionEndToEnd(b *testing.B) {
 		}
 	})
 	b.Run("dataflow-oracle", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			f := ir.Clone(base)
 			r := dataflow.Analyze(f)
@@ -460,6 +507,7 @@ func BenchmarkDestructionEndToEnd(b *testing.B) {
 		}
 	})
 	b.Run("methodI-no-queries", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			f := ir.Clone(base)
 			destruct.Run(f, oracleFunc(nil), destruct.ModeMethodI)

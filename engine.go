@@ -75,6 +75,11 @@ type handle struct {
 // backend ("dataflow", "lao", "pervar", "loops", or "auto" when it picks
 // one) the cached sets describe the program as of analysis time, so any
 // edit to the function — even instruction-only — requires Invalidate.
+// Config.CacheUses sits in between: the checker's precomputation itself
+// still survives instruction edits, but the cached per-variable use-sets
+// describe the def-use chains as of first query, so after editing the uses
+// of an already-queried value either Invalidate the function or call
+// ResetSets on its Liveness handle.
 type Engine struct {
 	config EngineConfig
 

@@ -30,8 +30,10 @@ package fastliveness
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"fastliveness/internal/backend"
+	"fastliveness/internal/bitset"
 	"fastliveness/internal/core"
 	"fastliveness/internal/ir"
 )
@@ -60,6 +62,21 @@ type Config struct {
 	// SortedT stores T sets as sorted arrays instead of bitsets (§6.1
 	// memory variant).
 	SortedT bool
+	// CacheUses opts checker-backed queries into cached per-variable
+	// use-sets: the first query for a value numbers its uses into a bitset
+	// over dominance preorder numbers, and every later query answers with
+	// a single word-loop intersection R_t ∩ uses(a) instead of re-walking
+	// the def-use chain. Steady-state queries allocate nothing.
+	//
+	// The trade-off is a weakened edit contract: a cached entry describes
+	// the variable's uses as of when it was built, so after adding or
+	// removing uses of an already-queried value, call ResetSets (which
+	// also flushes these caches, including every Querier's) or re-Analyze.
+	// Values first queried after an edit simply build fresh entries. Leave
+	// false (the default) for the paper's contract — uses read fresh at
+	// query time, instruction edits never invalidate anything. Ignored by
+	// non-checker backends.
+	CacheUses bool
 	// Backend names the liveness engine serving the queries: one of
 	// Backends() — "checker" (the paper's R/T checker, the default),
 	// "dataflow", "lao", "pervar", "loops", or "auto" (per-function
@@ -86,6 +103,15 @@ type Liveness struct {
 	res     backend.Result
 	checker *core.Checker // non-nil iff the checker serves the queries
 	scratch []int
+	// cacheUses routes checker queries through uc (Config.CacheUses).
+	cacheUses bool
+	// epoch versions the use-set caches: ResetSets bumps it, and every
+	// handle's cache (this Liveness's uc and each Querier's) lazily
+	// flushes when its recorded epoch falls behind. Atomic because
+	// ResetSets on the owning handle must be visible to concurrently
+	// reading Queriers.
+	epoch atomic.Uint64
+	uc    useCache
 	// enum is the lazily built set-producing result behind LiveIn/LiveOut;
 	// enumStale (set by ResetSets) forces the rebuild through a fresh set
 	// analysis even when res itself materializes sets. enumMu guards both:
@@ -132,8 +158,49 @@ func Analyze(f *ir.Func, config Config) (*Liveness, error) {
 		// Route queries through this handle's own scratch (and the
 		// Querier's), never the shared result's.
 		l.checker = cr.Checker()
+		l.cacheUses = config.CacheUses
 	}
 	return l, nil
+}
+
+// useCache memoizes one bitset of use positions per value ID for the
+// checker's set query path (Config.CacheUses). A cache belongs to exactly
+// one query handle — the Liveness or one Querier — so reads and writes
+// need no locking; staleness after ResetSets is detected per entry
+// through the shared epoch, and a stale entry's bitset is refilled in
+// place rather than reallocated.
+type useCache struct {
+	sets   []*bitset.Set // by value ID
+	stamps []uint64      // sets[i] is current iff stamps[i] == epoch+1
+}
+
+// get returns the cached use-set for v, building it on first request per
+// epoch (the only allocating step; repeats are allocation-free). scratch
+// is the owning handle's node buffer.
+func (uc *useCache) get(l *Liveness, scratch *[]int, v *ir.Value) *bitset.Set {
+	// Stamps record epoch+1 so the zero value means "never built" even at
+	// epoch 0.
+	want := l.epoch.Load() + 1
+	if v.ID >= len(uc.sets) {
+		n := v.ID + 1
+		if n < 2*len(uc.sets) {
+			n = 2 * len(uc.sets) // amortize in-ID-order warmup sweeps
+		}
+		sets := make([]*bitset.Set, n)
+		copy(sets, uc.sets)
+		uc.sets = sets
+		stamps := make([]uint64, n)
+		copy(stamps, uc.stamps)
+		uc.stamps = stamps
+	}
+	if uc.stamps[v.ID] == want {
+		return uc.sets[v.ID]
+	}
+	*scratch = l.prep.UseNodes(*scratch, v)
+	s := l.checker.UseSet(uc.sets[v.ID], *scratch)
+	uc.sets[v.ID] = s
+	uc.stamps[v.ID] = want
+	return s
 }
 
 // node maps a block to its CFG node, tolerating blocks added after Analyze
@@ -151,6 +218,9 @@ func (l *Liveness) useNodes(v *ir.Value) []int {
 // Algorithm 3).
 func (l *Liveness) IsLiveIn(v *ir.Value, b *ir.Block) bool {
 	if l.checker != nil {
+		if l.cacheUses {
+			return l.checker.IsLiveInSet(l.node(v.Block), l.uc.get(l, &l.scratch, v), l.node(b))
+		}
 		return l.checker.IsLiveIn(l.node(v.Block), l.useNodes(v), l.node(b))
 	}
 	return l.res.IsLiveIn(v, b)
@@ -160,6 +230,9 @@ func (l *Liveness) IsLiveIn(v *ir.Value, b *ir.Block) bool {
 // Algorithm 2).
 func (l *Liveness) IsLiveOut(v *ir.Value, b *ir.Block) bool {
 	if l.checker != nil {
+		if l.cacheUses {
+			return l.checker.IsLiveOutSet(l.node(v.Block), l.uc.get(l, &l.scratch, v), l.node(b))
+		}
 		return l.checker.IsLiveOut(l.node(v.Block), l.useNodes(v), l.node(b))
 	}
 	return l.res.IsLiveOut(v, b)
@@ -211,17 +284,20 @@ func (l *Liveness) LiveIn(b *ir.Block) []*ir.Value { return l.sets().LiveInSet(b
 // LiveOut enumerates the variables live-out at b; see LiveIn's caveats.
 func (l *Liveness) LiveOut(b *ir.Block) []*ir.Value { return l.sets().LiveOutSet(b) }
 
-// ResetSets drops the cached enumeration sets behind LiveIn/LiveOut so the
-// next enumeration recomputes them against the current program — for every
-// backend, including set-producing ones (where the rebuild runs through a
-// fresh set analysis). Checker-backed queries (IsLiveIn/IsLiveOut) never
-// need this; with a set-producing Config.Backend the queries themselves
-// also describe the pre-edit program, and only re-Analyze refreshes them.
+// ResetSets drops every derived cache that describes the program as of an
+// earlier read: the enumeration sets behind LiveIn/LiveOut (for every
+// backend, including set-producing ones, where the rebuild runs through a
+// fresh set analysis) and — when Config.CacheUses is on — the per-variable
+// use-sets of this handle and of every Querier, via an epoch bump. Default
+// checker-backed queries (IsLiveIn/IsLiveOut without CacheUses) never need
+// this; with a set-producing Config.Backend the queries themselves also
+// describe the pre-edit program, and only re-Analyze refreshes them.
 func (l *Liveness) ResetSets() {
 	l.enumMu.Lock()
 	l.enum = nil
 	l.enumStale = true
 	l.enumMu.Unlock()
+	l.epoch.Add(1)
 }
 
 // Interfere reports whether the live ranges of x and y overlap, using the
@@ -285,6 +361,7 @@ func (l *Liveness) interfere(x, y *ir.Value, isLiveOut func(*ir.Value, *ir.Block
 type Querier struct {
 	l       *Liveness
 	scratch []int
+	uc      useCache // this handle's use-set cache (Config.CacheUses)
 }
 
 // NewQuerier returns a query handle sharing l's precomputation.
@@ -295,10 +372,14 @@ func (qr *Querier) useNodes(v *ir.Value) []int {
 	return qr.scratch
 }
 
-// IsLiveIn is Liveness.IsLiveIn through this handle's scratch space.
+// IsLiveIn is Liveness.IsLiveIn through this handle's scratch space (and,
+// with Config.CacheUses, its own use-set cache).
 func (qr *Querier) IsLiveIn(v *ir.Value, b *ir.Block) bool {
 	l := qr.l
 	if l.checker != nil {
+		if l.cacheUses {
+			return l.checker.IsLiveInSet(l.node(v.Block), qr.uc.get(l, &qr.scratch, v), l.node(b))
+		}
 		return l.checker.IsLiveIn(l.node(v.Block), qr.useNodes(v), l.node(b))
 	}
 	return l.res.IsLiveIn(v, b)
@@ -308,6 +389,9 @@ func (qr *Querier) IsLiveIn(v *ir.Value, b *ir.Block) bool {
 func (qr *Querier) IsLiveOut(v *ir.Value, b *ir.Block) bool {
 	l := qr.l
 	if l.checker != nil {
+		if l.cacheUses {
+			return l.checker.IsLiveOutSet(l.node(v.Block), qr.uc.get(l, &qr.scratch, v), l.node(b))
+		}
 		return l.checker.IsLiveOut(l.node(v.Block), qr.useNodes(v), l.node(b))
 	}
 	return l.res.IsLiveOut(v, b)

@@ -272,6 +272,80 @@ func compare(name string, f *ir.Func, res backend.Result, truth *dataflow.Result
 	return nil
 }
 
+// CheckerConfigs enumerates the checker configurations the arena storage
+// rewrite must keep answer-identical: both T-set strategies × bitset vs
+// sorted-array T storage × fresh vs cached use reads. Validate covers the
+// registered backends under default options; this axis covers the
+// checker's own representation space.
+func CheckerConfigs() []fastliveness.Config {
+	var out []fastliveness.Config
+	for _, strat := range []fastliveness.Strategy{fastliveness.StrategyExact, fastliveness.StrategyPropagate} {
+		for _, sorted := range []bool{false, true} {
+			for _, cache := range []bool{false, true} {
+				out = append(out, fastliveness.Config{Strategy: strat, SortedT: sorted, CacheUses: cache})
+			}
+		}
+	}
+	return out
+}
+
+// ValidateCheckerStorage cross-checks the checker under every
+// CheckerConfigs combination against the data-flow ground truth on f:
+// every live-in/live-out query through the Liveness handle and through a
+// Querier (each owns its own use-set cache on the CacheUses paths), and
+// the whole sweep again after ResetSets — on an unedited program the
+// epoch flush and cache rebuild must change no answer.
+func ValidateCheckerStorage(f *ir.Func) error {
+	truth := dataflow.Analyze(f)
+	for _, cfg := range CheckerConfigs() {
+		live, err := fastliveness.Analyze(f, cfg)
+		if err != nil {
+			return fmt.Errorf("difftest: checker config %+v on %s: %w", cfg, f.Name, err)
+		}
+		qr := live.NewQuerier()
+		sweep := func(stage string) error {
+			var firstErr error
+			f.Values(func(v *ir.Value) {
+				if !v.Op.HasResult() || firstErr != nil {
+					return
+				}
+				for _, b := range f.Blocks {
+					wantIn, wantOut := truth.IsLiveIn(v, b), truth.IsLiveOut(v, b)
+					if got := live.IsLiveIn(v, b); got != wantIn {
+						firstErr = fmt.Errorf("difftest: checker %+v on %s (%s): live-in(%s, %s) = %v, ground truth %v",
+							cfg, f.Name, stage, v, b, got, wantIn)
+						return
+					}
+					if got := live.IsLiveOut(v, b); got != wantOut {
+						firstErr = fmt.Errorf("difftest: checker %+v on %s (%s): live-out(%s, %s) = %v, ground truth %v",
+							cfg, f.Name, stage, v, b, got, wantOut)
+						return
+					}
+					if got := qr.IsLiveIn(v, b); got != wantIn {
+						firstErr = fmt.Errorf("difftest: checker %+v on %s (%s): Querier live-in(%s, %s) = %v, ground truth %v",
+							cfg, f.Name, stage, v, b, got, wantIn)
+						return
+					}
+					if got := qr.IsLiveOut(v, b); got != wantOut {
+						firstErr = fmt.Errorf("difftest: checker %+v on %s (%s): Querier live-out(%s, %s) = %v, ground truth %v",
+							cfg, f.Name, stage, v, b, got, wantOut)
+						return
+					}
+				}
+			})
+			return firstErr
+		}
+		if err := sweep("fresh"); err != nil {
+			return err
+		}
+		live.ResetSets()
+		if err := sweep("after ResetSets"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ValidateAll is Validate over a whole corpus, failing on the first
 // disagreement.
 func ValidateAll(funcs []*ir.Func) error {

@@ -23,6 +23,22 @@ func TestAllBackendsAgreeOnRandomCorpus(t *testing.T) {
 	}
 }
 
+// The checker's storage representations — arena vs sorted-array T sets,
+// fresh vs cached use reads, both precompute strategies — must answer
+// identically to the ground truth, through both query handle kinds,
+// before and after a cache-flushing ResetSets.
+func TestCheckerStorageConfigsAgree(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 16
+	}
+	for _, f := range Corpus(n, 20260731) {
+		if err := ValidateCheckerStorage(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // The corpus must genuinely exercise both CFG classes and be strict SSA —
 // otherwise the agreement test above proves less than it claims.
 func TestCorpusShape(t *testing.T) {

@@ -20,6 +20,7 @@ func BenchmarkProgramPrecompute(b *testing.B) {
 	funcs := BuildProgram(programCorpusSize, 2008)
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				PrecomputeOnce(funcs, w)
 			}

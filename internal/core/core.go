@@ -69,10 +69,13 @@ type Checker struct {
 	tree *dom.Tree
 	opts Options
 
-	// R and T indexed by dominance-preorder number; set bits are dominance
-	// preorder numbers too.
-	r []*bitset.Set
-	t []*bitset.Set
+	// R and T as arena matrices: row = dominance-preorder number, set bits
+	// are dominance preorder numbers too. One contiguous allocation backs
+	// all n rows of each, so precompute performs O(1) allocations instead
+	// of O(n) and the T_q candidate walk reads cache-adjacent rows. t is
+	// nil when opts.SortedT dropped the arena for the sorted-array variant.
+	r *bitset.Matrix
+	t *bitset.Matrix
 	// tSorted mirrors t as sorted arrays when opts.SortedT is set.
 	tSorted [][]int32
 	// numMax[n] = MaxNum of the node numbered n (saves an Order lookup in
@@ -117,123 +120,123 @@ func NewFrom(g *cfg.Graph, d *cfg.DFS, tree *dom.Tree, opts Options) *Checker {
 	}
 	if opts.SortedT {
 		c.tSorted = make([][]int32, n)
-		for i, s := range c.t {
-			elems := s.Elements()
+		for i := 0; i < n; i++ {
+			elems := c.t.Row(i).Elements()
 			arr := make([]int32, len(elems))
 			for j, e := range elems {
 				arr[j] = int32(e)
 			}
 			c.tSorted[i] = arr
 		}
-		c.t = nil
+		c.t = nil // one release frees the whole T arena
 	}
 	return c
 }
 
 // precomputeR builds the reduced-reachability closure in one pass over the
 // nodes in increasing DFS postorder: every reduced edge (v,w) satisfies
-// post(w) < post(v), so all successors are final when v is processed.
+// post(w) < post(v), so all successors are final when v is processed. The
+// rows live in one arena; the pass allocates nothing per node.
 func (c *Checker) precomputeR() {
 	n := c.dfs.NumReachable
-	c.r = make([]*bitset.Set, n)
+	c.r = bitset.NewMatrix(n, n)
 	for _, v := range c.dfs.PostOrder {
-		rv := bitset.New(n)
-		rv.Add(c.tree.Num[v])
+		vn := c.tree.Num[v]
+		c.r.RowAdd(vn, vn)
 		c.dfs.ReducedSuccs(v, func(w int) {
-			rv.Union(c.r[c.tree.Num[w]])
+			c.r.RowUnion(vn, c.tree.Num[w])
 		})
-		c.r[c.tree.Num[v]] = rv
 	}
 }
 
 // precomputeTExact evaluates Equation 1 for every node, iterating in
 // increasing DFS preorder; Theorem 3 guarantees each T↑ member was already
-// finished.
+// finished (the done mask turns an ordering violation into a panic instead
+// of a silent read of a half-built arena row).
 func (c *Checker) precomputeTExact() {
 	n := c.dfs.NumReachable
-	c.t = make([]*bitset.Set, n)
+	c.t = bitset.NewMatrix(n, n)
+	done := make([]bool, n)
 	for _, v := range c.dfs.PreOrder {
 		vn := c.tree.Num[v]
-		tv := bitset.New(n)
-		tv.Add(vn)
-		rv := c.r[vn]
+		c.t.RowAdd(vn, vn)
 		for _, e := range c.dfs.BackEdges {
 			sn, tn := c.tree.Num[e.S], c.tree.Num[e.T]
-			if rv.Has(sn) && !rv.Has(tn) {
-				tt := c.t[tn]
-				if tt == nil {
+			if c.r.RowHas(vn, sn) && !c.r.RowHas(vn, tn) {
+				if !done[tn] {
 					panic("core: Theorem 3 ordering violated")
 				}
-				tv.Union(tt)
+				c.t.RowUnion(vn, tn)
 			}
 		}
-		c.t[vn] = tv
+		done[vn] = true
 	}
 }
 
-// precomputeTPropagate implements the three-pass scheme of §5.2.
+// precomputeTPropagate implements the three-pass scheme of §5.2, on two
+// arenas: a compact targets-only matrix for pass 1 and the final T matrix
+// that passes 2–4 fill in place.
 func (c *Checker) precomputeTPropagate() {
 	n := c.dfs.NumReachable
 	tree := c.tree
 
-	// Pass 1: Equation 1 for back-edge targets only, in DFS preorder.
-	targetT := make([]*bitset.Set, n) // by dom num, nil for non-targets
-	isTarget := make([]bool, n)
-	for _, e := range c.dfs.BackEdges {
-		isTarget[tree.Num[e.T]] = true
+	// Pass 1: Equation 1 for back-edge targets only, in DFS preorder. The
+	// scratch arena has one row per distinct target, indexed by targetRow.
+	targetRow := make([]int32, n) // by dom num, -1 for non-targets
+	for i := range targetRow {
+		targetRow[i] = -1
 	}
+	targets := 0
+	for _, e := range c.dfs.BackEdges {
+		if tn := tree.Num[e.T]; targetRow[tn] < 0 {
+			targetRow[tn] = int32(targets)
+			targets++
+		}
+	}
+	tm := bitset.NewMatrix(targets, n)
+	done := make([]bool, n)
 	for _, v := range c.dfs.PreOrder {
 		vn := tree.Num[v]
-		if !isTarget[vn] {
+		ri := targetRow[vn]
+		if ri < 0 {
 			continue
 		}
-		tv := bitset.New(n)
-		tv.Add(vn)
-		rv := c.r[vn]
+		tm.RowAdd(int(ri), vn)
 		for _, e := range c.dfs.BackEdges {
 			sn, tn := tree.Num[e.S], tree.Num[e.T]
-			if rv.Has(sn) && !rv.Has(tn) {
-				tt := targetT[tn]
-				if tt == nil {
+			if c.r.RowHas(vn, sn) && !c.r.RowHas(vn, tn) {
+				if !done[tn] {
 					panic("core: Theorem 3 ordering violated (targets)")
 				}
-				tv.Union(tt)
+				tm.RowUnion(int(ri), int(targetRow[tn]))
 			}
 		}
-		targetT[vn] = tv
+		done[vn] = true
 	}
 
-	// Pass 2: union the targets' sets into each back-edge source.
-	u := make([]*bitset.Set, n)
+	// Pass 2: union the targets' sets into each back-edge source, seeding
+	// the final T rows directly.
+	c.t = bitset.NewMatrix(n, n)
 	for _, e := range c.dfs.BackEdges {
 		sn, tn := tree.Num[e.S], tree.Num[e.T]
-		if u[sn] == nil {
-			u[sn] = bitset.New(n)
-		}
-		u[sn].Union(targetT[tn])
+		c.t.Row(sn).Union(tm.Row(int(targetRow[tn])))
 	}
 
 	// Pass 3: propagate the source sets through the reduced graph in
 	// increasing postorder (successors first). The sets being merged
 	// deliberately exclude the nodes themselves — X_v must collect the
 	// union of U_s over all s ∈ R_v, nothing more.
-	c.t = make([]*bitset.Set, n)
 	for _, v := range c.dfs.PostOrder {
 		vn := tree.Num[v]
-		tv := u[vn]
-		if tv == nil {
-			tv = bitset.New(n)
-		}
 		c.dfs.ReducedSuccs(v, func(w int) {
-			tv.Union(c.t[tree.Num[w]])
+			c.t.RowUnion(vn, tree.Num[w])
 		})
-		c.t[vn] = tv
 	}
 	// Pass 4: apply Definition 5's t ∉ R_v filter (see the
 	// StrategyPropagate doc comment), then add v itself.
 	for vn := 0; vn < n; vn++ {
-		c.t[vn].Subtract(c.r[vn])
-		c.t[vn].Add(vn)
+		c.t.Row(vn).Subtract(c.r.Row(vn))
+		c.t.RowAdd(vn, vn)
 	}
 }
 
@@ -246,6 +249,94 @@ func (c *Checker) reachableNum(v int) int {
 	return c.tree.Num[v]
 }
 
+// useView abstracts how the query algorithms read the variable's uses.
+// sliceUses reads the def-use chain fresh at query time — the paper's
+// default, immune to instruction edits. setUses reads a cached bitset of
+// the uses' dominance numbers, turning Algorithm 3's inner per-use loop
+// into one word-level intersection. The walks below are generic over the
+// view (monomorphized, so neither path pays an interface dispatch or an
+// allocation), which keeps the two representations answer-identical by
+// construction — there is exactly one copy of the candidate walk.
+type useView interface {
+	// in reports whether some use is reduced-reachable from the node
+	// numbered tn: the paper's "R_t ∩ uses(a) ≠ ∅".
+	in(c *Checker, tn int) bool
+	// inExcept is in, ignoring a use at the query node itself (dominance
+	// number skipN, node id skip) — Algorithm 2's trivial-path rule.
+	inExcept(c *Checker, tn, skipN, skip int) bool
+	// elsewhere reports whether some use sits at a reachable node other
+	// than q (Algorithm 2's lines 2–3 at the defining node).
+	elsewhere(c *Checker, qN, q int) bool
+}
+
+// sliceUses walks a def-use chain given as CFG node ids.
+type sliceUses struct{ uses []int }
+
+func (u sliceUses) in(c *Checker, tn int) bool {
+	rt := c.r.Row(tn) // hoist the row view: Has then inlines to two loads
+	for _, x := range u.uses {
+		if xn := c.reachableNum(x); xn >= 0 && rt.Has(xn) {
+			return true
+		}
+	}
+	return false
+}
+
+func (u sliceUses) inExcept(c *Checker, tn, skipN, skip int) bool {
+	rt := c.r.Row(tn)
+	for _, x := range u.uses {
+		if x == skip {
+			continue
+		}
+		if xn := c.reachableNum(x); xn >= 0 && rt.Has(xn) {
+			return true
+		}
+	}
+	return false
+}
+
+func (u sliceUses) elsewhere(c *Checker, qN, q int) bool {
+	for _, x := range u.uses {
+		if x != q && c.reachableNum(x) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// setUses reads a use-set built by Checker.UseSet: bits are dominance
+// preorder numbers of the (reachable) use nodes.
+type setUses struct{ uses *bitset.Set }
+
+func (u setUses) in(c *Checker, tn int) bool { return c.r.RowIntersects(tn, u.uses) }
+
+func (u setUses) inExcept(c *Checker, tn, skipN, skip int) bool {
+	return c.r.RowIntersectsExcept(tn, u.uses, skipN)
+}
+
+func (u setUses) elsewhere(c *Checker, qN, q int) bool { return u.uses.AnyExcept(qN) }
+
+// UseSet numbers the given use nodes (Definition 1 placement, as for
+// IsLiveIn) into a bitset over dominance preorder numbers, dropping
+// unreachable nodes — the representation IsLiveInSet/IsLiveOutSet consume.
+// dst is refilled and returned when it has the right universe; otherwise
+// (nil included) a fresh set is allocated. Callers cache the result per
+// variable: it stays valid until the variable's uses change, whereas the
+// checker itself stays valid under any non-CFG edit.
+func (c *Checker) UseSet(dst *bitset.Set, uses []int) *bitset.Set {
+	if dst == nil || dst.Len() != c.dfs.NumReachable {
+		dst = bitset.New(c.dfs.NumReachable)
+	} else {
+		dst.Clear()
+	}
+	for _, u := range uses {
+		if un := c.reachableNum(u); un >= 0 {
+			dst.Add(un)
+		}
+	}
+	return dst
+}
+
 // IsLiveIn implements Algorithms 1 and 3: is the variable defined at node
 // def, with the given use nodes (per the paper's Definition 1 placement,
 // φ uses already attributed to predecessor blocks), live-in at node q?
@@ -254,6 +345,17 @@ func (c *Checker) reachableNum(v int) int {
 // dominates every use. Nodes unreachable from the entry never carry
 // liveness.
 func (c *Checker) IsLiveIn(def int, uses []int, q int) bool {
+	return liveIn(c, def, q, sliceUses{uses})
+}
+
+// IsLiveInSet is IsLiveIn with the uses given as a Checker.UseSet bitset,
+// the zero-allocation cached-uses query path: the candidate test becomes a
+// single word-loop intersection R_t ∩ uses instead of a per-use walk.
+func (c *Checker) IsLiveInSet(def int, uses *bitset.Set, q int) bool {
+	return liveIn(c, def, q, setUses{uses})
+}
+
+func liveIn[U useView](c *Checker, def, q int, uses U) bool {
 	defN := c.reachableNum(def)
 	qN := c.reachableNum(q)
 	if defN < 0 || qN < 0 {
@@ -265,13 +367,13 @@ func (c *Checker) IsLiveIn(def int, uses []int, q int) bool {
 	if qN <= defN || maxDom < qN {
 		return false
 	}
-	tq := c.t
 	if c.opts.SortedT {
-		return c.liveInSortedT(defN, maxDom, qN, uses)
+		return liveInSortedT(c, defN, maxDom, qN, uses)
 	}
-	t := tq[qN].NextSet(defN + 1)
+	tq := c.t.Row(qN)
+	t := tq.NextSet(defN + 1)
 	for t != bitset.None && t <= maxDom {
-		if c.anyUseReachableFrom(t, uses) {
+		if uses.in(c, t) {
 			return true
 		}
 		if c.reducible && !c.opts.NoReducibleFastPath {
@@ -284,27 +386,13 @@ func (c *Checker) IsLiveIn(def int, uses []int, q int) bool {
 			// §5.1: everything in t's dominance subtree has R ⊆ R_t.
 			next = c.numMax[t] + 1
 		}
-		t = tq[qN].NextSet(next)
-	}
-	return false
-}
-
-// anyUseReachableFrom reports whether any use node is reduced-reachable
-// from the node numbered tn — the paper's "R_t ∩ uses(a) ≠ ∅" realized as a
-// walk over the def-use chain (Algorithm 3's inner loop).
-func (c *Checker) anyUseReachableFrom(tn int, uses []int) bool {
-	rt := c.r[tn]
-	for _, u := range uses {
-		un := c.reachableNum(u)
-		if un >= 0 && rt.Has(un) {
-			return true
-		}
+		t = tq.NextSet(next)
 	}
 	return false
 }
 
 // liveInSortedT is the §6.1 sorted-array variant of the T_q walk.
-func (c *Checker) liveInSortedT(defN, maxDom, qN int, uses []int) bool {
+func liveInSortedT[U useView](c *Checker, defN, maxDom, qN int, uses U) bool {
 	arr := c.tSorted[qN]
 	// Binary search for the first element > defN.
 	lo, hi := 0, len(arr)
@@ -318,7 +406,7 @@ func (c *Checker) liveInSortedT(defN, maxDom, qN int, uses []int) bool {
 	}
 	for i := lo; i < len(arr) && int(arr[i]) <= maxDom; i++ {
 		t := int(arr[i])
-		if c.anyUseReachableFrom(t, uses) {
+		if uses.in(c, t) {
 			return true
 		}
 		if c.reducible && !c.opts.NoReducibleFastPath {
@@ -336,6 +424,15 @@ func (c *Checker) liveInSortedT(defN, maxDom, qN int, uses []int) bool {
 
 // IsLiveOut implements Algorithm 2. def, uses and q are as in IsLiveIn.
 func (c *Checker) IsLiveOut(def int, uses []int, q int) bool {
+	return liveOut(c, def, q, sliceUses{uses})
+}
+
+// IsLiveOutSet is IsLiveOut over a Checker.UseSet bitset; see IsLiveInSet.
+func (c *Checker) IsLiveOutSet(def int, uses *bitset.Set, q int) bool {
+	return liveOut(c, def, q, setUses{uses})
+}
+
+func liveOut[U useView](c *Checker, def, q int, uses U) bool {
 	defN := c.reachableNum(def)
 	qN := c.reachableNum(q)
 	if defN < 0 || qN < 0 {
@@ -344,12 +441,7 @@ func (c *Checker) IsLiveOut(def int, uses []int, q int) bool {
 	if def == q {
 		// Line 2–3: live-out at the defining node iff some use lies
 		// elsewhere.
-		for _, u := range uses {
-			if u != q && c.reachableNum(u) >= 0 {
-				return true
-			}
-		}
-		return false
+		return uses.elsewhere(c, qN, q)
 	}
 	maxDom := c.tree.MaxNum[def]
 	if qN <= defN || maxDom < qN {
@@ -358,6 +450,7 @@ func (c *Checker) IsLiveOut(def int, uses []int, q int) bool {
 	var t int
 	var arr []int32
 	var ai int
+	var tq *bitset.Set
 	if c.opts.SortedT {
 		arr = c.tSorted[qN]
 		ai = 0
@@ -370,21 +463,18 @@ func (c *Checker) IsLiveOut(def int, uses []int, q int) bool {
 			t = bitset.None
 		}
 	} else {
-		t = c.t[qN].NextSet(defN + 1)
+		tq = c.t.Row(qN)
+		t = tq.NextSet(defN + 1)
 	}
 	for t != bitset.None && t <= maxDom {
 		// Line 7–9: when t = q and q is not a back-edge target, a use at q
 		// itself only witnesses the trivial path and must be ignored.
 		dropQ := t == qN && !c.backTarget[qN]
-		rt := c.r[t]
-		for _, u := range uses {
-			un := c.reachableNum(u)
-			if un < 0 || !rt.Has(un) {
-				continue
+		if dropQ {
+			if uses.inExcept(c, t, qN, q) {
+				return true
 			}
-			if dropQ && u == q {
-				continue
-			}
+		} else if uses.in(c, t) {
 			return true
 		}
 		if c.reducible && !c.opts.NoReducibleFastPath {
@@ -414,7 +504,7 @@ func (c *Checker) IsLiveOut(def int, uses []int, q int) bool {
 				t = bitset.None
 			}
 		} else {
-			t = c.t[qN].NextSet(next)
+			t = tq.NextSet(next)
 		}
 	}
 	return false
@@ -423,11 +513,12 @@ func (c *Checker) IsLiveOut(def int, uses []int, q int) bool {
 // Reducible reports whether the analyzed CFG is reducible.
 func (c *Checker) Reducible() bool { return c.reducible }
 
-// RSet returns R of node v (nil for unreachable v). Exposed for tests and
-// the worked Figure 3 example; treat as read-only.
+// RSet returns R of node v (nil for unreachable v) as a view into the R
+// arena. Exposed for tests and the worked Figure 3 example; treat as
+// read-only.
 func (c *Checker) RSet(v int) *bitset.Set {
 	if n := c.reachableNum(v); n >= 0 {
-		return c.r[n]
+		return c.r.Row(n)
 	}
 	return nil
 }
@@ -444,7 +535,7 @@ func (c *Checker) TSetNodes(v int) []int {
 			nums = append(nums, int(e))
 		}
 	} else {
-		nums = c.t[n].Elements()
+		nums = c.t.Row(n).Elements()
 	}
 	out := make([]int, len(nums))
 	for i, num := range nums {
@@ -461,15 +552,12 @@ func (c *Checker) DFS() *cfg.DFS { return c.dfs }
 
 // MemoryBytes reports the payload footprint of the precomputed sets; the
 // harness uses it to reproduce the §6.1 break-even discussion and the §8
-// quadratic-growth series.
+// quadratic-growth series. Arena-backed storage is accounted by the
+// matrices' own footprint method (Matrix.WordBytes, zero for the T arena
+// the sorted variant dropped), the sorted arrays by element width — one
+// definition per representation, shared by every engine.
 func (c *Checker) MemoryBytes() int {
-	total := 0
-	for _, s := range c.r {
-		total += s.WordBytes()
-	}
-	for _, s := range c.t {
-		total += s.WordBytes()
-	}
+	total := c.r.WordBytes() + c.t.WordBytes()
 	for _, a := range c.tSorted {
 		total += 4 * len(a)
 	}

@@ -125,17 +125,17 @@ func FillLocalSets(f *ir.Func, ueVar, defs []*bitset.Set, blockPos map[*ir.Block
 	}
 }
 
-// NewSets allocates n bitsets over the given universe.
+// NewSets allocates n bitsets over the given universe, arena-backed: the
+// returned sets are row views into one contiguous bitset.Matrix, so a
+// whole per-block vector family (live-in, live-out, UEVar, defs) costs a
+// constant number of allocations and iterates cache-contiguously. Shared
+// with the loop-forest liveness engine.
 func NewSets(n, universe int) []*bitset.Set {
 	return newSets(n, universe)
 }
 
 func newSets(n, universe int) []*bitset.Set {
-	out := make([]*bitset.Set, n)
-	for i := range out {
-		out[i] = bitset.New(universe)
-	}
-	return out
+	return bitset.NewMatrix(n, universe).Views()
 }
 
 // postorder returns the blocks reachable from the entry in DFS postorder.

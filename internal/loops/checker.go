@@ -30,10 +30,12 @@ type Checker struct {
 	tree   *dom.Tree
 	forest *Forest
 
-	// r[v] is the reduced-reachability set of node v, indexed by node.
-	r []*bitset.Set
-	// loopMembers[i] is the member set of forest.Loops[i], indexed by node.
-	loopMembers []*bitset.Set
+	// r row v is the reduced-reachability set of node v, indexed by node;
+	// one arena backs all rows (see bitset.Matrix).
+	r *bitset.Matrix
+	// loopMembers row i is the member set of forest.Loops[i], indexed by
+	// node.
+	loopMembers *bitset.Matrix
 	loopIndex   map[*Loop]int
 	// chain[v] lists the loops containing v, outermost first.
 	chain [][]*Loop
@@ -54,7 +56,7 @@ func NewChecker(g *cfg.Graph) (*Checker, error) {
 		g:         g,
 		tree:      tree,
 		forest:    Build(g, d),
-		r:         make([]*bitset.Set, n),
+		r:         bitset.NewMatrix(n, n),
 		loopIndex: map[*Loop]int{},
 		chain:     make([][]*Loop, n),
 	}
@@ -62,21 +64,18 @@ func NewChecker(g *cfg.Graph) (*Checker, error) {
 	// Reduced reachability, indexed by plain node id (not dominance
 	// numbers — this checker never walks dominance intervals).
 	for _, v := range d.PostOrder {
-		rv := bitset.New(n)
-		rv.Add(v)
+		c.r.RowAdd(v, v)
 		d.ReducedSuccs(v, func(w int) {
-			rv.Union(c.r[w])
+			c.r.RowUnion(v, w)
 		})
-		c.r[v] = rv
 	}
 
+	c.loopMembers = bitset.NewMatrix(len(c.forest.Loops), n)
 	for i, l := range c.forest.Loops {
 		c.loopIndex[l] = i
-		m := bitset.New(n)
 		for _, b := range l.Blocks {
-			m.Add(b)
+			c.loopMembers.RowAdd(i, b)
 		}
-		c.loopMembers = append(c.loopMembers, m)
 	}
 	for v := 0; v < n; v++ {
 		var rev []*Loop
@@ -100,7 +99,7 @@ func NewChecker(g *cfg.Graph) (*Checker, error) {
 // outermost loop that contains q but not def, or q itself.
 func (c *Checker) ole(q, def int) int {
 	for _, l := range c.chain[q] {
-		if !c.loopMembers[c.loopIndex[l]].Has(def) {
+		if !c.loopMembers.RowHas(c.loopIndex[l], def) {
 			return l.Header
 		}
 	}
@@ -120,9 +119,8 @@ func (c *Checker) IsLiveIn(def int, uses []int, q int) bool {
 		return false
 	}
 	h := c.ole(q, def)
-	rh := c.r[h]
 	for _, u := range uses {
-		if u >= 0 && u < c.g.N() && c.tree.Reachable(u) && rh.Has(u) {
+		if u >= 0 && u < c.g.N() && c.tree.Reachable(u) && c.r.RowHas(h, u) {
 			return true
 		}
 	}
@@ -154,14 +152,8 @@ func (c *Checker) IsLiveOut(def int, uses []int, q int) bool {
 
 // MemoryBytes reports the payload of the precomputed sets, for comparison
 // with the R/T checker: the loop-forest variant stores R plus one member
-// set per loop, but no T sets.
+// set per loop, but no T sets. Accounting goes through the arenas'
+// footprint method, the same definition every matrix-backed engine uses.
 func (c *Checker) MemoryBytes() int {
-	total := 0
-	for _, s := range c.r {
-		total += s.WordBytes()
-	}
-	for _, s := range c.loopMembers {
-		total += s.WordBytes()
-	}
-	return total
+	return c.r.WordBytes() + c.loopMembers.WordBytes()
 }
