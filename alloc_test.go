@@ -13,6 +13,7 @@ import (
 
 	"fastliveness/internal/gen"
 	"fastliveness/internal/ir"
+	"fastliveness/internal/regalloc"
 	"fastliveness/internal/ssa"
 )
 
@@ -130,4 +131,34 @@ func TestCacheUsesResetSets(t *testing.T) {
 	w := v.Block.NewValue(ir.OpCopy, v)
 	vals = append(vals, w)
 	agree("after adding a new value")
+}
+
+// The register allocator's steady-state query loop rides the same
+// zero-allocation contract: one Querier serves every scan, and a rescan of
+// an unchanged program — the spill loop's hot path — reuses every buffer.
+// Warm-up (first scan: position tables, dominator-path stack, Querier
+// scratch) may allocate; rescans may not.
+func TestRegallocScanZeroAlloc(t *testing.T) {
+	c := gen.HighPressure(24681357)
+	c.TargetBlocks = 40
+	f := gen.Generate("zeroallocRA", c)
+	ssa.Construct(f)
+	live, err := Analyze(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr := live.NewQuerier() // one handle reused across every scan
+	k := regalloc.MeasurePressure(f, qr).Max
+	a := regalloc.New(f, qr, k)
+	if !a.Scan() {
+		t.Fatalf("scan failed at k = max pressure %d", k)
+	}
+	a.Scan() // settle scratch capacities
+	if avg := testing.AllocsPerRun(10, func() {
+		if !a.Scan() {
+			t.Fatal("rescan failed")
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state rescan: %v allocs, want 0", avg)
+	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtables [-table 1|2|edges|fullprecomp|scaling|queries|engine|backends|all] [-limit N] [-json]
+//	benchtables [-table 1|2|edges|fullprecomp|scaling|queries|engine|backends|regalloc|all] [-limit N] [-json] [-regs K]
 //
 // -limit caps the number of procedures generated per benchmark (0 = the
 // full corpus, 4823 procedures — Table 2 then takes a few minutes).
@@ -16,6 +16,14 @@
 // generalized to the whole registry. With -json the rows are emitted as
 // machine-readable JSON (name, ns_per_op, query_ns_per_op, bytes), the
 // format of the repository's BENCH_*.json performance trajectory.
+//
+// -table regalloc times every backend on the register-allocation workload
+// (internal/regalloc, the repository's second client pass): the end-to-end
+// dominance-order scan with that backend as the liveness oracle — spill
+// rounds force re-analyses on set-producing backends but not on the
+// checker — plus the recorded allocator query stream replayed per backend,
+// with query counts reported. -regs sets the register budget; -json emits
+// the rows machine-readably like -table backends.
 package main
 
 import (
@@ -29,15 +37,16 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table: 1|2|edges|fullprecomp|queries|scaling|engine|backends|all")
+	table := flag.String("table", "all", "which table: 1|2|edges|fullprecomp|queries|scaling|engine|backends|regalloc|all")
 	limit := flag.Int("limit", 120, "procedures per benchmark (0 = full corpus)")
 	workers := flag.String("workers", "1,2,4,8", "worker counts for -table engine")
 	funcs := flag.Int("funcs", 128, "corpus size for -table engine")
-	jsonOut := flag.Bool("json", false, "emit -table backends rows as JSON")
+	jsonOut := flag.Bool("json", false, "emit -table backends|regalloc rows as JSON")
+	regs := flag.Int("regs", 8, "register budget for -table regalloc")
 	flag.Parse()
 
-	if *jsonOut && *table != "backends" {
-		fmt.Fprintln(os.Stderr, "-json is only supported with -table backends")
+	if *jsonOut && *table != "backends" && *table != "regalloc" {
+		fmt.Fprintln(os.Stderr, "-json is only supported with -table backends or -table regalloc")
 		os.Exit(2)
 	}
 
@@ -48,7 +57,8 @@ func main() {
 	}
 
 	needCorpus := map[string]bool{"1": true, "2": true, "edges": true,
-		"fullprecomp": true, "queries": true, "backends": true, "all": true}[*table]
+		"fullprecomp": true, "queries": true, "backends": true,
+		"regalloc": true, "all": true}[*table]
 	var corpora []*bench.Corpus
 	if needCorpus {
 		fmt.Fprintf(os.Stderr, "generating corpus (limit %d per benchmark)...\n", *limit)
@@ -86,6 +96,22 @@ func main() {
 		} else {
 			fmt.Println(bench.BackendTable(corpora))
 		}
+	case "regalloc":
+		if *jsonOut {
+			rows, _, err := bench.MeasureRegalloc(corpora, *regs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			out, err := bench.RegallocJSON(rows)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+		} else {
+			fmt.Println(bench.RegallocTable(corpora, *regs))
+		}
 	case "all":
 		fmt.Println(bench.Table1(corpora))
 		fmt.Println(bench.EdgeStats(corpora))
@@ -95,6 +121,7 @@ func main() {
 		fmt.Println(bench.ScalingSeries([]int{64, 128, 256, 512, 1024, 2048}))
 		fmt.Println(bench.ProgramTable(*funcs, workerCounts, 3))
 		fmt.Println(bench.BackendTable(corpora))
+		fmt.Println(bench.RegallocTable(corpora, *regs))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)

@@ -33,6 +33,13 @@
 //	-verify       verify strict SSA before analyzing (default true)
 //	-stats        print CFG/analysis statistics
 //	-parallel     precompute worker count in whole-program mode (0 = GOMAXPROCS)
+//	-regalloc K   run the SSA register allocator (internal/regalloc) with a
+//	              budget of K registers against the selected backend's
+//	              liveness answers, printing register pressure, spill
+//	              counts and the per-value assignment. With the default
+//	              checker backend the spill loop re-queries the original
+//	              analysis — spill code never edits the CFG; other
+//	              backends re-analyze between spill rounds.
 package main
 
 import (
@@ -49,6 +56,7 @@ import (
 	"fastliveness/internal/cfg"
 	"fastliveness/internal/dom"
 	"fastliveness/internal/ir"
+	"fastliveness/internal/regalloc"
 	"fastliveness/internal/ssa"
 )
 
@@ -69,6 +77,7 @@ func main() {
 		verify   = flag.Bool("verify", true, "verify strict SSA before analyzing")
 		stat     = flag.Bool("stats", false, "print CFG/analysis statistics")
 		parallel = flag.Int("parallel", 0, "whole-program precompute workers (0 = GOMAXPROCS)")
+		regs     = flag.Int("regalloc", 0, "allocate that many registers and print the assignment (0 = off)")
 		queries  queryList
 	)
 	flag.Var(&queries, "q", "query '[in:|out:]%value@block[@func]' (repeatable)")
@@ -81,9 +90,9 @@ func main() {
 	paths, program, err := programArgs(flag.Args())
 	if err == nil {
 		if program {
-			err = runProgram(paths, *construct, *backendN, *verify, *stat, *parallel, queries)
+			err = runProgram(paths, *construct, *backendN, *verify, *stat, *parallel, *regs, queries)
 		} else {
-			err = run(flag.Arg(0), *construct, *backendN, *verify, *stat, queries)
+			err = run(flag.Arg(0), *construct, *backendN, *verify, *stat, *regs, queries)
 		}
 	}
 	if err != nil {
@@ -126,7 +135,7 @@ func programArgs(args []string) ([]string, bool, error) {
 // concurrently by the engine with the selected backend, summarized (or
 // queried) in sorted file order so output is deterministic regardless of
 // parallelism.
-func runProgram(paths []string, construct bool, backendName string, verify, stat bool, parallel int, queries queryList) error {
+func runProgram(paths []string, construct bool, backendName string, verify, stat bool, parallel, regs int, queries queryList) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("no .ssair files found")
 	}
@@ -175,6 +184,17 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 				return err
 			}
 		}
+		if regs > 0 {
+			for _, f := range funcs {
+				live, err := eng.Liveness(f)
+				if err != nil {
+					return err
+				}
+				if err := printRegalloc(f, live, backendName, regs); err != nil {
+					return err
+				}
+			}
+		}
 		return nil
 	}
 
@@ -188,6 +208,11 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 		if stat {
 			fmt.Fprintf(stdout, "  backend %s, precomputed sets: %dB\n",
 				live.Backend(), live.MemoryBytes())
+		}
+		if regs > 0 {
+			if err := printRegalloc(f, live, backendName, regs); err != nil {
+				return err
+			}
 		}
 	}
 	fmt.Fprintf(stdout, "%d functions analyzed (%d resident, %d bytes of precomputed sets)\n",
@@ -223,7 +248,7 @@ func answerProgram(eng *fastliveness.Engine, byName map[string]*ir.Func, q strin
 	return answer(f, kind, rest, live.IsLiveIn, live.IsLiveOut)
 }
 
-func run(path string, construct bool, backendName string, verify, stat bool, queries queryList) error {
+func run(path string, construct bool, backendName string, verify, stat bool, regs int, queries queryList) error {
 	var src []byte
 	var err error
 	if path == "-" {
@@ -264,6 +289,9 @@ func run(path string, construct bool, backendName string, verify, stat bool, que
 				return err
 			}
 		}
+		if regs > 0 {
+			return printRegalloc(f, live, backendName, regs)
+		}
 		return nil
 	}
 
@@ -284,6 +312,36 @@ func run(path string, construct bool, backendName string, verify, stat bool, que
 		fmt.Fprintf(stdout, "%s:\n  live-in : %s\n  live-out: %s\n",
 			b, strings.Join(ins, " "), strings.Join(outs, " "))
 	}
+	if regs > 0 {
+		return printRegalloc(f, live, backendName, regs)
+	}
+	return nil
+}
+
+// printRegalloc runs the register allocator against the analysis and
+// prints pressure, spill statistics and the per-value assignment. The
+// checker backend needs no refresh across spill rounds (spill code edits
+// instructions, never the CFG); every other backend re-analyzes.
+func printRegalloc(f *ir.Func, live *fastliveness.Liveness, backendName string, k int) error {
+	p := regalloc.MeasurePressure(f, live)
+	opt := regalloc.Options{}
+	if !live.SurvivesInstructionEdits() {
+		opt.Refresh = func() (regalloc.Oracle, error) {
+			return fastliveness.Analyze(f, fastliveness.Config{Backend: backendName})
+		}
+	}
+	alloc, err := regalloc.RunOptions(f, live, k, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "regalloc @%s: k=%d: %d registers used, max pressure %d (%s), %d spills, %d rounds\n",
+		f.Name, k, alloc.NumRegs, p.Max, p.MaxBlock, alloc.Stats.Spills, alloc.Stats.Rounds)
+	f.Values(func(v *ir.Value) {
+		if !v.Op.HasResult() {
+			return
+		}
+		fmt.Fprintf(stdout, "  %-8s -> r%d\n", v.String(), alloc.RegOf(v))
+	})
 	return nil
 }
 

@@ -82,12 +82,12 @@ func TestRunGoldenPerBackend(t *testing.T) {
 	for _, name := range fastliveness.Backends() {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			got := capture(t, func() error { return run(p, false, name, true, false, nil) })
+			got := capture(t, func() error { return run(p, false, name, true, false, 0, nil) })
 			if trimLines(got) != trimLines(goldenDump) {
 				t.Errorf("backend %s dump:\n%s\nwant:\n%s", name, got, goldenDump)
 			}
 			queries := capture(t, func() error {
-				return run(p, false, name, true, false,
+				return run(p, false, name, true, false, 0,
 					queryList{"%n@body", "out:%i@head", "in:%one@exit"})
 			})
 			want := "live-in(%n, body) = true\nlive-out(%i, head) = true\nlive-in(%one, exit) = false\n"
@@ -101,7 +101,7 @@ func TestRunGoldenPerBackend(t *testing.T) {
 func TestRunDumpsSets(t *testing.T) {
 	p := writeTemp(t, loopSrc)
 	for _, name := range fastliveness.Backends() {
-		if err := run(p, false, name, true, true, nil); err != nil {
+		if err := run(p, false, name, true, true, 0, nil); err != nil {
 			t.Fatalf("backend %s: %v", name, err)
 		}
 	}
@@ -109,7 +109,7 @@ func TestRunDumpsSets(t *testing.T) {
 
 func TestRunQueries(t *testing.T) {
 	p := writeTemp(t, loopSrc)
-	err := run(p, false, "checker", true, false,
+	err := run(p, false, "checker", true, false, 0,
 		queryList{"%n@body", "out:%i@head", "in:%one@exit"})
 	if err != nil {
 		t.Fatal(err)
@@ -129,12 +129,12 @@ func TestRunErrors(t *testing.T) {
 		{nil, "frobnicate", "unknown backend"},
 	}
 	for _, c := range cases {
-		err := run(p, false, c.backend, true, false, c.queries)
+		err := run(p, false, c.backend, true, false, 0, c.queries)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("queries %v backend %s: err = %v, want %q", c.queries, c.backend, err, c.want)
 		}
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing"), false, "checker", true, false, nil); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing"), false, "checker", true, false, 0, nil); err == nil {
 		t.Error("missing file should error")
 	}
 }
@@ -153,11 +153,11 @@ b1:
 `
 	p := writeTemp(t, slot)
 	// Without -construct, strict verification must reject slot ops.
-	if err := run(p, false, "checker", true, false, nil); err == nil {
+	if err := run(p, false, "checker", true, false, 0, nil); err == nil {
 		t.Fatal("slot form should fail strict verification")
 	}
 	// With -construct it passes.
-	if err := run(p, true, "checker", true, false, nil); err != nil {
+	if err := run(p, true, "checker", true, false, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -214,11 +214,11 @@ func TestProgramArgsExpandsDirectories(t *testing.T) {
 func TestRunProgramSummaryAndQueries(t *testing.T) {
 	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
 	paths, _, _ := programArgs([]string{dir})
-	if err := runProgram(paths, false, "checker", true, true, 4, nil); err != nil {
+	if err := runProgram(paths, false, "checker", true, true, 4, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	qs := queryList{"%i@body@loop", "out:%x@entry@clamp", "in:%r@join@clamp"}
-	if err := runProgram(paths, false, "checker", true, false, 2, qs); err != nil {
+	if err := runProgram(paths, false, "checker", true, false, 2, 0, qs); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -231,7 +231,7 @@ func TestRunProgramPerBackend(t *testing.T) {
 	qs := queryList{"out:%i@head@loop", "in:%r@join@clamp"}
 	var want string
 	for i, name := range fastliveness.Backends() {
-		got := capture(t, func() error { return runProgram(paths, false, name, true, false, 2, qs) })
+		got := capture(t, func() error { return runProgram(paths, false, name, true, false, 2, 0, qs) })
 		if i == 0 {
 			want = got
 			continue
@@ -256,25 +256,71 @@ func TestRunProgramErrors(t *testing.T) {
 		{nil, "frobnicate", "unknown backend"},
 	}
 	for _, c := range cases {
-		err := runProgram(paths, false, c.backend, true, false, 1, c.queries)
+		err := runProgram(paths, false, c.backend, true, false, 1, 0, c.queries)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("queries %v backend %s: err = %v, want %q", c.queries, c.backend, err, c.want)
 		}
 	}
-	if err := runProgram(nil, false, "checker", true, false, 1, nil); err == nil {
+	if err := runProgram(nil, false, "checker", true, false, 1, 0, nil); err == nil {
 		t.Error("empty program should error")
 	}
 	// Duplicate function names across files are rejected.
 	dup := writeProgram(t, map[string]string{"a.ssair": loopSrc, "b.ssair": loopSrc})
 	paths, _, _ = programArgs([]string{dup})
-	if err := runProgram(paths, false, "checker", true, false, 1, nil); err == nil ||
+	if err := runProgram(paths, false, "checker", true, false, 1, 0, nil); err == nil ||
 		!strings.Contains(err.Error(), "duplicate function name") {
 		t.Errorf("duplicate names: err = %v", err)
 	}
 	// Single-file program mode may omit the @func component.
 	single := writeProgram(t, map[string]string{"loop.ssair": loopSrc})
 	paths, _, _ = programArgs([]string{single})
-	if err := runProgram(paths, false, "checker", true, false, 1, queryList{"out:%i@head"}); err != nil {
+	if err := runProgram(paths, false, "checker", true, false, 1, 0, queryList{"out:%i@head"}); err != nil {
 		t.Errorf("single-function program without @func: %v", err)
+	}
+}
+
+// -regalloc prints a deterministic assignment; every backend must agree on
+// the assignment (identical answers drive identical scans), and the
+// allocation must respect the loop function's pressure.
+func TestRunRegallocGoldenPerBackend(t *testing.T) {
+	var want string
+	for i, name := range fastliveness.Backends() {
+		p := writeTemp(t, loopSrc) // fresh file: spills would edit in place
+		got := capture(t, func() error { return run(p, false, name, true, false, 4, nil) })
+		if i == 0 {
+			want = got
+			if !strings.Contains(got, "regalloc @loop: k=4:") ||
+				!strings.Contains(got, "max pressure 4") ||
+				!strings.Contains(got, "0 spills") {
+				t.Fatalf("unexpected regalloc output:\n%s", got)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("backend %s regalloc output:\n%s\nwant (backend %s):\n%s",
+				name, got, fastliveness.Backends()[0], want)
+		}
+	}
+	// A below-pressure budget forces spilling; the run must still succeed
+	// and report it.
+	p := writeTemp(t, loopSrc)
+	got := capture(t, func() error { return run(p, false, "checker", true, false, 3, nil) })
+	if !strings.Contains(got, "spills") || strings.Contains(got, " 0 spills") {
+		t.Errorf("k=3 should spill on the loop function:\n%s", got)
+	}
+}
+
+// -regalloc composes with -q in whole-program mode too: queries answer
+// first, then each function's assignment prints.
+func TestRunProgramRegallocWithQueries(t *testing.T) {
+	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
+	paths, _, _ := programArgs([]string{dir})
+	got := capture(t, func() error {
+		return runProgram(paths, false, "checker", true, false, 2, 4, queryList{"out:%i@head@loop"})
+	})
+	for _, want := range []string{"live-out(%i, head) = true", "regalloc @clamp: k=4:", "regalloc @loop: k=4:"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
 	}
 }

@@ -432,5 +432,16 @@ func (l *Liveness) MemoryBytes() int {
 // Config.Backend "auto" this is the engine the selector picked.
 func (l *Liveness) Backend() string { return l.res.Backend() }
 
+// SurvivesInstructionEdits reports whether this handle's precomputation
+// stays valid across instruction-only edits — the paper's headline
+// property, true for the checker (only CFG changes invalidate it), false
+// for set-producing backends (any edit invalidates their materialized
+// sets). Clients that edit while querying — the register allocator's
+// spill loop, SSA destruction — use it to decide whether a re-analysis is
+// needed between rounds.
+func (l *Liveness) SurvivesInstructionEdits() bool {
+	return l.res.Invalidation() == backend.InvalidatedByCFGChanges
+}
+
 // Func returns the analyzed function.
 func (l *Liveness) Func() *ir.Func { return l.f }

@@ -31,6 +31,7 @@ import (
 	"fastliveness/internal/graphgen"
 	"fastliveness/internal/ir"
 	"fastliveness/internal/loops"
+	"fastliveness/internal/regalloc"
 	"fastliveness/internal/ssa"
 )
 
@@ -38,9 +39,11 @@ import (
 const GroundTruth = "dataflow"
 
 // Corpus returns n random strict-SSA functions: half from the structured
-// generator (every third one with an irreducible gadget), half synthesized
-// from raw random digraphs (irreducible with the default graphgen mix).
-// Generation is deterministic in seed.
+// generator (every third one with an irreducible gadget, every fourth one
+// pressure-biased à la Barany so dense functions are represented, not just
+// the sparse Table 1 shape), half synthesized from raw random digraphs
+// (irreducible with the default graphgen mix). Generation is deterministic
+// in seed.
 func Corpus(n int, seed int64) []*ir.Func {
 	rng := rand.New(rand.NewSource(seed))
 	funcs := make([]*ir.Func, 0, n)
@@ -48,6 +51,9 @@ func Corpus(n int, seed int64) []*ir.Func {
 		name := fmt.Sprintf("diff%03d", i)
 		if i%2 == 0 {
 			c := gen.Default(seed + int64(i))
+			if i%8 == 2 {
+				c = gen.HighPressure(seed + int64(i))
+			}
 			c.TargetBlocks = 4 + rng.Intn(40)
 			c.Irreducible = i%6 == 0
 			f := gen.Generate(name, c)
@@ -341,6 +347,57 @@ func ValidateCheckerStorage(f *ir.Func) error {
 		live.ResetSets()
 		if err := sweep("after ResetSets"); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// ValidatePressure cross-checks per-block liveness *sizes* — register
+// pressure, the quantity the regalloc subsystem is built on — against the
+// data-flow ground truth: every set-producing backend's materialized
+// live-in/live-out cardinalities must match the ground truth's, and the
+// oracle-driven regalloc.MeasurePressure walk must report identical
+// per-block pressure through every backend (checker included) as through
+// the ground truth itself. Membership checks (Validate) would catch any
+// set disagreement too; this pins the derived counts the allocator and
+// the spill heuristics consume directly.
+func ValidatePressure(f *ir.Func) error {
+	truth := dataflow.Analyze(f)
+	want := regalloc.MeasurePressure(f, truth)
+	for _, name := range backend.Names() {
+		b, err := backend.Get(name)
+		if err != nil {
+			return err
+		}
+		res, err := b.Analyze(f)
+		if err != nil {
+			if name == "loops" && errors.Is(err, loops.ErrIrreducible) {
+				continue
+			}
+			return fmt.Errorf("difftest: backend %s on %s: %w", name, f.Name, err)
+		}
+		if res.Invalidation() == backend.InvalidatedByAnyEdit {
+			for i, blk := range f.Blocks {
+				if got, wantN := len(res.LiveInSet(blk)), truth.LiveIn[i].Count(); got != wantN {
+					return fmt.Errorf("difftest: backend %s on %s: |live-in(%s)| = %d, ground truth %d",
+						name, f.Name, blk, got, wantN)
+				}
+				if got, wantN := len(res.LiveOutSet(blk)), truth.LiveOut[i].Count(); got != wantN {
+					return fmt.Errorf("difftest: backend %s on %s: |live-out(%s)| = %d, ground truth %d",
+						name, f.Name, blk, got, wantN)
+				}
+			}
+		}
+		got := regalloc.MeasurePressure(f, res)
+		if got.Max != want.Max {
+			return fmt.Errorf("difftest: backend %s on %s: max pressure %d, ground truth %d",
+				name, f.Name, got.Max, want.Max)
+		}
+		for i, blk := range f.Blocks {
+			if got.PerBlock[i] != want.PerBlock[i] {
+				return fmt.Errorf("difftest: backend %s on %s: pressure(%s) = %d, ground truth %d",
+					name, f.Name, blk, got.PerBlock[i], want.PerBlock[i])
+			}
 		}
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 	"fastliveness/internal/dataflow"
 	"fastliveness/internal/graphgen"
 	"fastliveness/internal/ir"
+	"fastliveness/internal/regalloc"
 	"fastliveness/internal/ssa"
 )
 
@@ -130,5 +131,37 @@ func TestCompareCatchesDisagreement(t *testing.T) {
 	}
 	if m.Backend != "liar" || !strings.Contains(m.Error(), "ground truth") {
 		t.Fatalf("unhelpful mismatch: %v", m)
+	}
+}
+
+// Per-block live-set sizes — register pressure — must agree with the
+// ground truth for every set-producing backend, and the oracle-driven
+// pressure walk must report identical profiles through every backend.
+func TestPressureAgreesAcrossBackends(t *testing.T) {
+	n := 48
+	if testing.Short() {
+		n = 12
+	}
+	for _, f := range Corpus(n, 20260802) {
+		if err := ValidatePressure(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The corpus must actually contain the pressure-biased functions the
+// regalloc subsystem relies on: some functions must be markedly denser
+// than the sparse calibrated default.
+func TestCorpusIncludesHighPressureFunctions(t *testing.T) {
+	funcs := Corpus(64, 20260730)
+	maxP := 0
+	for _, f := range funcs {
+		p := regalloc.MeasurePressure(f, dataflow.Analyze(f))
+		if p.Max > maxP {
+			maxP = p.Max
+		}
+	}
+	if maxP < 12 {
+		t.Fatalf("densest corpus function has max pressure %d, want >= 12 (pressure bias missing?)", maxP)
 	}
 }

@@ -155,3 +155,50 @@ func TestCorpusIsStrictSSA(t *testing.T) {
 		}
 	}
 }
+
+func TestMeasureRegalloc(t *testing.T) {
+	c := BuildCorpus(gen.SpecByName("181.mcf"), 6)
+	rows, wl, err := MeasureRegalloc([]*Corpus{c}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Procs != 6 || wl.Queries == 0 || wl.LiveIn == 0 || wl.LiveOut == 0 {
+		t.Fatalf("degenerate workload: %+v", wl)
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Name] = true
+		if r.Procs == 0 && r.Skipped == 0 {
+			t.Fatalf("backend %s measured nothing", r.Name)
+		}
+		if r.Procs > 0 && (r.AllocNs <= 0 || r.Queries == 0 || r.QueryNs <= 0) {
+			t.Fatalf("backend %s has empty timings: %+v", r.Name, r)
+		}
+		if r.Invalidation == "cfg-changes" && r.Refreshes != 0 {
+			t.Fatalf("backend %s survives instruction edits but refreshed %d times", r.Name, r.Refreshes)
+		}
+		if r.Invalidation == "any-edit" && wl.Spills > 0 && r.Skipped == 0 && r.Refreshes == 0 {
+			t.Fatalf("backend %s is edit-invalidated and the workload spilled, but never refreshed", r.Name)
+		}
+	}
+	for _, want := range []string{"checker", "dataflow", "auto"} {
+		if !names[want] {
+			t.Fatalf("rows missing backend %s: %v", want, names)
+		}
+	}
+	out, err := RegallocJSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name"`, `"ns_per_op"`, `"query_ns_per_op"`, `"refreshes"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %s:\n%s", want, out)
+		}
+	}
+	table := RegallocTable([]*Corpus{c}, 6)
+	for _, want := range []string{"register-allocation workload", "AllocNs", "Refresh", "#Queries"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}

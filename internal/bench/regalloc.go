@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fastliveness/internal/backend"
+	"fastliveness/internal/dataflow"
+	"fastliveness/internal/ir"
+	"fastliveness/internal/loops"
+	"fastliveness/internal/regalloc"
+)
+
+// RegallocQuery is one oracle query of the register allocator's stream,
+// expressed against the pre-allocation function.
+type RegallocQuery struct {
+	Out bool // IsLiveOut (scan death points) vs IsLiveIn (entry occupancy)
+	V   *ir.Value
+	B   *ir.Block
+}
+
+// RegallocWorkload summarizes what the allocator did over a corpus — the
+// shape of the query stream every backend is then timed on.
+type RegallocWorkload struct {
+	Procs       int     `json:"procs"`
+	Queries     int     `json:"queries"`
+	LiveIn      int     `json:"live_in_queries"`
+	LiveOut     int     `json:"live_out_queries"`
+	Spills      int     `json:"spills"`
+	Rounds      int     `json:"rounds"`
+	AvgPressure float64 `json:"avg_max_pressure"`
+	K           int     `json:"k"`
+}
+
+// RegallocRow is one backend's measurement on the register-allocation
+// workload: AllocNs is the end-to-end cost per procedure of analyzing with
+// that backend and running the allocator against it — including the
+// re-analyses (Refreshes) set-producing backends need after every spill
+// round, the cost the checker's CFG-only precomputation avoids — and
+// QueryNs the replay cost per query of the recorded allocator stream.
+type RegallocRow struct {
+	Name         string  `json:"name"`
+	Procs        int     `json:"procs"`
+	Skipped      int     `json:"skipped"`
+	AllocNs      float64 `json:"ns_per_op"`
+	Queries      int     `json:"queries"`
+	QueryNs      float64 `json:"query_ns_per_op"`
+	Refreshes    int     `json:"refreshes"`
+	Invalidation string  `json:"invalidation"`
+}
+
+// recordingAllocOracle answers allocator queries from a data-flow analysis
+// of the working clone and records them for replay.
+type recordingAllocOracle struct {
+	r       *dataflow.Result
+	maxID   int // values with IDs >= maxID are spill artifacts
+	queries []RegallocQuery
+}
+
+func (o *recordingAllocOracle) IsLiveIn(v *ir.Value, b *ir.Block) bool {
+	if v.ID < o.maxID {
+		o.queries = append(o.queries, RegallocQuery{Out: false, V: v, B: b})
+	}
+	return o.r.IsLiveIn(v, b)
+}
+
+func (o *recordingAllocOracle) IsLiveOut(v *ir.Value, b *ir.Block) bool {
+	if v.ID < o.maxID {
+		o.queries = append(o.queries, RegallocQuery{Out: true, V: v, B: b})
+	}
+	return o.r.IsLiveOut(v, b)
+}
+
+// recordRegalloc runs the allocator on a clone of p.F with a recording
+// data-flow oracle and returns the query stream mapped back onto p.F, the
+// register budget that succeeded (k doubled past ErrTooFewRegisters so
+// every backend later replays the identical workload), and the per-proc
+// stats. Queries about spill-inserted values are dropped; like the
+// destruction recorder, they are a small fraction of the stream.
+func recordRegalloc(p Proc, k int) ([]RegallocQuery, int, regalloc.Stats, error) {
+	kEff := k
+	for {
+		clone := ir.Clone(p.F)
+		o := &recordingAllocOracle{r: dataflow.Analyze(clone), maxID: p.F.NumValues()}
+		alloc, err := regalloc.RunOptions(clone, o, kEff, regalloc.Options{
+			Refresh: func() (regalloc.Oracle, error) {
+				o.r = dataflow.Analyze(clone)
+				return o, nil
+			},
+		})
+		if errors.Is(err, regalloc.ErrTooFewRegisters) {
+			kEff *= 2
+			continue
+		}
+		if err != nil {
+			return nil, 0, regalloc.Stats{}, fmt.Errorf("recording regalloc on %s: %w", p.F.Name, err)
+		}
+		valByID := make([]*ir.Value, p.F.NumValues())
+		p.F.Values(func(v *ir.Value) { valByID[v.ID] = v })
+		blockByID := make([]*ir.Block, p.F.NumBlocks())
+		for _, b := range p.F.Blocks {
+			blockByID[b.ID] = b
+		}
+		out := make([]RegallocQuery, len(o.queries))
+		for i, q := range o.queries {
+			out[i] = RegallocQuery{Out: q.Out, V: valByID[q.V.ID], B: blockByID[q.B.ID]}
+		}
+		return out, kEff, alloc.Stats, nil
+	}
+}
+
+// MeasureRegalloc times every registered backend on the register-allocation
+// workload: the end-to-end allocator run with that backend as the oracle
+// (set-producing backends re-analyze after every spill round; the checker
+// never does), and the recorded query-stream replay, Table-2-style. The
+// recording pass — one per procedure, shared by every backend — fixes the
+// register budget and the stream, so all rows describe identical work.
+func MeasureRegalloc(corpora []*Corpus, k int) ([]RegallocRow, RegallocWorkload, error) {
+	type acc struct {
+		row       RegallocRow
+		b         backend.Backend
+		allocNs   float64
+		queryNs   float64
+		refreshes int
+		kinds     map[string]bool
+	}
+	accs := make([]*acc, 0, len(backend.Names()))
+	for _, name := range backend.Names() {
+		b, err := backend.Get(name)
+		if err != nil {
+			return nil, RegallocWorkload{}, err
+		}
+		accs = append(accs, &acc{row: RegallocRow{Name: name}, b: b, kinds: map[string]bool{}})
+	}
+	var wl RegallocWorkload
+	wl.K = k
+	var pressureSum int
+	for _, c := range corpora {
+		for _, p := range c.Procs {
+			f := p.F
+			prep, err := backend.Prepare(f)
+			if err != nil {
+				return nil, wl, fmt.Errorf("preparing %s: %w", f.Name, err)
+			}
+			queries, kEff, stats, err := recordRegalloc(p, k)
+			if err != nil {
+				return nil, wl, err
+			}
+			wl.Procs++
+			wl.Queries += stats.Queries()
+			wl.LiveIn += stats.LiveInQueries
+			wl.LiveOut += stats.LiveOutQueries
+			wl.Spills += stats.Spills
+			wl.Rounds += stats.Rounds
+			pressureSum += regalloc.MeasurePressure(f, dataflow.Analyze(f)).Max
+
+			for _, a := range accs {
+				res, err := backend.AnalyzeWith(a.b, f, prep)
+				if err != nil {
+					if errors.Is(err, loops.ErrIrreducible) {
+						a.row.Skipped++
+						continue
+					}
+					return nil, wl, fmt.Errorf("backend %s on %s: %w", a.row.Name, f.Name, err)
+				}
+				a.row.Procs++
+				a.kinds[res.Invalidation().String()] = true
+
+				// End-to-end allocator run against this backend. Run
+				// mutates its input, so it gets a fresh clone outside the
+				// timed region and is timed single-shot; the per-corpus
+				// average smooths the noise.
+				clone := ir.Clone(f)
+				refreshes := 0
+				needsRefresh := res.Invalidation() == backend.InvalidatedByAnyEdit
+				start := time.Now()
+				cres, err := a.b.Analyze(clone)
+				if err != nil {
+					return nil, wl, fmt.Errorf("backend %s on clone of %s: %w", a.row.Name, f.Name, err)
+				}
+				var opts regalloc.Options
+				if needsRefresh {
+					opts.Refresh = func() (regalloc.Oracle, error) {
+						refreshes++
+						return a.b.Analyze(clone)
+					}
+				}
+				if _, err := regalloc.RunOptions(clone, cres, kEff, opts); err != nil {
+					return nil, wl, fmt.Errorf("backend %s allocating %s (k=%d): %w", a.row.Name, f.Name, kEff, err)
+				}
+				a.allocNs += float64(time.Since(start).Nanoseconds())
+				a.refreshes += refreshes
+
+				if len(queries) == 0 {
+					continue
+				}
+				stream := timeOp(perProcBudget, func() {
+					for _, q := range queries {
+						if q.Out {
+							res.IsLiveOut(q.V, q.B)
+						} else {
+							res.IsLiveIn(q.V, q.B)
+						}
+					}
+				})
+				a.row.Queries += len(queries)
+				a.queryNs += stream
+			}
+		}
+	}
+	if wl.Procs > 0 {
+		wl.AvgPressure = float64(pressureSum) / float64(wl.Procs)
+	}
+	rows := make([]RegallocRow, 0, len(accs))
+	for _, a := range accs {
+		if a.row.Procs > 0 {
+			a.row.AllocNs = a.allocNs / float64(a.row.Procs)
+		}
+		if a.row.Queries > 0 {
+			a.row.QueryNs = a.queryNs / float64(a.row.Queries)
+		}
+		a.row.Refreshes = a.refreshes
+		ks := make([]string, 0, len(a.kinds))
+		for kind := range a.kinds {
+			ks = append(ks, kind)
+		}
+		sort.Strings(ks)
+		a.row.Invalidation = strings.Join(ks, "+")
+		rows = append(rows, a.row)
+	}
+	return rows, wl, nil
+}
+
+// RegallocTable renders the per-backend comparison on the allocator
+// workload — the second client pass after SSA destruction, measured on its
+// genuine query stream with query counts reported.
+func RegallocTable(corpora []*Corpus, k int) string {
+	rows, wl, err := MeasureRegalloc(corpora, k)
+	if err != nil {
+		return "regalloc table: " + err.Error()
+	}
+	var sb strings.Builder
+	sb.WriteString("Per-backend comparison on the register-allocation workload (dominance-order\n")
+	sb.WriteString("scan allocator, k = " + fmt.Sprint(k) + "; budget doubled per proc until allocatable).\n")
+	fmt.Fprintf(&sb, "Workload: %d procs, %d queries (%d live-in, %d live-out), %d spills over %d rounds,\n",
+		wl.Procs, wl.Queries, wl.LiveIn, wl.LiveOut, wl.Spills, wl.Rounds)
+	fmt.Fprintf(&sb, "avg max pressure %.2f.\n", wl.AvgPressure)
+	sb.WriteString("AllocNs = analyze + allocate per procedure, including the re-analyses\n")
+	sb.WriteString("(Refresh column) set-producing backends need after each spill round;\n")
+	sb.WriteString("QueryNs = recorded-stream replay per query.\n\n")
+	fmt.Fprintf(&sb, "%-10s %7s %6s | %12s %8s | %10s %9s | %-12s\n",
+		"Backend", "#Proc", "Skip", "AllocNs", "Refresh", "#Queries", "QueryNs", "Invalidated")
+	sb.WriteString(strings.Repeat("-", 96))
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %7d %6d | %12.1f %8d | %10d %9.1f | %-12s\n",
+			r.Name, r.Procs, r.Skipped, r.AllocNs, r.Refreshes, r.Queries, r.QueryNs, r.Invalidation)
+	}
+	return sb.String()
+}
+
+// RegallocJSON renders the rows as machine-readable JSON, the format of
+// the BENCH_*.json performance trajectory (ns_per_op here is the
+// end-to-end allocation cost per procedure).
+func RegallocJSON(rows []RegallocRow) (string, error) {
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

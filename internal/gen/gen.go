@@ -48,6 +48,18 @@ type Config struct {
 	// Irreducible adds a second entry into one loop (a "goto"), producing
 	// irreducible control flow like the 7 functions the paper found.
 	Irreducible bool
+	// PressureVals pins that many extra SSA values: defined in the entry
+	// block, folded into every return, and preferentially drawn as
+	// operands everywhere in between. Their live ranges span the whole
+	// CFG — across every loop header on the way to a return — so register
+	// pressure rises with the count, the liveness-driven generation bias
+	// of Barany's random-program work (PAPERS.md). Zero (the default)
+	// leaves generation exactly as calibrated for Table 1.
+	PressureVals int
+	// PressureBias is the probability an operand draws from the pinned
+	// pool instead of the normal sources; only consulted when
+	// PressureVals > 0.
+	PressureBias float64
 }
 
 // Default returns a reasonable mid-size configuration.
@@ -65,6 +77,19 @@ func Default(seed int64) Config {
 		ContinueProb: 0.04,
 		ReturnProb:   0.05,
 	}
+}
+
+// HighPressure returns a configuration biased toward high register
+// pressure: a pool of function-spanning live ranges on top of the default
+// structured shape. Register-allocation tests and the differential corpus
+// use it so the liveness engines are exercised on dense functions, not
+// just the sparse Table 1 calibration.
+func HighPressure(seed int64) Config {
+	c := Default(seed)
+	c.PressureVals = 10
+	c.PressureBias = 0.3
+	c.FreshBias = 0.5 // more multi-use, longer overlapping ranges
+	return c
 }
 
 // Generate builds a slot-form function. The result passes ir.Verify, has
@@ -100,6 +125,12 @@ func Generate(name string, c Config) *ir.Func {
 	for s := 0; s < c.Slots; s++ {
 		v := b.expr(entry)
 		entry.NewValueI(ir.OpSlotStore, int64(s), v)
+	}
+	// Pin the long-lived pressure values: entry-defined SSA values whose
+	// uses (operand draws below, the fold at every return) stretch their
+	// ranges across the whole function.
+	for i := 0; i < c.PressureVals; i++ {
+		b.pinned = append(b.pinned, b.expr(entry))
 	}
 
 	end, terminated := b.region(entry, 0, nil)
@@ -166,6 +197,7 @@ type builder struct {
 	c          Config
 	budget     int
 	params     []*ir.Value
+	pinned     []*ir.Value // entry-defined long-lived values (PressureVals)
 	irredCands []irredCand
 }
 
@@ -188,7 +220,13 @@ func (b *builder) iff(from *ir.Block, cond *ir.Value, t, e *ir.Block) {
 
 func (b *builder) ret(from *ir.Block) {
 	from.Kind = ir.BlockRet
-	from.SetControl(b.expr(from))
+	r := b.expr(from)
+	// Fold every pinned value into the result so its live range reaches
+	// each function exit — live across everything on the way there.
+	for _, v := range b.pinned {
+		r = from.NewValue(ir.OpAdd, r, v)
+	}
+	from.SetControl(r)
 }
 
 // operand picks an expression input in the current block: a recent value of
@@ -205,6 +243,9 @@ func (b *builder) operand(blk *ir.Block) *ir.Value {
 			}
 		}
 		return nil
+	}
+	if len(b.pinned) > 0 && b.rng.Float64() < b.c.PressureBias {
+		return b.pinned[b.rng.Intn(len(b.pinned))]
 	}
 	r := b.rng.Float64()
 	if r < b.c.FreshBias {

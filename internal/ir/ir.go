@@ -211,6 +211,19 @@ func (b *Block) InsertValueFront(op Op, args ...*Value) *Value {
 	return v
 }
 
+// InsertValueAt places a new value at index i of the block's value list;
+// existing values at i and later shift right. The caller is responsible for
+// keeping the φ-prefix invariant (never insert a non-φ before a φ). Spill
+// code insertion uses it to place stores right after definitions and
+// reloads right before uses.
+func (b *Block) InsertValueAt(i int, op Op, auxInt int64, args ...*Value) *Value {
+	v := b.newDetached(op, auxInt, "", args...)
+	b.Values = append(b.Values, nil)
+	copy(b.Values[i+1:], b.Values[i:])
+	b.Values[i] = v
+	return v
+}
+
 // InsertValueAfterPhis places a new value right after the block's φs.
 func (b *Block) InsertValueAfterPhis(op Op, args ...*Value) *Value {
 	v := b.newDetached(op, 0, "", args...)

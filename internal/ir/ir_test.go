@@ -347,3 +347,21 @@ func TestOpTable(t *testing.T) {
 		}
 	}
 }
+
+func TestInsertValueAt(t *testing.T) {
+	f, vs := buildDiamond(t)
+	b1 := f.Blocks[1]
+	i := b1.ValueIndex(vs["x"])
+	neg := b1.InsertValueAt(i+1, OpNeg, 0, vs["x"])
+	if b1.Values[i+1] != neg {
+		t.Fatalf("InsertValueAt placed at %d, want %d", b1.ValueIndex(neg), i+1)
+	}
+	st := b1.InsertValueAt(i+2, OpSlotStore, 0, neg)
+	if b1.Values[i+2] != st {
+		t.Fatalf("store placed at %d, want %d", b1.ValueIndex(st), i+2)
+	}
+	f.NumSlots = 1
+	if err := Verify(f); err != nil {
+		t.Fatalf("after inserts: %v", err)
+	}
+}

@@ -1,0 +1,102 @@
+package regalloc
+
+import "fastliveness/internal/ir"
+
+// spill demotes v: rematerializable values (constants) are re-cloned at
+// each use; everything else goes through a fresh slot — one
+// store right after the definition, one reload right before each use
+// (spill-everywhere). The rewrite edits instructions only, never the CFG,
+// which is exactly the edit class the paper's checker survives without
+// re-analysis. The original value stays in place with a short
+// definition-to-store (or dead) range, so it still receives a register for
+// its definition point; all inserted values are marked unspillable, which
+// bounds the spill loop.
+func (a *Allocator) spill(v *ir.Value) {
+	a.stats.Spills++
+	a.spilled = append(a.spilled, v)
+	a.unspillable[v.ID] = true
+	if v.Op == ir.OpConst {
+		// Rematerialize: clone the constant at every use — no slot
+		// traffic, and the original becomes a dead definition occupying a
+		// register only at its own program point. (Parameters are not
+		// rematerializable: ir.Verify pins OpParam to the entry block.)
+		for len(v.Uses()) > 0 {
+			u := v.Uses()[len(v.Uses())-1]
+			a.markArtifact(placeAtUse(u, func(b *ir.Block, at int) *ir.Value {
+				if at < 0 {
+					return b.NewValueI(v.Op, v.AuxInt)
+				}
+				return b.InsertValueAt(at, v.Op, v.AuxInt)
+			}))
+			a.stats.Remats++
+		}
+		return
+	}
+	slot := int64(a.f.NumSlots)
+	a.f.NumSlots++
+	db := v.Block
+	var store *ir.Value
+	if v.Op == ir.OpPhi {
+		store = db.InsertValueAfterPhis(ir.OpSlotStore, v)
+		store.AuxInt = slot
+	} else {
+		store = db.InsertValueAt(db.ValueIndex(v)+1, ir.OpSlotStore, slot, v)
+	}
+	a.stats.Stores++
+	a.markArtifact(store)
+
+	// Rewrite every use except the store through a reload at the use point.
+	for {
+		var u ir.Use
+		found := false
+		for _, cand := range v.Uses() {
+			if cand.User == store {
+				continue
+			}
+			u = cand
+			found = true
+			break
+		}
+		if !found {
+			break
+		}
+		a.markArtifact(placeAtUse(u, func(b *ir.Block, at int) *ir.Value {
+			if at < 0 {
+				return b.NewValueI(ir.OpSlotLoad, slot)
+			}
+			return b.InsertValueAt(at, ir.OpSlotLoad, slot)
+		}))
+		a.stats.Reloads++
+	}
+}
+
+// placeAtUse creates a value at u's Definition 1 use point — before the
+// using instruction, at the end of the φ-predecessor, or at the end of the
+// controlling block — and rewires the use to it. mk receives the block to
+// create in and the insertion index (-1 = append at the block's end).
+func placeAtUse(u ir.Use, mk func(b *ir.Block, at int) *ir.Value) *ir.Value {
+	switch {
+	case u.UserBlock != nil:
+		v := mk(u.UserBlock, -1)
+		u.UserBlock.SetControl(v)
+		return v
+	case u.User.Op == ir.OpPhi:
+		v := mk(u.User.Block.Preds[u.Index].B, -1)
+		u.User.SetArg(u.Index, v)
+		return v
+	default:
+		blk := u.User.Block
+		v := mk(blk, blk.ValueIndex(u.User))
+		u.User.SetArg(u.Index, v)
+		return v
+	}
+}
+
+// markArtifact records a spill-inserted value as unspillable (its live
+// range is already minimal; respilling it could loop forever).
+func (a *Allocator) markArtifact(v *ir.Value) {
+	for len(a.unspillable) <= v.ID {
+		a.unspillable = append(a.unspillable, false)
+	}
+	a.unspillable[v.ID] = true
+}

@@ -1,0 +1,166 @@
+package regalloc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fastliveness/internal/dataflow"
+	"fastliveness/internal/destruct"
+	"fastliveness/internal/interp"
+	"fastliveness/internal/ir"
+)
+
+// VerifyAllocation checks an allocation's validity against an independent
+// ground truth — an iterative data-flow analysis of the (post-spill)
+// function, never the oracle that drove the scan:
+//
+//   - every result-defining value holds a register in [0, K);
+//   - no two simultaneously-live values share a register, checked at every
+//     program point by a backward walk per block (with the paper's
+//     Definition 1 end-of-block uses and simultaneous φ definitions);
+//   - a spill-free allocation uses at most max-pressure registers — the
+//     chordal-coloring optimum the dominance-order scan promises.
+func VerifyAllocation(f *ir.Func, alloc *Allocation) error {
+	truth := dataflow.Analyze(f)
+	var verr error
+	f.Values(func(v *ir.Value) {
+		if verr != nil || !v.Op.HasResult() {
+			return
+		}
+		r := alloc.RegOf(v)
+		if r < 0 || r >= alloc.K {
+			verr = fmt.Errorf("regalloc: %s: %s has register %d, want one in [0,%d)", f.Name, v, r, alloc.K)
+		}
+	})
+	if verr != nil {
+		return verr
+	}
+
+	valByID := make([]*ir.Value, f.NumValues())
+	f.Values(func(v *ir.Value) { valByID[v.ID] = v })
+	holder := make([]*ir.Value, alloc.K)
+	inSet := make([]int, f.NumValues())
+	epoch := 0
+	occupy := func(v *ir.Value, b *ir.Block) error {
+		r := alloc.RegOf(v)
+		if w := holder[r]; w != nil && w != v {
+			return fmt.Errorf("regalloc: %s: %s and %s are simultaneously live in %s but share r%d",
+				f.Name, w, v, b, r)
+		}
+		holder[r] = v
+		return nil
+	}
+	for _, b := range f.Blocks {
+		epoch++
+		for i := range holder {
+			holder[i] = nil
+		}
+		// Live at block end: live-out plus the values Definition 1 uses at
+		// the block's end (control operand, φ operands of successors).
+		add := func(v *ir.Value) error {
+			if inSet[v.ID] == epoch {
+				return nil
+			}
+			inSet[v.ID] = epoch
+			return occupy(v, b)
+		}
+		for _, id := range truth.LiveOutIDs(b) {
+			if err := add(valByID[id]); err != nil {
+				return err
+			}
+		}
+		if c := b.Control; c != nil {
+			if err := add(c); err != nil {
+				return err
+			}
+		}
+		for _, e := range b.Succs {
+			for _, phi := range e.B.Phis() {
+				if err := add(phi.Args[e.I]); err != nil {
+					return err
+				}
+			}
+		}
+		phis := b.Phis()
+		for i := len(b.Values) - 1; i >= len(phis); i-- {
+			v := b.Values[i]
+			if v.Op.HasResult() {
+				if inSet[v.ID] == epoch {
+					inSet[v.ID] = 0
+					if holder[alloc.RegOf(v)] == v {
+						holder[alloc.RegOf(v)] = nil
+					}
+				} else if w := holder[alloc.RegOf(v)]; w != nil {
+					// Dead definition: it still occupies its register at
+					// its own program point.
+					return fmt.Errorf("regalloc: %s: dead definition %s clashes with live %s on r%d in %s",
+						f.Name, v, w, alloc.RegOf(v), b)
+				}
+			}
+			for _, arg := range v.Args {
+				if err := add(arg); err != nil {
+					return err
+				}
+			}
+		}
+		// Entry point: all φs define simultaneously on top of the values
+		// live through the group.
+		for _, phi := range phis {
+			if inSet[phi.ID] == epoch {
+				continue // live φ: already holds its register
+			}
+			if err := occupy(phi, b); err != nil {
+				return err
+			}
+		}
+	}
+
+	if alloc.Stats.Spills == 0 {
+		bound := MeasurePressure(f, truth).Max
+		if alloc.NumRegs > bound {
+			return fmt.Errorf("regalloc: %s: spill-free allocation uses %d registers, max pressure is %d",
+				f.Name, alloc.NumRegs, bound)
+		}
+	}
+	return nil
+}
+
+// CrossCheck proves the allocator's program rewrite (spill stores, reloads,
+// rematerialized constants) semantics-preserving: it lowers a clone of the
+// allocated function out of SSA through internal/destruct and runs both it
+// and ref — the function as it was before Run — on random inputs under the
+// interpreter, comparing results. Reference runs that exhaust maxSteps are
+// skipped (graph-synthesized corpora need not terminate); the lowered run
+// gets a proportionally larger budget, so a genuine divergence still
+// surfaces as a fuel error.
+func CrossCheck(ref, allocated *ir.Func, trials int, maxSteps int, seed int64) error {
+	lowered := ir.Clone(allocated)
+	destruct.Prepare(lowered)
+	oracle := dataflow.Analyze(lowered)
+	destruct.Run(lowered, oracle, destruct.ModeCoalesce)
+
+	rng := rand.New(rand.NewSource(seed))
+	nparams := len(ref.Params())
+	for t := 0; t < trials; t++ {
+		args := make([]int64, nparams)
+		for i := range args {
+			args[i] = rng.Int63n(64) - 16
+		}
+		want, err := interp.Run(ref, args, interp.Options{MaxSteps: maxSteps})
+		if err != nil {
+			if _, fuel := err.(*interp.ErrFuel); fuel {
+				continue // non-terminating input: nothing to compare
+			}
+			return fmt.Errorf("regalloc: crosscheck reference run of %s: %w", ref.Name, err)
+		}
+		got, err := interp.Run(lowered, args, interp.Options{MaxSteps: 16*want.Steps + 1024})
+		if err != nil {
+			return fmt.Errorf("regalloc: crosscheck %s(%v) after allocation: %w", ref.Name, args, err)
+		}
+		if got.Ret != want.Ret {
+			return fmt.Errorf("regalloc: %s(%v) = %d after allocation+destruction, want %d",
+				ref.Name, args, got.Ret, want.Ret)
+		}
+	}
+	return nil
+}
