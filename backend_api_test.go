@@ -2,6 +2,7 @@ package fastliveness
 
 import (
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 
@@ -128,10 +129,11 @@ func TestEnumerationMatchesQueries(t *testing.T) {
 	}
 }
 
-// The enumeration sets are cached as of the first call; after an
-// instruction edit, ResetSets must rebuild them while checker queries track
-// the edit on their own.
-func TestResetSetsAfterInstructionEdit(t *testing.T) {
+// The enumeration sets are cached, but keyed by the function's edit
+// epochs: after an instruction edit the next LiveIn/LiveOut call must
+// rebuild them transparently — no ResetSets — while checker queries track
+// the edit with no rebuild at all.
+func TestEnumerationTracksInstructionEdits(t *testing.T) {
 	f := ir.MustParse(backendLoopSrc)
 	live, err := Analyze(f, Config{})
 	if err != nil {
@@ -152,25 +154,36 @@ func TestResetSetsAfterInstructionEdit(t *testing.T) {
 	}
 	// Instruction-only edit: a new use of %one inside exit. The checker's
 	// precomputation survives it (the paper's headline property)...
-	exit.NewValue(ir.OpAdd, one, one)
+	added := exit.NewValue(ir.OpAdd, one, one)
+	if live.Stale() {
+		t.Fatal("an instruction edit must not stale the checker analysis")
+	}
 	if !live.IsLiveIn(one, exit) {
 		t.Fatal("checker query should see the new use without re-analyzing")
 	}
-	// ...but the cached enumeration sets describe the pre-edit program
-	// until ResetSets.
-	if inExit(live.LiveIn(exit)) {
-		t.Fatal("cached sets should still describe the pre-edit program")
-	}
-	live.ResetSets()
+	// ...and the enumeration cache notices the epoch moved and rebuilds on
+	// its own.
 	if !inExit(live.LiveIn(exit)) {
-		t.Fatal("ResetSets should rebuild the sets against the edited program")
+		t.Fatal("enumeration should track the instruction edit automatically")
+	}
+	// Reverting the edit moves the epoch again; enumeration follows.
+	exit.RemoveValue(added)
+	if inExit(live.LiveIn(exit)) {
+		t.Fatal("enumeration should track the reverting edit too")
+	}
+	// ResetSets survives as an explicit eager drop and must stay coherent.
+	live.ResetSets()
+	if inExit(live.LiveIn(exit)) {
+		t.Fatal("enumeration after ResetSets should match the current program")
 	}
 }
 
-// ResetSets must also rebuild when the primary backend itself materializes
-// sets (loops/dataflow/...): there the enumeration is served by the
-// analysis result, and only a fresh set analysis can track an edit.
-func TestResetSetsWithSetProducingBackend(t *testing.T) {
+// Automatic rebuild must also fire when the primary backend itself
+// materializes sets (loops/dataflow/...): there the enumeration is served
+// by the analysis result, and only a fresh set analysis can track an
+// edit. The primary query path of such a backend is stale after the edit
+// — Stale must say so.
+func TestEnumerationTracksEditsWithSetProducingBackend(t *testing.T) {
 	f := ir.MustParse(backendLoopSrc)
 	live, err := Analyze(f, Config{Backend: "loops"})
 	if err != nil {
@@ -189,11 +202,42 @@ func TestResetSetsWithSetProducingBackend(t *testing.T) {
 	if inExit(live.LiveIn(exit)) {
 		t.Fatal("the constant one should not be live-in at exit before the edit")
 	}
-	exit.NewValue(ir.OpAdd, one, one)
-	live.ResetSets()
-	if !inExit(live.LiveIn(exit)) {
-		t.Fatal("ResetSets should rebuild enumeration for a set-producing backend")
+	if live.Stale() {
+		t.Fatal("freshly analyzed handle should not be stale")
 	}
+	exit.NewValue(ir.OpAdd, one, one)
+	if !live.Stale() {
+		t.Fatal("an instruction edit must stale a set-producing analysis")
+	}
+	if !inExit(live.LiveIn(exit)) {
+		t.Fatal("enumeration should rebuild against the edited program automatically")
+	}
+}
+
+// Enumeration across a CFG edit must fail closed: the cached sets and
+// the analysis's CFG preparation both describe a CFG that no longer
+// exists, and a silent rebuild from them would stamp wrong answers as
+// fresh. (Engine-held handles never hit this: the engine rebuilds the
+// whole analysis first.)
+func TestEnumerationFailsClosedOnCFGEdit(t *testing.T) {
+	f := ir.MustParse(backendLoopSrc)
+	live, err := Analyze(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit := f.BlockByName("exit")
+	live.LiveIn(exit) // cache the enumeration
+	f.Entry().SplitEdge(0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("LiveIn after a CFG edit should panic instead of answering from the dead CFG")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "CFG edit") {
+			t.Fatalf("panic %v does not name the CFG edit", r)
+		}
+	}()
+	live.LiveIn(exit)
 }
 
 // Querier.Interfere must agree with Liveness.Interfere and be safe for

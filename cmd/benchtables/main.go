@@ -24,6 +24,14 @@
 // checker — plus the recorded allocator query stream replayed per backend,
 // with query counts reported. -regs sets the register budget; -json emits
 // the rows machine-readably like -table backends.
+//
+// -table pipeline runs the full pass pipeline (internal/pipeline:
+// construct -> split critical edges -> destruct -> regalloc, all liveness
+// served by one engine per run) once per backend over identical slot-form
+// clones, reporting end-to-end cost, the staleness-forced engine rebuilds
+// the editing passes caused (0 for the checker — the paper's §4 property
+// measured end to end), per-pass epoch deltas and query counts. -regs
+// sets the base register budget; -json emits rows like the other tables.
 package main
 
 import (
@@ -37,16 +45,16 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table: 1|2|edges|fullprecomp|queries|scaling|engine|backends|regalloc|all")
+	table := flag.String("table", "all", "which table: 1|2|edges|fullprecomp|queries|scaling|engine|backends|regalloc|pipeline|all")
 	limit := flag.Int("limit", 120, "procedures per benchmark (0 = full corpus)")
 	workers := flag.String("workers", "1,2,4,8", "worker counts for -table engine")
 	funcs := flag.Int("funcs", 128, "corpus size for -table engine")
-	jsonOut := flag.Bool("json", false, "emit -table backends|regalloc rows as JSON")
-	regs := flag.Int("regs", 8, "register budget for -table regalloc")
+	jsonOut := flag.Bool("json", false, "emit -table backends|regalloc|pipeline rows as JSON")
+	regs := flag.Int("regs", 8, "register budget for -table regalloc|pipeline")
 	flag.Parse()
 
-	if *jsonOut && *table != "backends" && *table != "regalloc" {
-		fmt.Fprintln(os.Stderr, "-json is only supported with -table backends or -table regalloc")
+	if *jsonOut && *table != "backends" && *table != "regalloc" && *table != "pipeline" {
+		fmt.Fprintln(os.Stderr, "-json is only supported with -table backends, -table regalloc or -table pipeline")
 		os.Exit(2)
 	}
 
@@ -112,6 +120,22 @@ func main() {
 		} else {
 			fmt.Println(bench.RegallocTable(corpora, *regs))
 		}
+	case "pipeline":
+		if *jsonOut {
+			rows, err := bench.MeasurePipeline(*limit, *regs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			out, err := bench.PipelineJSON(rows)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+		} else {
+			fmt.Println(bench.PipelineTable(*limit, *regs))
+		}
 	case "all":
 		fmt.Println(bench.Table1(corpora))
 		fmt.Println(bench.EdgeStats(corpora))
@@ -122,6 +146,7 @@ func main() {
 		fmt.Println(bench.ProgramTable(*funcs, workerCounts, 3))
 		fmt.Println(bench.BackendTable(corpora))
 		fmt.Println(bench.RegallocTable(corpora, *regs))
+		fmt.Println(bench.PipelineTable(*limit, *regs))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)

@@ -36,10 +36,17 @@
 //	-regalloc K   run the SSA register allocator (internal/regalloc) with a
 //	              budget of K registers against the selected backend's
 //	              liveness answers, printing register pressure, spill
-//	              counts and the per-value assignment. With the default
-//	              checker backend the spill loop re-queries the original
-//	              analysis — spill code never edits the CFG; other
-//	              backends re-analyze between spill rounds.
+//	              counts and the per-value assignment. The oracle is
+//	              engine-served and auto-refreshes on the function's edit
+//	              epochs: with the default checker backend the spill loop
+//	              re-queries the original analysis (spill code never edits
+//	              the CFG), other backends transparently re-analyze.
+//	-pipeline     drive every input function through the full pass
+//	              pipeline (internal/pipeline: construct, split critical
+//	              edges, destruct, regalloc with the -regalloc budget or 8)
+//	              against the selected backend, printing the per-pass
+//	              epoch-delta/rebuild/query report. Inputs may be slot
+//	              form; the pipeline constructs SSA itself.
 package main
 
 import (
@@ -56,6 +63,7 @@ import (
 	"fastliveness/internal/cfg"
 	"fastliveness/internal/dom"
 	"fastliveness/internal/ir"
+	"fastliveness/internal/pipeline"
 	"fastliveness/internal/regalloc"
 	"fastliveness/internal/ssa"
 )
@@ -78,6 +86,7 @@ func main() {
 		stat     = flag.Bool("stats", false, "print CFG/analysis statistics")
 		parallel = flag.Int("parallel", 0, "whole-program precompute workers (0 = GOMAXPROCS)")
 		regs     = flag.Int("regalloc", 0, "allocate that many registers and print the assignment (0 = off)")
+		pipe     = flag.Bool("pipeline", false, "run the full pass pipeline and print the per-pass report")
 		queries  queryList
 	)
 	flag.Var(&queries, "q", "query '[in:|out:]%value@block[@func]' (repeatable)")
@@ -89,9 +98,12 @@ func main() {
 	}
 	paths, program, err := programArgs(flag.Args())
 	if err == nil {
-		if program {
+		switch {
+		case *pipe:
+			err = runPipeline(paths, *backendN, *verify, *regs)
+		case program:
 			err = runProgram(paths, *construct, *backendN, *verify, *stat, *parallel, *regs, queries)
-		} else {
+		default:
 			err = run(flag.Arg(0), *construct, *backendN, *verify, *stat, *regs, queries)
 		}
 	}
@@ -131,6 +143,26 @@ func programArgs(args []string) ([]string, bool, error) {
 	return paths, program, nil
 }
 
+// parseFile reads one .ssair file ("-" = stdin) and parses it, wrapping
+// errors with the path. Shared by every mode.
+func parseFile(p string) (*ir.Func, error) {
+	var src []byte
+	var err error
+	if p == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	f, err := ir.Parse(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p, err)
+	}
+	return f, nil
+}
+
 // runProgram is whole-program mode: one function per file, analyzed
 // concurrently by the engine with the selected backend, summarized (or
 // queried) in sorted file order so output is deterministic regardless of
@@ -142,13 +174,9 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 	funcs := make([]*ir.Func, 0, len(paths))
 	byName := make(map[string]*ir.Func, len(paths))
 	for _, p := range paths {
-		src, err := os.ReadFile(p)
+		f, err := parseFile(p)
 		if err != nil {
 			return err
-		}
-		f, err := ir.Parse(string(src))
-		if err != nil {
-			return fmt.Errorf("%s: %w", p, err)
 		}
 		if construct {
 			ssa.Construct(f)
@@ -186,11 +214,11 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 		}
 		if regs > 0 {
 			for _, f := range funcs {
-				live, err := eng.Liveness(f)
+				oracle, err := eng.Oracle(f)
 				if err != nil {
 					return err
 				}
-				if err := printRegalloc(f, live, backendName, regs); err != nil {
+				if err := printRegalloc(f, oracle, regs); err != nil {
 					return err
 				}
 			}
@@ -210,7 +238,11 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 				live.Backend(), live.MemoryBytes())
 		}
 		if regs > 0 {
-			if err := printRegalloc(f, live, backendName, regs); err != nil {
+			oracle, err := eng.Oracle(f)
+			if err != nil {
+				return err
+			}
+			if err := printRegalloc(f, oracle, regs); err != nil {
 				return err
 			}
 		}
@@ -249,17 +281,7 @@ func answerProgram(eng *fastliveness.Engine, byName map[string]*ir.Func, q strin
 }
 
 func run(path string, construct bool, backendName string, verify, stat bool, regs int, queries queryList) error {
-	var src []byte
-	var err error
-	if path == "-" {
-		src, err = io.ReadAll(os.Stdin)
-	} else {
-		src, err = os.ReadFile(path)
-	}
-	if err != nil {
-		return err
-	}
-	f, err := ir.Parse(string(src))
+	f, err := parseFile(path)
 	if err != nil {
 		return err
 	}
@@ -272,7 +294,14 @@ func run(path string, construct bool, backendName string, verify, stat bool, reg
 		}
 	}
 
-	live, err := fastliveness.Analyze(f, fastliveness.Config{Backend: backendName})
+	// One-function engine: the same analysis serves queries, set dumps and
+	// — with -regalloc — the allocator's auto-refreshing oracle, so the
+	// function is analyzed exactly once.
+	eng := fastliveness.NewEngine(fastliveness.EngineConfig{
+		Config: fastliveness.Config{Backend: backendName},
+	})
+	eng.Add(f)
+	live, err := eng.Liveness(f)
 	if err != nil {
 		return err
 	}
@@ -280,6 +309,14 @@ func run(path string, construct bool, backendName string, verify, stat bool, reg
 
 	if stat {
 		printStats(f)
+	}
+
+	regallocPass := func() error {
+		oracle, err := eng.Oracle(f)
+		if err != nil {
+			return err
+		}
+		return printRegalloc(f, oracle, regs)
 	}
 
 	if len(queries) > 0 {
@@ -290,7 +327,7 @@ func run(path string, construct bool, backendName string, verify, stat bool, reg
 			}
 		}
 		if regs > 0 {
-			return printRegalloc(f, live, backendName, regs)
+			return regallocPass()
 		}
 		return nil
 	}
@@ -313,24 +350,55 @@ func run(path string, construct bool, backendName string, verify, stat bool, reg
 			b, strings.Join(ins, " "), strings.Join(outs, " "))
 	}
 	if regs > 0 {
-		return printRegalloc(f, live, backendName, regs)
+		return regallocPass()
 	}
 	return nil
 }
 
-// printRegalloc runs the register allocator against the analysis and
-// prints pressure, spill statistics and the per-value assignment. The
-// checker backend needs no refresh across spill rounds (spill code edits
-// instructions, never the CFG); every other backend re-analyzes.
-func printRegalloc(f *ir.Func, live *fastliveness.Liveness, backendName string, k int) error {
-	p := regalloc.MeasurePressure(f, live)
-	opt := regalloc.Options{}
-	if !live.SurvivesInstructionEdits() {
-		opt.Refresh = func() (regalloc.Oracle, error) {
-			return fastliveness.Analyze(f, fastliveness.Config{Backend: backendName})
-		}
+// runPipeline drives every input function through the default pass chain
+// (internal/pipeline) with one engine on the selected backend, printing
+// the per-pass accounting: which edit class each pass exercised (epoch
+// deltas), how many engine rebuilds its edits forced, and how many
+// liveness queries it issued. Inputs may be slot form — construction is
+// the first pass. Output is deterministic (no timings), so it doubles as
+// the golden-test surface.
+func runPipeline(paths []string, backendName string, verify bool, regs int) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("no .ssair files found")
 	}
-	alloc, err := regalloc.RunOptions(f, live, k, opt)
+	var funcs []*ir.Func
+	for _, p := range paths {
+		f, err := parseFile(p)
+		if err != nil {
+			return err
+		}
+		funcs = append(funcs, f)
+	}
+	rep, err := pipeline.Run(funcs, pipeline.Config{Backend: backendName, Regs: regs, Verify: verify})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "pipeline backend=%s: %d funcs (%d skipped), k=%d, %d stale rebuilds, %d queries\n",
+		rep.Backend, rep.Funcs, rep.Skipped, rep.Regs, rep.Rebuilds, rep.Queries)
+	fmt.Fprintf(stdout, "  %-12s %6s %7s %9s %9s\n", "pass", "dcfg", "dinstr", "rebuilds", "queries")
+	for _, ps := range rep.Passes {
+		fmt.Fprintf(stdout, "  %-12s %6d %7d %9d %9d\n",
+			ps.Pass, ps.CFGEdits, ps.InstrEdits, ps.Rebuilds, ps.Queries)
+	}
+	fmt.Fprintf(stdout, "  %d phis eliminated, %d copies, %d spills (widest budget %d)\n",
+		rep.Phis, rep.Copies, rep.Spills, rep.MaxRegs)
+	return nil
+}
+
+// printRegalloc runs the register allocator against an engine-served
+// oracle and prints pressure, spill statistics and the per-value
+// assignment. The oracle auto-refreshes on the function's edit epochs, so
+// no per-backend refresh wiring exists here: the checker serves every
+// spill round from one precomputation (spill code edits instructions,
+// never the CFG) while set-producing backends transparently re-analyze.
+func printRegalloc(f *ir.Func, oracle *fastliveness.Oracle, k int) error {
+	p := regalloc.MeasurePressure(f, oracle)
+	alloc, err := regalloc.Run(f, oracle, k)
 	if err != nil {
 		return err
 	}

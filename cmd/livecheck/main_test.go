@@ -310,6 +310,58 @@ func TestRunRegallocGoldenPerBackend(t *testing.T) {
 	}
 }
 
+// -pipeline prints the per-pass epoch/rebuild/query report. Decision
+// counters are backend-independent (identical answers drive identical
+// passes); the rebuild column is the asymmetry the report exists to show:
+// 0 for the checker across the whole instruction-editing tail, a fixed
+// positive count for a set-producing backend on the same input.
+func TestRunPipelineReport(t *testing.T) {
+	p := writeTemp(t, loopSrc)
+	got := capture(t, func() error { return runPipeline([]string{p}, "checker", true, 0) })
+	for _, want := range []string{
+		"pipeline backend=checker: 1 funcs (0 skipped), k=8, 0 stale rebuilds",
+		"construct", "split-edges", "destruct", "regalloc",
+		"1 phis eliminated, 1 copies, 0 spills",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("pipeline output missing %q:\n%s", want, got)
+		}
+	}
+	// Same input through a set-producing backend: the destruct pass's copy
+	// insertion and the φ elimination each stale the sets once before the
+	// next query — exactly 2 rebuilds on this function.
+	p2 := writeTemp(t, loopSrc)
+	got2 := capture(t, func() error { return runPipeline([]string{p2}, "dataflow", true, 0) })
+	if !strings.Contains(got2, "pipeline backend=dataflow: 1 funcs (0 skipped), k=8, 2 stale rebuilds") {
+		t.Fatalf("dataflow pipeline should report exactly 2 stale rebuilds:\n%s", got2)
+	}
+}
+
+// -pipeline accepts slot-form inputs: SSA construction is the first pass,
+// and its instruction edits show up in the report.
+func TestRunPipelineSlotForm(t *testing.T) {
+	const slotSrc = `
+func @s() {
+b0:
+  slots 1
+  %c = const 7
+  slotstore 0, %c
+  br b1
+b1:
+  %l = slotload 0
+  ret %l
+}
+`
+	p := writeTemp(t, slotSrc)
+	got := capture(t, func() error { return runPipeline([]string{p}, "checker", true, 0) })
+	if !strings.Contains(got, "pipeline backend=checker: 1 funcs (0 skipped)") {
+		t.Fatalf("slot-form pipeline failed:\n%s", got)
+	}
+	if !strings.Contains(got, "0 stale rebuilds") {
+		t.Fatalf("checker pipeline should not rebuild:\n%s", got)
+	}
+}
+
 // -regalloc composes with -q in whole-program mode too: queries answer
 // first, then each function's assignment prints.
 func TestRunProgramRegallocWithQueries(t *testing.T) {

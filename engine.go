@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fastliveness/internal/backend"
 	"fastliveness/internal/ir"
 )
 
@@ -57,9 +58,10 @@ type Query struct {
 type handle struct {
 	f        *ir.Func
 	live     *Liveness
-	err      error // sticky Analyze failure
+	err      error          // Analyze failure, held until the function is edited again
+	errAt    backend.Epochs // epochs the failure was recorded at
 	building bool
-	gen      int // bumped by Invalidate; in-flight builds from older gens are discarded
+	gen      int // bumped by invalidation; in-flight builds from older gens are discarded
 	elem     *list.Element
 }
 
@@ -68,26 +70,32 @@ type handle struct {
 // Precompute, and queried through per-function Liveness handles or the
 // batched query methods. All methods are safe for concurrent use.
 //
-// The per-function contract carries over, and depends on the configured
-// backend: with the default checker a cached analysis stays valid under
-// any edit that leaves that function's CFG alone and must be dropped with
-// Invalidate only when blocks or edges change; with a set-producing
-// backend ("dataflow", "lao", "pervar", "loops", or "auto" when it picks
-// one) the cached sets describe the program as of analysis time, so any
-// edit to the function — even instruction-only — requires Invalidate.
-// Config.CacheUses sits in between: the checker's precomputation itself
-// still survives instruction edits, but the cached per-variable use-sets
-// describe the def-use chains as of first query, so after editing the uses
-// of an already-queried value either Invalidate the function or call
-// ResetSets on its Liveness handle.
+// Staleness is handled automatically: every cached analysis records the
+// function's edit epochs (ir.Func.CFGEpoch/InstrEpoch), and Liveness
+// re-analyzes exactly when the recorded epochs say an intervening edit
+// invalidated the resident result for the configured backend's
+// invalidation class. With the default checker that means rebuilds happen
+// only after CFG edits — instruction-only edits (spill code, copy
+// insertion, φ elimination) are served by the existing precomputation, the
+// paper's §4 property. With a set-producing backend ("dataflow", "lao",
+// "pervar", "loops", or "auto" when it picks one) any edit triggers a
+// rebuild on the next request. Rebuilds reports how many staleness-forced
+// re-analyses have happened; Invalidate remains as an explicit eager drop
+// but is no longer required for correctness.
+//
+// The one hazard left with the caller is handle lifetime: a *Liveness or
+// Querier obtained before an edit keeps answering against the pre-edit
+// program. Request handles through the engine (or use Oracle, which
+// re-fetches on staleness) instead of holding them across edits.
 type Engine struct {
 	config EngineConfig
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	funcs []*ir.Func // registration order: the deterministic program order
-	index map[*ir.Func]*handle
-	lru   *list.List // resident handles, most recent first
+	mu       sync.Mutex
+	cond     *sync.Cond
+	funcs    []*ir.Func // registration order: the deterministic program order
+	index    map[*ir.Func]*handle
+	lru      *list.List // resident handles, most recent first
+	rebuilds int        // staleness-forced re-analyses (not first builds or eviction refills)
 }
 
 // NewEngine returns an empty engine; register functions with Add.
@@ -185,11 +193,13 @@ func (e *Engine) Precompute() error {
 }
 
 // Liveness returns the analysis for a registered function, building it on
-// demand (and transparently rebuilding after eviction). Concurrent calls
-// for the same function share one build. The returned Liveness stays
-// valid even if the engine later evicts it; as with Analyze, its query
-// methods reuse a scratch buffer, so use NewQuerier (or the engine's batch
-// methods) for concurrent querying.
+// demand (and transparently rebuilding after eviction or after an edit
+// made the resident analysis stale for the configured backend — see the
+// Engine invalidation contract). Concurrent calls for the same function
+// share one build. The returned Liveness stays valid even if the engine
+// later evicts it; as with Analyze, its query methods reuse a scratch
+// buffer, so use NewQuerier (or the engine's batch methods) for concurrent
+// querying.
 func (e *Engine) Liveness(f *ir.Func) (*Liveness, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -200,8 +210,29 @@ func (e *Engine) Liveness(f *ir.Func) (*Liveness, error) {
 	for {
 		switch {
 		case h.err != nil:
+			// A failure describes the function as of the epochs it was
+			// recorded at; once the function is edited again, retry
+			// instead of reporting a verdict about a program that no
+			// longer exists.
+			if h.errAt != backend.EpochsOf(f) {
+				h.err = nil
+				continue
+			}
 			return nil, h.err
 		case h.live != nil:
+			if h.live.Stale() {
+				// An edit invalidated the resident analysis for this
+				// backend's invalidation class: drop it and rebuild.
+				// In-flight builds from before the drop are discarded via
+				// the generation counter, exactly like Invalidate.
+				h.gen++
+				if h.elem != nil {
+					e.lru.Remove(h.elem)
+				}
+				h.live, h.elem = nil, nil
+				e.rebuilds++
+				continue
+			}
 			e.lru.MoveToFront(h.elem)
 			return h.live, nil
 		case !h.building:
@@ -229,6 +260,7 @@ func (e *Engine) build(h *handle) (*Liveness, error) {
 	}
 	h.live, h.err = live, err
 	if err != nil {
+		h.errAt = backend.EpochsOf(h.f)
 		return nil, err
 	}
 	h.elem = e.lru.PushFront(h)
@@ -239,11 +271,12 @@ func (e *Engine) build(h *handle) (*Liveness, error) {
 	return live, nil
 }
 
-// Invalidate drops any cached analysis (and any sticky error) for f: after
-// its CFG changed, or — when the configured backend materializes sets —
-// after any edit to f at all (see the Engine invalidation contract). The
-// next request re-analyzes. Analyses already handed out keep answering
-// against the old program.
+// Invalidate eagerly drops any cached analysis (and any recorded error)
+// for f. Since the engine detects stale analyses from the function's edit
+// epochs and rebuilds on its own, Invalidate is a now-trivial alias for
+// "drop it immediately" — useful to release memory for a function that
+// will not be queried again soon, never required for correctness.
+// Analyses already handed out keep answering against the old program.
 func (e *Engine) Invalidate(f *ir.Func) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -264,6 +297,19 @@ func (e *Engine) Resident() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.lru.Len()
+}
+
+// Rebuilds reports how many re-analyses stale results have forced so far —
+// first builds and refills after LRU eviction or explicit Invalidate do
+// not count. This is the measurable form of the paper's asymmetry: over an
+// instruction-editing pipeline (destruction, the spill loop) a
+// checker-backed engine reports 0 while set-producing backends pay one
+// rebuild per edit-then-query; cmd/benchtables -table pipeline records
+// exactly this per backend.
+func (e *Engine) Rebuilds() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rebuilds
 }
 
 // BackendStats summarizes the resident analyses served by one backend.
@@ -320,6 +366,69 @@ func (e *Engine) BatchIsLiveIn(f *ir.Func, queries []Query) ([]bool, error) {
 // BatchIsLiveOut is BatchIsLiveIn for live-out queries.
 func (e *Engine) BatchIsLiveOut(f *ir.Func, queries []Query) ([]bool, error) {
 	return e.batch(f, queries, (*Querier).IsLiveOut)
+}
+
+// Oracle is an auto-refreshing query handle bound to one registered
+// function: every query first checks the epochs its current analysis was
+// computed at and transparently re-fetches through the engine (which
+// rebuilds stale analyses) when an edit invalidated it. It satisfies the
+// liveness-oracle shapes of internal/regalloc and internal/destruct, so
+// editing passes run against any backend with no manual refresh hooks —
+// rebuild policy lives in the epochs, not at the call sites.
+//
+// An Oracle owns its Querier (scratch buffers and, with Config.CacheUses,
+// a use-set cache); like the function it queries, it is single-goroutine.
+// Create one per goroutine.
+type Oracle struct {
+	e    *Engine
+	f    *ir.Func
+	live *Liveness
+	qr   *Querier
+}
+
+// Oracle returns an auto-refreshing query handle for a registered
+// function, analyzing it first if needed.
+func (e *Engine) Oracle(f *ir.Func) (*Oracle, error) {
+	live, err := e.Liveness(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Oracle{e: e, f: f, live: live, qr: live.NewQuerier()}, nil
+}
+
+// ensure re-fetches the analysis when the held one went stale. Re-analysis
+// can fail — an edit broke the function structurally, or a CFG edit made
+// it irreducible under the loops backend — and the query methods have no
+// error channel, so the oracle fails closed with a panic rather than
+// answering from a dead analysis. Callers that edit CFGs under a
+// reducibility-limited backend must re-request oracles through
+// Engine.Oracle, where the error is returnable.
+func (o *Oracle) ensure() *Querier {
+	if o.live.Stale() {
+		live, err := o.e.Liveness(o.f)
+		if err != nil {
+			panic(fmt.Sprintf("fastliveness: oracle re-analysis of %s after edit: %v", o.f.Name, err))
+		}
+		o.live = live
+		o.qr = live.NewQuerier()
+	}
+	return o.qr
+}
+
+// IsLiveIn answers against the current program, re-analyzing first if an
+// edit made the held analysis stale.
+func (o *Oracle) IsLiveIn(v *ir.Value, b *ir.Block) bool { return o.ensure().IsLiveIn(v, b) }
+
+// IsLiveOut is IsLiveIn for live-out queries.
+func (o *Oracle) IsLiveOut(v *ir.Value, b *ir.Block) bool { return o.ensure().IsLiveOut(v, b) }
+
+// Interfere is the Budimlić interference test against the current program.
+func (o *Oracle) Interfere(x, y *ir.Value) bool { return o.ensure().Interfere(x, y) }
+
+// Liveness returns the underlying analysis handle, refreshed if stale.
+func (o *Oracle) Liveness() *Liveness {
+	o.ensure()
+	return o.live
 }
 
 func (e *Engine) batch(f *ir.Func, queries []Query, ask func(*Querier, *ir.Value, *ir.Block) bool) ([]bool, error) {

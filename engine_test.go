@@ -268,6 +268,171 @@ func TestEngineConcurrentStress(t *testing.T) {
 	}
 }
 
+// The engine must notice a CFG edit on its own: the next Liveness request
+// sees the stale epochs, rebuilds, counts the rebuild, and answers against
+// the edited program — no Invalidate call anywhere.
+func TestEngineAutoRebuildAfterCFGEdit(t *testing.T) {
+	funcs := engineCorpus(t, 2, 77)
+	f := funcs[0]
+	e, err := AnalyzeProgram(funcs, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := e.Liveness(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Entry().SplitEdge(0)
+	if !before.Stale() {
+		t.Fatal("handle should read as stale after a CFG edit")
+	}
+	after, err := e.Liveness(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == before {
+		t.Fatal("engine served the stale analysis after a CFG edit")
+	}
+	if after.Stale() {
+		t.Fatal("rebuilt analysis should be fresh")
+	}
+	if got := e.Rebuilds(); got != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", got)
+	}
+	// The untouched sibling stays resident and unrebuilt.
+	if got := e.Resident(); got != 2 {
+		t.Fatalf("Resident = %d, want 2", got)
+	}
+	ref, err := Analyze(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range f.Blocks {
+		f.Values(func(v *ir.Value) {
+			if !v.Op.HasResult() {
+				return
+			}
+			if after.IsLiveIn(v, b) != ref.IsLiveIn(v, b) {
+				t.Fatalf("rebuilt analysis disagrees with fresh at live-in(%s, %s)", v, b)
+			}
+		})
+	}
+}
+
+// Instruction-only edits must NOT trigger engine rebuilds with the
+// checker (the paper's property, engine-level), and must trigger exactly
+// one with a set-producing backend.
+func TestEngineRebuildPolicyPerBackend(t *testing.T) {
+	for _, tc := range []struct {
+		backend      string
+		wantRebuilds int
+	}{
+		{"", 0}, // checker
+		{"dataflow", 1},
+	} {
+		funcs := engineCorpus(t, 1, 99)
+		f := funcs[0]
+		e, err := AnalyzeProgram(funcs, EngineConfig{Config: Config{Backend: tc.backend}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := e.Liveness(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Instruction edit: a fresh use of some value in its own block.
+		var v *ir.Value
+		f.Values(func(x *ir.Value) {
+			if v == nil && x.Op.HasResult() {
+				v = x
+			}
+		})
+		v.Block.NewValue(ir.OpNeg, v)
+		after, err := e.Liveness(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Rebuilds(); got != tc.wantRebuilds {
+			t.Fatalf("backend %q: Rebuilds = %d after instruction edit, want %d", tc.backend, got, tc.wantRebuilds)
+		}
+		if (after == before) != (tc.wantRebuilds == 0) {
+			t.Fatalf("backend %q: handle identity does not match rebuild expectation", tc.backend)
+		}
+	}
+}
+
+// An analysis error must not outlive the program state it described: once
+// the function is edited, the engine retries instead of serving the old
+// verdict.
+func TestEngineErrorClearedByEdit(t *testing.T) {
+	bad := ir.NewFunc("fixme")
+	entry := bad.NewBlock(ir.BlockPlain) // plain block with no successor: malformed
+	ret := bad.NewBlock(ir.BlockRet)
+	e := NewEngine(EngineConfig{})
+	e.Add(bad)
+	if _, err := e.Liveness(bad); err == nil {
+		t.Fatal("malformed function should fail analysis")
+	}
+	if _, err := e.Liveness(bad); err == nil {
+		t.Fatal("failure should persist while the function is unedited")
+	}
+	entry.AddEdgeTo(ret) // fix it (a CFG edit: epochs move)
+	if _, err := e.Liveness(bad); err != nil {
+		t.Fatalf("edited-and-fixed function should analyze: %v", err)
+	}
+}
+
+// Engine.Oracle must keep answering correctly across both edit classes:
+// instruction edits are visible with zero rebuilds (checker), CFG edits
+// force exactly one transparent rebuild.
+func TestEngineOracleTracksEdits(t *testing.T) {
+	f := ir.MustParse(`
+func @loop(%n) {
+entry:
+  %zero = const 0
+  %one = const 1
+  br head
+head:
+  %i = phi [%zero, entry], [%inext, body]
+  %cmp = cmplt %i, %n
+  if %cmp -> body, exit
+body:
+  %inext = add %i, %one
+  br head
+exit:
+  ret %i
+}
+`)
+	e, err := AnalyzeProgram([]*ir.Func{f}, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := e.Oracle(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, exit := f.ValueByName("one"), f.BlockByName("exit")
+	if oracle.IsLiveIn(one, exit) {
+		t.Fatal("unexpected live-in before the edit")
+	}
+	// Instruction edit: the same precomputation answers, and sees it.
+	exit.NewValue(ir.OpAdd, one, one)
+	if !oracle.IsLiveIn(one, exit) {
+		t.Fatal("oracle should see the new use")
+	}
+	if got := e.Rebuilds(); got != 0 {
+		t.Fatalf("Rebuilds = %d after instruction edit with checker, want 0", got)
+	}
+	// CFG edit: transparent re-fetch through the engine.
+	f.Entry().SplitEdge(0)
+	if !oracle.IsLiveIn(one, exit) {
+		t.Fatal("oracle should keep answering after the CFG edit")
+	}
+	if got := e.Rebuilds(); got != 1 {
+		t.Fatalf("Rebuilds = %d after CFG edit, want 1", got)
+	}
+}
+
 // TestEngineSharedBuildSingleFlight checks that concurrent first requests
 // for one function share a single Analyze (same returned pointer).
 func TestEngineSharedBuildSingleFlight(t *testing.T) {

@@ -70,12 +70,17 @@ func main() {
 	}
 
 	// Now starve it. The spill loop edits the program (stores, reloads,
-	// rematerialized constants) and rescans — with the checker oracle no
-	// Refresh hook is needed, the paper's headline property at work.
+	// rematerialized constants) and rescans — the edits bump the
+	// function's InstrEpoch, but the checker's CFG-only precomputation is
+	// not invalidated by that epoch, so the same handle keeps answering:
+	// the paper's headline property, now checkable via Stale().
 	k := 3
 	alloc, err = regalloc.Run(f, live, k)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if live.Stale() {
+		log.Fatal("checker analysis must survive instruction-only spill edits")
 	}
 	fmt.Printf("\nk=%d: %d registers used, %d spills (%d stores, %d reloads, %d remats), %d rounds\n",
 		k, alloc.NumRegs, alloc.Stats.Spills,

@@ -68,14 +68,14 @@ type Config struct {
 	// a single word-loop intersection R_t ∩ uses(a) instead of re-walking
 	// the def-use chain. Steady-state queries allocate nothing.
 	//
-	// The trade-off is a weakened edit contract: a cached entry describes
-	// the variable's uses as of when it was built, so after adding or
-	// removing uses of an already-queried value, call ResetSets (which
-	// also flushes these caches, including every Querier's) or re-Analyze.
-	// Values first queried after an edit simply build fresh entries. Leave
-	// false (the default) for the paper's contract — uses read fresh at
-	// query time, instruction edits never invalidate anything. Ignored by
-	// non-checker backends.
+	// Cache invalidation rides the IR's instruction epoch
+	// (ir.Func.InstrEpoch): a cached entry is keyed by the epoch it was
+	// built at, so any instruction edit makes every handle's entries lazily
+	// rebuild on next query — answers track edits automatically, matching
+	// the default fresh-read path. The residual trade-off against the
+	// default is rebuild cost under churn: an edit flushes all entries,
+	// so edit-heavy query streams re-pay the cache fill, where the
+	// fresh-read path pays nothing. Ignored by non-checker backends.
 	CacheUses bool
 	// Backend names the liveness engine serving the queries: one of
 	// Backends() — "checker" (the paper's R/T checker, the default),
@@ -105,13 +105,13 @@ type Liveness struct {
 	scratch []int
 	// cacheUses routes checker queries through uc (Config.CacheUses).
 	cacheUses bool
-	// epoch versions the use-set caches: ResetSets bumps it, and every
-	// handle's cache (this Liveness's uc and each Querier's) lazily
-	// flushes when its recorded epoch falls behind. Atomic because
-	// ResetSets on the owning handle must be visible to concurrently
-	// reading Queriers.
-	epoch atomic.Uint64
-	uc    useCache
+	// flushes counts manual ResetSets calls. The use-set caches are
+	// versioned by f.InstrEpoch() + flushes: any instruction edit — or an
+	// explicit ResetSets — lazily flushes every handle's cache (this
+	// Liveness's uc and each Querier's). Atomic because ResetSets on the
+	// owning handle must be visible to concurrently reading Queriers.
+	flushes atomic.Uint64
+	uc      useCache
 	// enum is the lazily built set-producing result behind LiveIn/LiveOut;
 	// enumStale (set by ResetSets) forces the rebuild through a fresh set
 	// analysis even when res itself materializes sets. enumMu guards both:
@@ -166,12 +166,14 @@ func Analyze(f *ir.Func, config Config) (*Liveness, error) {
 // useCache memoizes one bitset of use positions per value ID for the
 // checker's set query path (Config.CacheUses). A cache belongs to exactly
 // one query handle — the Liveness or one Querier — so reads and writes
-// need no locking; staleness after ResetSets is detected per entry
-// through the shared epoch, and a stale entry's bitset is refilled in
-// place rather than reallocated.
+// need no locking; staleness is detected per entry through the function's
+// instruction epoch (plus the manual-flush counter), and a stale entry's
+// bitset is refilled in place rather than reallocated. Instruction edits
+// thereby invalidate cached use-sets automatically — no reset call in the
+// edit-then-query path.
 type useCache struct {
 	sets   []*bitset.Set // by value ID
-	stamps []uint64      // sets[i] is current iff stamps[i] == epoch+1
+	stamps []uint64      // sets[i] is current iff stamps[i] == instrEpoch+flushes+1
 }
 
 // get returns the cached use-set for v, building it on first request per
@@ -179,8 +181,9 @@ type useCache struct {
 // is the owning handle's node buffer.
 func (uc *useCache) get(l *Liveness, scratch *[]int, v *ir.Value) *bitset.Set {
 	// Stamps record epoch+1 so the zero value means "never built" even at
-	// epoch 0.
-	want := l.epoch.Load() + 1
+	// epoch 0. Both summands only grow, so a stamp can never read as
+	// current after either an edit or a flush.
+	want := l.f.InstrEpoch() + l.flushes.Load() + 1
 	if v.ID >= len(uc.sets) {
 		n := v.ID + 1
 		if n < 2*len(uc.sets) {
@@ -239,20 +242,34 @@ func (l *Liveness) IsLiveOut(v *ir.Value, b *ir.Block) bool {
 }
 
 // sets returns the set-producing result behind LiveIn/LiveOut: the
-// analysis itself when it already materializes sets (and no ResetSets has
-// intervened), else the cheapest set-producing backend for this CFG
-// (loop-forest where reducible, iterative data-flow otherwise), built once
-// and cached.
+// analysis itself when it already materializes sets (and is still fresh),
+// else the cheapest set-producing backend for this CFG (loop-forest where
+// reducible, iterative data-flow otherwise), built once and cached until
+// the function's epochs say it is stale — enumeration after an
+// instruction edit transparently re-analyzes, no ResetSets required.
 func (l *Liveness) sets() backend.Result {
 	l.enumMu.Lock()
+	if l.enum != nil && backend.Stale(l.enum, l.f) {
+		// The cached enumeration describes an earlier epoch; rebuild.
+		l.enum = nil
+		l.enumStale = true
+	}
 	enum, stale := l.enum, l.enumStale
 	l.enumMu.Unlock()
 	if enum != nil {
 		return enum
 	}
+	// A rebuild reuses the CFG preparation from Analyze time, which is
+	// only sound while the CFG is unchanged. A CFG edit therefore fails
+	// closed here rather than certifying sets computed over a dead CFG as
+	// fresh — the same contract as every query path, but checked.
+	if l.f.CFGEpoch() != l.res.Epochs().CFG {
+		panic("fastliveness: LiveIn/LiveOut after a CFG edit: the analysis no longer describes " +
+			l.f.Name + "; re-Analyze, or hold the handle through an Engine, which rebuilds automatically")
+	}
 	// Build outside the lock: enumMu only guards the pointer, so an Engine
 	// reporting MemoryBytes never stalls behind a set analysis in flight.
-	if !stale && l.res.Invalidation() == backend.InvalidatedByAnyEdit {
+	if !stale && l.res.Invalidation() == backend.InvalidatedByAnyEdit && !backend.Stale(l.res, l.f) {
 		enum = l.res
 	} else {
 		e, err := backend.AnalyzeSets(l.f, l.prep)
@@ -275,30 +292,43 @@ func (l *Liveness) sets() backend.Result {
 
 // LiveIn enumerates the variables live-in at b. It delegates to a
 // set-producing backend (built lazily on first call and cached) instead of
-// issuing one checker query per value. Unlike IsLiveIn, the cached sets
-// describe the program as of the first enumeration: after adding or
-// removing instructions, call ResetSets (or re-Analyze) before enumerating
-// again.
+// issuing one checker query per value. The cached sets are keyed by the
+// function's edit epochs: enumeration after an instruction edit rebuilds
+// them transparently, so the answers always describe the current program.
+// A CFG edit still requires a re-Analyze, as for every query path — a
+// rebuild attempted across one panics instead of answering from the dead
+// CFG.
 func (l *Liveness) LiveIn(b *ir.Block) []*ir.Value { return l.sets().LiveInSet(b) }
 
-// LiveOut enumerates the variables live-out at b; see LiveIn's caveats.
+// LiveOut enumerates the variables live-out at b; see LiveIn.
 func (l *Liveness) LiveOut(b *ir.Block) []*ir.Value { return l.sets().LiveOutSet(b) }
 
-// ResetSets drops every derived cache that describes the program as of an
-// earlier read: the enumeration sets behind LiveIn/LiveOut (for every
-// backend, including set-producing ones, where the rebuild runs through a
-// fresh set analysis) and — when Config.CacheUses is on — the per-variable
-// use-sets of this handle and of every Querier, via an epoch bump. Default
-// checker-backed queries (IsLiveIn/IsLiveOut without CacheUses) never need
-// this; with a set-producing Config.Backend the queries themselves also
-// describe the pre-edit program, and only re-Analyze refreshes them.
+// ResetSets eagerly drops every derived cache: the enumeration sets behind
+// LiveIn/LiveOut and — when Config.CacheUses is on — the per-variable
+// use-sets of this handle and of every Querier, via a flush-counter bump.
+//
+// Since edit tracking moved into the IR (ir.Func.InstrEpoch), both caches
+// detect instruction edits on their own and rebuild lazily, so ResetSets
+// is never required for correctness; it survives as an explicit
+// cache-drop for callers that want to release or rebuild derived state at
+// a moment of their choosing. With a set-producing Config.Backend the
+// primary query path also describes the pre-edit program, and Stale/
+// re-Analyze (or the Engine's automatic rebuild) refreshes it.
 func (l *Liveness) ResetSets() {
 	l.enumMu.Lock()
 	l.enum = nil
 	l.enumStale = true
 	l.enumMu.Unlock()
-	l.epoch.Add(1)
+	l.flushes.Add(1)
 }
+
+// Stale reports whether this analysis no longer describes its function,
+// per the backend's invalidation class: any CFG edit since Analyze stales
+// every backend, an instruction edit only the set-producing ones — the
+// checker handle stays fresh, the paper's §4 property as a runtime check.
+// The Engine uses this to rebuild exactly the analyses that edits actually
+// killed.
+func (l *Liveness) Stale() bool { return backend.Stale(l.res, l.f) }
 
 // Interfere reports whether the live ranges of x and y overlap, using the
 // SSA interference test of Budimlić et al. that the paper's evaluation is

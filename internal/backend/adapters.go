@@ -45,13 +45,18 @@ type CheckerResult struct {
 	prep    *Prep
 	checker *core.Checker
 	scratch []int
+	epochs  Epochs
 }
 
 // NewCheckerResult runs the R/T precomputation against p with explicit
 // checker options (strategies and ablations); the registry's "checker"
 // backend uses the paper's default options.
 func NewCheckerResult(p *Prep, opts core.Options) *CheckerResult {
-	return &CheckerResult{prep: p, checker: core.NewFrom(p.Graph, p.DFS, p.Tree, opts)}
+	return &CheckerResult{
+		prep:    p,
+		checker: core.NewFrom(p.Graph, p.DFS, p.Tree, opts),
+		epochs:  EpochsOf(p.F),
+	}
 }
 
 // Checker exposes the underlying core checker.
@@ -93,6 +98,9 @@ func (r *CheckerResult) MemoryBytes() int { return r.checker.MemoryBytes() }
 // Invalidation implements Result: only CFG edits invalidate R/T sets.
 func (r *CheckerResult) Invalidation() Invalidation { return InvalidatedByCFGChanges }
 
+// Epochs implements Result.
+func (r *CheckerResult) Epochs() Epochs { return r.epochs }
+
 // Backend implements Result.
 func (r *CheckerResult) Backend() string { return "checker" }
 
@@ -122,10 +130,11 @@ type setsResult struct {
 	liveInIDs, liveOutIDs func(*ir.Block) []int
 	memoryBytes           int
 	valByID               []*ir.Value
+	epochs                Epochs
 }
 
 func newSetsResult(name string, f *ir.Func) *setsResult {
-	r := &setsResult{name: name, f: f, valByID: make([]*ir.Value, f.NumValues())}
+	r := &setsResult{name: name, f: f, valByID: make([]*ir.Value, f.NumValues()), epochs: EpochsOf(f)}
 	f.Values(func(v *ir.Value) { r.valByID[v.ID] = v })
 	return r
 }
@@ -156,6 +165,7 @@ func (r *setsResult) fromIDs(b *ir.Block, ids func(*ir.Block) []int, live func(*
 
 func (r *setsResult) MemoryBytes() int           { return r.memoryBytes }
 func (r *setsResult) Invalidation() Invalidation { return InvalidatedByAnyEdit }
+func (r *setsResult) Epochs() Epochs             { return r.epochs }
 func (r *setsResult) Backend() string            { return r.name }
 
 // ---- dataflow: textbook iterative bit-vector solver ----

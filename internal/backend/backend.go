@@ -74,6 +74,10 @@ type Result interface {
 	MemoryBytes() int
 	// Invalidation reports which program edits invalidate this result.
 	Invalidation() Invalidation
+	// Epochs reports the function edit epochs this result was computed
+	// at; Stale compares them against the live function under the
+	// result's Invalidation class.
+	Epochs() Epochs
 	// Backend names the backend that produced this result. For the
 	// adaptive backend this is the name of the engine it selected.
 	Backend() string

@@ -1,0 +1,158 @@
+package backend
+
+import (
+	"fmt"
+
+	"fastliveness/internal/ir"
+)
+
+// Epochs is a snapshot of a function's two edit counters (ir.Func.CFGEpoch
+// and InstrEpoch). Every Result records the snapshot it was computed at;
+// comparing it against the function's current counters — through Stale —
+// turns the invalidation contract each backend declares (Invalidation)
+// into a runtime-checkable property instead of prose.
+type Epochs struct {
+	// CFG is the block/edge edit counter at analysis time.
+	CFG uint64
+	// Instr is the instruction edit counter at analysis time.
+	Instr uint64
+}
+
+// EpochsOf snapshots f's current edit counters.
+func EpochsOf(f *ir.Func) Epochs {
+	return Epochs{CFG: f.CFGEpoch(), Instr: f.InstrEpoch()}
+}
+
+// Stale reports whether r no longer describes f, per r's declared
+// invalidation class: a CFG edit since analysis stales every result; an
+// instruction edit stales only results invalidated by any edit
+// (materialized sets). The checker's CFG-only precomputation therefore
+// reads as fresh across instruction edits — the paper's §4 property as a
+// counter comparison, O(1) per check.
+//
+// r must have been computed for f (results do not record which function
+// they analyzed beyond the epochs; callers pair them).
+func Stale(r Result, f *ir.Func) bool {
+	e := r.Epochs()
+	if e.CFG != f.CFGEpoch() {
+		return true
+	}
+	return r.Invalidation() == InvalidatedByAnyEdit && e.Instr != f.InstrEpoch()
+}
+
+// Checked wraps r in fail-closed staleness checking against f: every query
+// or enumeration first runs Stale and panics when the result no longer
+// describes the function. It is the debug-mode companion of the engine's
+// transparent-rebuild path — tests and paranoid callers wrap analyses so a
+// query against a dead analysis becomes a loud failure instead of a
+// silently wrong answer.
+func Checked(r Result, f *ir.Func) Result {
+	return &checkedResult{r: r, f: f}
+}
+
+type checkedResult struct {
+	r Result
+	f *ir.Func
+}
+
+func (c *checkedResult) guard() {
+	if Stale(c.r, c.f) {
+		rec, now := c.r.Epochs(), EpochsOf(c.f)
+		panic(fmt.Sprintf(
+			"backend: stale %s result for %s: computed at epochs cfg=%d/instr=%d, function now at cfg=%d/instr=%d (invalidation class %s)",
+			c.r.Backend(), c.f.Name, rec.CFG, rec.Instr, now.CFG, now.Instr, c.r.Invalidation()))
+	}
+}
+
+func (c *checkedResult) IsLiveIn(v *ir.Value, b *ir.Block) bool {
+	c.guard()
+	return c.r.IsLiveIn(v, b)
+}
+
+func (c *checkedResult) IsLiveOut(v *ir.Value, b *ir.Block) bool {
+	c.guard()
+	return c.r.IsLiveOut(v, b)
+}
+
+func (c *checkedResult) LiveInSet(b *ir.Block) []*ir.Value {
+	c.guard()
+	return c.r.LiveInSet(b)
+}
+
+func (c *checkedResult) LiveOutSet(b *ir.Block) []*ir.Value {
+	c.guard()
+	return c.r.LiveOutSet(b)
+}
+
+func (c *checkedResult) MemoryBytes() int           { return c.r.MemoryBytes() }
+func (c *checkedResult) Invalidation() Invalidation { return c.r.Invalidation() }
+func (c *checkedResult) Backend() string            { return c.r.Backend() }
+func (c *checkedResult) Epochs() Epochs             { return c.r.Epochs() }
+
+// Refreshing is a self-rebuilding analysis handle: it owns a Result for f
+// and transparently re-runs its backend whenever the function's epochs say
+// the current result is stale for its invalidation class. This is the
+// paper's robustness asymmetry as a policy object — with the checker it
+// never rebuilds across instruction edits, with a set-producing backend it
+// re-analyzes exactly as often as the edits demand, and Rebuilds reports
+// the difference. It satisfies Result and thereby the regalloc/destruct
+// Oracle shapes, which is how those passes run against any backend with no
+// manual refresh hooks.
+//
+// Like the IR itself, a Refreshing handle is single-goroutine: rebuilds
+// mutate the handle.
+type Refreshing struct {
+	b        Backend
+	f        *ir.Func
+	res      Result
+	rebuilds int
+}
+
+// NewRefreshing analyzes f with b and returns the self-rebuilding handle.
+func NewRefreshing(b Backend, f *ir.Func) (*Refreshing, error) {
+	res, err := b.Analyze(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Refreshing{b: b, f: f, res: res}, nil
+}
+
+// ensure re-analyzes when stale. Re-analysis can fail — an edit broke the
+// function structurally, or a CFG edit made it irreducible under a
+// reducibility-limited backend — and the Result query methods have no
+// error channel, so the handle fails closed with a panic (like Prep.Node
+// and Checked) rather than answering from a dead analysis. Callers
+// editing CFGs under such a backend should re-run NewRefreshing, where
+// the error is returnable.
+func (r *Refreshing) ensure() Result {
+	if Stale(r.res, r.f) {
+		res, err := r.b.Analyze(r.f)
+		if err != nil {
+			panic(fmt.Sprintf("backend: re-analysis of %s with %s after edit: %v", r.f.Name, r.b.Name(), err))
+		}
+		r.res = res
+		r.rebuilds++
+	}
+	return r.res
+}
+
+// Rebuilds reports how many re-analyses staleness has forced so far.
+func (r *Refreshing) Rebuilds() int { return r.rebuilds }
+
+// Result returns the current (fresh) underlying result, rebuilding first
+// if needed.
+func (r *Refreshing) Result() Result { return r.ensure() }
+
+// Every Result method refreshes first, the metadata accessors included:
+// a Refreshing handle is never stale (Epochs reports post-refresh
+// counters, so Stale and the Checked wrapper compose with it), and with
+// the "auto" backend a rebuild may select a different engine, which
+// Backend/Invalidation/MemoryBytes must reflect.
+func (r *Refreshing) IsLiveIn(v *ir.Value, b *ir.Block) bool  { return r.ensure().IsLiveIn(v, b) }
+func (r *Refreshing) IsLiveOut(v *ir.Value, b *ir.Block) bool { return r.ensure().IsLiveOut(v, b) }
+func (r *Refreshing) LiveInSet(b *ir.Block) []*ir.Value       { return r.ensure().LiveInSet(b) }
+func (r *Refreshing) LiveOutSet(b *ir.Block) []*ir.Value      { return r.ensure().LiveOutSet(b) }
+func (r *Refreshing) MemoryBytes() int                        { return r.ensure().MemoryBytes() }
+func (r *Refreshing) Invalidation() Invalidation              { return r.ensure().Invalidation() }
+func (r *Refreshing) Backend() string                         { return r.ensure().Backend() }
+func (r *Refreshing) Epochs() Epochs                          { return r.ensure().Epochs() }

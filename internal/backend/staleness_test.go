@@ -1,0 +1,200 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"fastliveness/internal/ir"
+)
+
+const stalenessSrc = `
+func @loop(%n) {
+entry:
+  %zero = const 0
+  %one = const 1
+  br head
+head:
+  %i = phi [%zero, entry], [%inext, body]
+  %cmp = cmplt %i, %n
+  if %cmp -> body, exit
+body:
+  %inext = add %i, %one
+  br head
+exit:
+  ret %i
+}
+`
+
+// analyzeAll runs every registered backend on f, skipping none (the test
+// program is reducible, so the loops engine applies too).
+func analyzeAll(t *testing.T, f *ir.Func) map[string]Result {
+	t.Helper()
+	out := map[string]Result{}
+	for _, name := range Names() {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Analyze(f)
+		if err != nil {
+			t.Fatalf("backend %s: %v", name, err)
+		}
+		out[name] = res
+	}
+	return out
+}
+
+// Every Result must record the epochs it was computed at, and Stale must
+// apply the result's invalidation class: instruction edits stale exactly
+// the set-producing results, CFG edits stale everything.
+func TestStalePerInvalidationClass(t *testing.T) {
+	f := ir.MustParse(stalenessSrc)
+	results := analyzeAll(t, f)
+	for name, res := range results {
+		if res.Epochs() != EpochsOf(f) {
+			t.Errorf("backend %s: recorded epochs %+v, function at %+v", name, res.Epochs(), EpochsOf(f))
+		}
+		if Stale(res, f) {
+			t.Errorf("backend %s: fresh result reads as stale", name)
+		}
+	}
+
+	// Instruction-only edit: a new use of %one in exit.
+	one, exit := f.ValueByName("one"), f.BlockByName("exit")
+	exit.NewValue(ir.OpAdd, one, one)
+	for name, res := range results {
+		wantStale := res.Invalidation() == InvalidatedByAnyEdit
+		if got := Stale(res, f); got != wantStale {
+			t.Errorf("backend %s (%s) after instruction edit: Stale = %v, want %v",
+				name, res.Invalidation(), got, wantStale)
+		}
+	}
+
+	// CFG edit: split an edge. Now everything is stale, checker included.
+	f.Entry().SplitEdge(0)
+	for name, res := range results {
+		if !Stale(res, f) {
+			t.Errorf("backend %s: not stale after a CFG edit", name)
+		}
+	}
+}
+
+// The fail-closed debug wrapper must answer normally while fresh and
+// panic on the first query after an edit of the invalidating class.
+func TestCheckedFailsClosed(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			f := ir.MustParse(stalenessSrc)
+			b, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := b.Analyze(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked := Checked(res, f)
+			one, exit := f.ValueByName("one"), f.BlockByName("exit")
+			if checked.IsLiveIn(one, exit) {
+				t.Fatal("unexpected live-in answer on the fresh program")
+			}
+
+			// Instruction edit: the checker-backed wrapper keeps serving
+			// (and sees the new use); set-producing wrappers fail closed.
+			exit.NewValue(ir.OpAdd, one, one)
+			if res.Invalidation() == InvalidatedByCFGChanges {
+				if !checked.IsLiveIn(one, exit) {
+					t.Fatal("checker-backed Checked should survive the instruction edit and see the new use")
+				}
+			} else {
+				mustPanicStale(t, "instruction edit", func() { checked.IsLiveIn(one, exit) })
+			}
+
+			// CFG edit: every backend's wrapper fails closed, on queries
+			// and set enumeration alike.
+			f.Entry().SplitEdge(0)
+			mustPanicStale(t, "CFG edit", func() { checked.IsLiveOut(one, exit) })
+			mustPanicStale(t, "CFG edit", func() { checked.LiveInSet(exit) })
+		})
+	}
+}
+
+func mustPanicStale(t *testing.T, stage string, query func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s: stale query did not panic", stage)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "stale") {
+			t.Fatalf("%s: panic %v does not name staleness", stage, r)
+		}
+	}()
+	query()
+}
+
+// A Refreshing handle is never stale: its metadata accessors refresh
+// first, so Stale reports false across edits and the Checked wrapper
+// composes with it instead of panicking on a result the handle would
+// have refreshed anyway.
+func TestRefreshingComposesWithChecked(t *testing.T) {
+	f := ir.MustParse(stalenessSrc)
+	db, err := Get("dataflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewRefreshing(db, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := Checked(fresh, f)
+	one, exit := f.ValueByName("one"), f.BlockByName("exit")
+	exit.NewValue(ir.OpAdd, one, one)
+	if Stale(fresh, f) {
+		t.Fatal("a self-refreshing handle should never read as stale")
+	}
+	if !checked.IsLiveIn(one, exit) {
+		t.Fatal("Checked∘Refreshing should answer against the edited program")
+	}
+}
+
+// Refreshing must rebuild exactly when its backend's invalidation class
+// demands: never for the checker across instruction edits, once per
+// edit-then-query for a set-producing backend — and the refreshed answers
+// must track the edit.
+func TestRefreshingRebuildPolicy(t *testing.T) {
+	for _, name := range []string{"checker", "dataflow"} {
+		t.Run(name, func(t *testing.T) {
+			f := ir.MustParse(stalenessSrc)
+			b, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := NewRefreshing(b, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			one, exit := f.ValueByName("one"), f.BlockByName("exit")
+			if fresh.IsLiveIn(one, exit) {
+				t.Fatal("unexpected live-in before the edit")
+			}
+			exit.NewValue(ir.OpAdd, one, one)
+			if !fresh.IsLiveIn(one, exit) {
+				t.Fatal("refreshing oracle should see the new use")
+			}
+			wantRebuilds := 0
+			if name == "dataflow" {
+				wantRebuilds = 1
+			}
+			if got := fresh.Rebuilds(); got != wantRebuilds {
+				t.Fatalf("Rebuilds = %d after one instruction edit, want %d", got, wantRebuilds)
+			}
+			// Repeat queries without further edits: no extra rebuilds.
+			fresh.IsLiveOut(one, exit)
+			fresh.LiveOutSet(exit)
+			if got := fresh.Rebuilds(); got != wantRebuilds {
+				t.Fatalf("Rebuilds = %d after quiescent queries, want %d", got, wantRebuilds)
+			}
+		})
+	}
+}

@@ -202,3 +202,74 @@ func TestMeasureRegalloc(t *testing.T) {
 		}
 	}
 }
+
+// TestMeasurePipelineShape covers the end-to-end pipeline table: every
+// backend appears, identical decision counters across backends (identical
+// answers drive identical passes), the checker completes the whole
+// instruction-editing tail with zero rebuilds while edit-invalidated
+// backends pay at least one per edited proc, and both emitters render.
+func TestMeasurePipelineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline sweep in -short mode")
+	}
+	rows, err := MeasurePipeline(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]PipelineRow{}
+	for _, r := range rows {
+		names[r.Name] = r
+		if r.Procs == 0 && r.Skipped == 0 {
+			t.Fatalf("backend %s measured nothing", r.Name)
+		}
+		if r.Procs > 0 && (r.NsPerProc <= 0 || r.Queries == 0) {
+			t.Fatalf("backend %s has empty measurements: %+v", r.Name, r)
+		}
+		if len(r.Passes) != 4 {
+			t.Fatalf("backend %s reports %d passes, want 4", r.Name, len(r.Passes))
+		}
+		for _, ps := range r.Passes {
+			if ps.Pass == "split-edges" && ps.InstrEdits != 0 {
+				t.Fatalf("backend %s: edge splitting reported instruction edits: %+v", r.Name, ps)
+			}
+			if ps.Pass != "split-edges" && ps.CFGEdits != 0 {
+				t.Fatalf("backend %s: pass %s reported CFG edits: %+v", r.Name, ps.Pass, ps)
+			}
+		}
+	}
+	chk, ok := names["checker"]
+	if !ok {
+		t.Fatalf("rows missing the checker: %v", rows)
+	}
+	if chk.Rebuilds != 0 {
+		t.Fatalf("checker pipeline rebuilt %d times, want 0", chk.Rebuilds)
+	}
+	df, ok := names["dataflow"]
+	if !ok {
+		t.Fatalf("rows missing dataflow: %v", rows)
+	}
+	if df.Rebuilds == 0 && (df.Copies > 0 || df.Spills > 0) {
+		t.Fatal("dataflow pipeline edited but never rebuilt")
+	}
+	// Identical clones + identical answers => identical decisions.
+	if chk.Queries != df.Queries || chk.Spills != df.Spills || chk.Copies != df.Copies ||
+		chk.CFGEdits != df.CFGEdits || chk.InstrEdits != df.InstrEdits {
+		t.Fatalf("checker and dataflow disagree on decision counters:\nchecker:  %+v\ndataflow: %+v", chk, df)
+	}
+
+	out, err := PipelineJSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name"`, `"ns_per_op"`, `"rebuilds"`, `"cfg_edits"`, `"instr_edits"`, `"passes"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %s:\n%s", want, out)
+		}
+	}
+	table := PipelineTable(1, 8)
+	for _, want := range []string{"pass pipeline", "Rebuild", "#Queries", "Per-pass rebuild/query breakdown"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}

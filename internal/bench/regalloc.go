@@ -53,26 +53,41 @@ type RegallocRow struct {
 	Invalidation string  `json:"invalidation"`
 }
 
-// recordingAllocOracle answers allocator queries from a data-flow analysis
-// of the working clone and records them for replay.
+// recordingAllocOracle records the allocator's query stream for replay,
+// answering from a self-refreshing data-flow oracle (backend.Refreshing —
+// the one implementation of the epoch refresh policy; data-flow sets are
+// invalidated by any edit, and the allocator's spill rounds edit between
+// scans).
 type recordingAllocOracle struct {
-	r       *dataflow.Result
+	inner   *backend.Refreshing
 	maxID   int // values with IDs >= maxID are spill artifacts
 	queries []RegallocQuery
+}
+
+func newRecordingAllocOracle(clone *ir.Func, maxID int) (*recordingAllocOracle, error) {
+	db, err := backend.Get("dataflow")
+	if err != nil {
+		return nil, err
+	}
+	inner, err := backend.NewRefreshing(db, clone)
+	if err != nil {
+		return nil, err
+	}
+	return &recordingAllocOracle{inner: inner, maxID: maxID}, nil
 }
 
 func (o *recordingAllocOracle) IsLiveIn(v *ir.Value, b *ir.Block) bool {
 	if v.ID < o.maxID {
 		o.queries = append(o.queries, RegallocQuery{Out: false, V: v, B: b})
 	}
-	return o.r.IsLiveIn(v, b)
+	return o.inner.IsLiveIn(v, b)
 }
 
 func (o *recordingAllocOracle) IsLiveOut(v *ir.Value, b *ir.Block) bool {
 	if v.ID < o.maxID {
 		o.queries = append(o.queries, RegallocQuery{Out: true, V: v, B: b})
 	}
-	return o.r.IsLiveOut(v, b)
+	return o.inner.IsLiveOut(v, b)
 }
 
 // recordRegalloc runs the allocator on a clone of p.F with a recording
@@ -85,13 +100,11 @@ func recordRegalloc(p Proc, k int) ([]RegallocQuery, int, regalloc.Stats, error)
 	kEff := k
 	for {
 		clone := ir.Clone(p.F)
-		o := &recordingAllocOracle{r: dataflow.Analyze(clone), maxID: p.F.NumValues()}
-		alloc, err := regalloc.RunOptions(clone, o, kEff, regalloc.Options{
-			Refresh: func() (regalloc.Oracle, error) {
-				o.r = dataflow.Analyze(clone)
-				return o, nil
-			},
-		})
+		o, err := newRecordingAllocOracle(clone, p.F.NumValues())
+		if err != nil {
+			return nil, 0, regalloc.Stats{}, err
+		}
+		alloc, err := regalloc.Run(clone, o, kEff)
 		if errors.Is(err, regalloc.ErrTooFewRegisters) {
 			kEff *= 2
 			continue
@@ -173,27 +186,21 @@ func MeasureRegalloc(corpora []*Corpus, k int) ([]RegallocRow, RegallocWorkload,
 				// End-to-end allocator run against this backend. Run
 				// mutates its input, so it gets a fresh clone outside the
 				// timed region and is timed single-shot; the per-corpus
-				// average smooths the noise.
+				// average smooths the noise. The self-refreshing wrapper
+				// re-analyzes exactly when the clone's epochs say the spill
+				// edits staled the sets — never for the checker — and its
+				// rebuild count is the Refresh column.
 				clone := ir.Clone(f)
-				refreshes := 0
-				needsRefresh := res.Invalidation() == backend.InvalidatedByAnyEdit
 				start := time.Now()
-				cres, err := a.b.Analyze(clone)
+				fresh, err := backend.NewRefreshing(a.b, clone)
 				if err != nil {
 					return nil, wl, fmt.Errorf("backend %s on clone of %s: %w", a.row.Name, f.Name, err)
 				}
-				var opts regalloc.Options
-				if needsRefresh {
-					opts.Refresh = func() (regalloc.Oracle, error) {
-						refreshes++
-						return a.b.Analyze(clone)
-					}
-				}
-				if _, err := regalloc.RunOptions(clone, cres, kEff, opts); err != nil {
+				if _, err := regalloc.Run(clone, fresh, kEff); err != nil {
 					return nil, wl, fmt.Errorf("backend %s allocating %s (k=%d): %w", a.row.Name, f.Name, kEff, err)
 				}
 				a.allocNs += float64(time.Since(start).Nanoseconds())
-				a.refreshes += refreshes
+				a.refreshes += fresh.Rebuilds()
 
 				if len(queries) == 0 {
 					continue
@@ -249,9 +256,9 @@ func RegallocTable(corpora []*Corpus, k int) string {
 	fmt.Fprintf(&sb, "Workload: %d procs, %d queries (%d live-in, %d live-out), %d spills over %d rounds,\n",
 		wl.Procs, wl.Queries, wl.LiveIn, wl.LiveOut, wl.Spills, wl.Rounds)
 	fmt.Fprintf(&sb, "avg max pressure %.2f.\n", wl.AvgPressure)
-	sb.WriteString("AllocNs = analyze + allocate per procedure, including the re-analyses\n")
-	sb.WriteString("(Refresh column) set-producing backends need after each spill round;\n")
-	sb.WriteString("QueryNs = recorded-stream replay per query.\n\n")
+	sb.WriteString("AllocNs = analyze + allocate per procedure, including the automatic\n")
+	sb.WriteString("epoch-driven re-analyses (Refresh column) the spill edits force on\n")
+	sb.WriteString("set-producing backends; QueryNs = recorded-stream replay per query.\n\n")
 	fmt.Fprintf(&sb, "%-10s %7s %6s | %12s %8s | %10s %9s | %-12s\n",
 		"Backend", "#Proc", "Skip", "AllocNs", "Refresh", "#Queries", "QueryNs", "Invalidated")
 	sb.WriteString(strings.Repeat("-", 96))

@@ -59,10 +59,17 @@ type Stats struct {
 	Classes int
 }
 
-// Prepare splits critical edges. It must run before the liveness analysis
-// whose Oracle feeds Run, so that queries are made against the final CFG —
-// the paper's precomputation survives everything except CFG changes, and
-// this is the one CFG change the pass needs.
+// Prepare splits critical edges — the pass's only CFG edit. It must run
+// before the liveness analysis whose Oracle feeds Run, so that queries are
+// made against the final CFG: the paper's precomputation survives
+// everything except CFG changes, and this is the one CFG change the pass
+// needs. The split-before-analyze ordering is no longer just a calling
+// convention: Prepare advances the function's CFGEpoch, so an analysis
+// taken too early reads as stale (backend.Stale), fails closed under the
+// backend.Checked debug wrapper, and is rebuilt automatically by an
+// engine-served oracle. Run itself performs instruction edits only
+// (copies, stores, loads, φ removal), which the checker's precomputation
+// survives by construction.
 func Prepare(f *ir.Func) int {
 	return f.SplitCriticalEdges()
 }

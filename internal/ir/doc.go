@@ -22,4 +22,26 @@
 // cmd/livecheck and the test suite use. Programs may also exist in non-SSA
 // "slot form" (OpSlotLoad/OpSlotStore on mutable variable slots); package
 // ssa converts slot form into strict SSA.
+//
+// # Edit tracking
+//
+// Every mutation is classified into one of the paper's two edit classes
+// and counted by a monotonic epoch on Func:
+//
+//   - CFG edits (NewBlock, AddEdgeTo, SplitEdge, SplitCriticalEdges,
+//     RemoveBlock) advance CFGEpoch. They invalidate every liveness
+//     analysis, including the paper's checker.
+//   - Instruction edits (NewValue*, InsertValue*, RemoveValue[At],
+//     RotateValuesToFront, AddArg, SetArg, ClearArgs, SetControl) advance
+//     InstrEpoch. They invalidate only analyses that materialize explicit
+//     per-block sets; the checker's CFG-only precomputation survives them —
+//     the paper's §4 headline property, now a checked invariant rather
+//     than a calling convention (internal/backend.Stale compares an
+//     analysis result's recorded epochs against the function's).
+//
+// Passes must therefore mutate through these methods, never through raw
+// slice surgery on Blocks/Values/Succs/Preds, or staleness detection is
+// silently defeated. The FuzzMutations test drives random method sequences
+// and asserts the epochs advance exactly when the relevant class is
+// touched.
 package ir

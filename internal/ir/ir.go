@@ -3,6 +3,15 @@ package ir
 import "fmt"
 
 // Func is a single function: a CFG of blocks. Blocks[0] is the entry.
+//
+// Every mutation method classifies itself into one of two edit classes and
+// bumps the matching monotonic epoch: CFG edits (block or edge add/remove,
+// edge splitting) advance CFGEpoch, instruction edits (value insert/remove,
+// operand or control rewrites, in-block reordering) advance InstrEpoch.
+// Analyses snapshot the epochs they were computed at, so staleness is a
+// counter comparison instead of a calling convention — the paper's §4
+// contract ("CFG-only precomputation survives instruction edits") becomes
+// checkable at runtime (see internal/backend.Stale).
 type Func struct {
 	Name string
 	// Blocks in creation order; Blocks[0] is the entry block r.
@@ -13,16 +22,43 @@ type Func struct {
 
 	nextValueID int
 	nextBlockID int
+
+	// cfgEpoch and instrEpoch count the two edit classes. They only ever
+	// increase; any single mutation may advance its epoch by more than one
+	// (compound edits count their parts). Like all IR mutation, bumps are
+	// not synchronized — functions must not be edited concurrently with
+	// reads.
+	cfgEpoch   uint64
+	instrEpoch uint64
 }
+
+// CFGEpoch returns the function's CFG edit counter: it advances whenever
+// blocks or edges are added, removed or split. Analyses of every
+// invalidation class are stale once it moves.
+func (f *Func) CFGEpoch() uint64 { return f.cfgEpoch }
+
+// InstrEpoch returns the function's instruction edit counter: it advances
+// whenever values are inserted, removed or reordered, or operands
+// (including φ operands and block controls) are rewritten. Only analyses
+// that materialize per-block sets are stale when it moves; the paper's
+// checker survives.
+func (f *Func) InstrEpoch() uint64 { return f.instrEpoch }
+
+// bumpCFG records a CFG edit.
+func (f *Func) bumpCFG() { f.cfgEpoch++ }
+
+// bumpInstr records an instruction edit.
+func (f *Func) bumpInstr() { f.instrEpoch++ }
 
 // NewFunc returns an empty function with the given name.
 func NewFunc(name string) *Func { return &Func{Name: name} }
 
-// NewBlock appends a fresh block with the given kind.
+// NewBlock appends a fresh block with the given kind (a CFG edit).
 func (f *Func) NewBlock(kind BlockKind) *Block {
 	b := &Block{ID: f.nextBlockID, Kind: kind, Func: f}
 	f.nextBlockID++
 	f.Blocks = append(f.Blocks, b)
+	f.bumpCFG()
 	return b
 }
 
@@ -110,12 +146,14 @@ func (b *Block) name() string {
 // String returns the block's printed label.
 func (b *Block) String() string { return b.name() }
 
-// AddEdgeTo wires a CFG edge from b to c, maintaining cross-indices.
+// AddEdgeTo wires a CFG edge from b to c, maintaining cross-indices (a CFG
+// edit).
 func (b *Block) AddEdgeTo(c *Block) {
 	i := len(b.Succs)
 	j := len(c.Preds)
 	b.Succs = append(b.Succs, Edge{c, j})
 	c.Preds = append(c.Preds, Edge{b, i})
+	b.Func.bumpCFG()
 }
 
 // NumPreds returns the predecessor count.
@@ -190,10 +228,13 @@ func (b *Block) NewValueAux(op Op, auxInt int64, auxStr string, args ...*Value) 
 }
 
 // newDetached allocates a value owned by b but not yet placed in b.Values.
+// It bumps InstrEpoch on behalf of every placement path (NewValue*,
+// InsertValue*).
 func (b *Block) newDetached(op Op, auxInt int64, auxStr string, args ...*Value) *Value {
 	f := b.Func
 	v := &Value{ID: f.nextValueID, Op: op, Block: b, AuxInt: auxInt, AuxStr: auxStr}
 	f.nextValueID++
+	f.bumpInstr()
 	for _, a := range args {
 		v.AddArg(a)
 	}
@@ -234,7 +275,9 @@ func (b *Block) InsertValueAfterPhis(op Op, args ...*Value) *Value {
 	return v
 }
 
-// AddArg appends a to v's arguments and records the use.
+// AddArg appends a to v's arguments and records the use (an instruction
+// edit: it extends a's def-use chain, e.g. a φ operand for a new
+// predecessor).
 func (v *Value) AddArg(a *Value) {
 	if a == nil {
 		panic("ir: nil argument")
@@ -244,9 +287,11 @@ func (v *Value) AddArg(a *Value) {
 	}
 	a.uses = append(a.uses, Use{User: v, Index: len(v.Args)})
 	v.Args = append(v.Args, a)
+	a.Block.Func.bumpInstr()
 }
 
-// SetArg replaces argument i with a, updating use lists.
+// SetArg replaces argument i with a, updating use lists (an instruction
+// edit — this is how φ operands and ordinary operands are rewritten).
 func (v *Value) SetArg(i int, a *Value) {
 	if a.Block == nil {
 		panic("ir: argument " + a.String() + " is detached (removed from its block)")
@@ -255,16 +300,21 @@ func (v *Value) SetArg(i int, a *Value) {
 	old.removeUse(Use{User: v, Index: i})
 	v.Args[i] = a
 	a.uses = append(a.uses, Use{User: v, Index: i})
+	a.Block.Func.bumpInstr()
 }
 
 // ClearArgs removes all of v's arguments, maintaining use lists. Passes use
-// it to unlink values (e.g. dead φ webs) before removal.
+// it to unlink values (e.g. dead φ webs) before removal. An instruction
+// edit.
 func (v *Value) ClearArgs() { v.resetArgs() }
 
 // resetArgs removes all of v's argument use records and clears Args.
 func (v *Value) resetArgs() {
 	for i, a := range v.Args {
 		a.removeUse(Use{User: v, Index: i})
+	}
+	if len(v.Args) > 0 && v.Block != nil {
+		v.Block.Func.bumpInstr()
 	}
 	v.Args = v.Args[:0]
 }
@@ -280,7 +330,8 @@ func (a *Value) removeUse(u Use) {
 	panic("ir: use record not found for " + a.String())
 }
 
-// SetControl sets b's control operand, maintaining the operand's use list.
+// SetControl sets b's control operand, maintaining the operand's use list
+// (an instruction edit: it rewrites a use, not the edge structure).
 func (b *Block) SetControl(v *Value) {
 	if b.Control != nil {
 		b.Control.removeUse(Use{UserBlock: b})
@@ -289,6 +340,7 @@ func (b *Block) SetControl(v *Value) {
 	if v != nil {
 		v.uses = append(v.uses, Use{UserBlock: b})
 	}
+	b.Func.bumpInstr()
 }
 
 // Uses returns the current use records of v. The slice aliases internal
@@ -331,21 +383,49 @@ func (v *Value) ReplaceUsesWith(w *Value) {
 	}
 }
 
-// RemoveValue deletes v from its block. v must have no remaining uses.
+// RemoveValue deletes v from its block (an instruction edit). v must have
+// no remaining uses.
 func (b *Block) RemoveValue(v *Value) {
-	if len(v.uses) != 0 {
-		panic("ir: removing value that still has uses: " + v.String())
-	}
-	v.resetArgs()
 	for i, x := range b.Values {
 		if x == v {
-			copy(b.Values[i:], b.Values[i+1:])
-			b.Values = b.Values[:len(b.Values)-1]
-			v.Block = nil
+			b.RemoveValueAt(i)
 			return
 		}
 	}
 	panic("ir: value not found in its block")
+}
+
+// RemoveValueAt deletes the value at index i of the block's value list,
+// returning it (an instruction edit). The value must have no remaining
+// uses; its own argument uses are unlinked. After removal the value is
+// detached (Block == nil) and must not be used as an operand again.
+func (b *Block) RemoveValueAt(i int) *Value {
+	v := b.Values[i]
+	if len(v.uses) != 0 {
+		panic("ir: removing value that still has uses: " + v.String())
+	}
+	v.resetArgs()
+	copy(b.Values[i:], b.Values[i+1:])
+	b.Values = b.Values[:len(b.Values)-1]
+	v.Block = nil
+	b.Func.bumpInstr()
+	return v
+}
+
+// RotateValuesToFront moves the values at indices [i, len) to the front of
+// the block, preserving both sub-orders (an instruction edit). SSA
+// construction uses it to place freshly appended entry-block initializers
+// before the body. The caller is responsible for the φ-prefix invariant
+// and for intra-block dominance (the rotated values must not use values
+// they are moved in front of).
+func (b *Block) RotateValuesToFront(i int) {
+	if i <= 0 || i >= len(b.Values) {
+		return
+	}
+	tail := append([]*Value(nil), b.Values[i:]...)
+	copy(b.Values[len(tail):], b.Values[:i])
+	copy(b.Values, tail)
+	b.Func.bumpInstr()
 }
 
 // ValueIndex returns v's position within its block, or -1.
@@ -359,10 +439,10 @@ func (b *Block) ValueIndex(v *Value) int {
 }
 
 // SplitEdge splits the CFG edge b.Succs[si], inserting and returning a new
-// BlockPlain block. φ argument positions in the destination are preserved
-// because the destination's pred slot is reused in place. Splitting critical
-// edges before SSA destruction avoids the classic lost-copy and swap
-// problems.
+// BlockPlain block (a CFG edit). φ argument positions in the destination
+// are preserved because the destination's pred slot is reused in place.
+// Splitting critical edges before SSA destruction avoids the classic
+// lost-copy and swap problems.
 func (b *Block) SplitEdge(si int) *Block {
 	c := b.Succs[si].B
 	pi := b.Succs[si].I
@@ -371,6 +451,7 @@ func (b *Block) SplitEdge(si int) *Block {
 	e.Preds = []Edge{{b, si}}
 	e.Succs = []Edge{{c, pi}}
 	c.Preds[pi] = Edge{e, 0}
+	b.Func.bumpCFG()
 	return e
 }
 
@@ -393,7 +474,8 @@ func (f *Func) SplitCriticalEdges() int {
 	return n
 }
 
-// RemoveBlock deletes an empty, fully disconnected block from the function.
+// RemoveBlock deletes an empty, fully disconnected block from the function
+// (a CFG edit).
 func (f *Func) RemoveBlock(b *Block) {
 	if len(b.Preds) != 0 || len(b.Succs) != 0 || len(b.Values) != 0 || b.Control != nil {
 		panic("ir: RemoveBlock on a block that is still wired or non-empty")
@@ -402,6 +484,7 @@ func (f *Func) RemoveBlock(b *Block) {
 		if x == b {
 			copy(f.Blocks[i:], f.Blocks[i+1:])
 			f.Blocks = f.Blocks[:len(f.Blocks)-1]
+			f.bumpCFG()
 			return
 		}
 	}

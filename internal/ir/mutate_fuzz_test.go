@@ -1,0 +1,166 @@
+package ir_test
+
+// FuzzMutations drives random sequences of the epoch-tracked mutation
+// methods and checks the PR-5 edit-tracking contract: every mutation
+// keeps ir.Verify and ssa.VerifyStrict passing, epochs never decrease,
+// the epoch of the touched edit class strictly increases, and pure-CFG
+// edits leave InstrEpoch alone (the separation the checker's survival
+// property rides on). Lives in an external test package because the
+// strict-SSA verifier (package ssa) imports ir.
+
+import (
+	"testing"
+
+	"fastliveness/internal/ir"
+	"fastliveness/internal/ssa"
+)
+
+const fuzzBaseSrc = `
+func @mut(%a, %b) {
+entry:
+  %one = const 1
+  %x = add %a, %b
+  %cmp = cmplt %x, %a
+  if %cmp -> left, right
+left:
+  %y = add %x, %one
+  br join
+right:
+  %z = mul %x, %x
+  br join
+join:
+  %m = phi [%y, left], [%z, right]
+  %w = add %m, %one
+  ret %w
+}
+`
+
+// resultValues lists the current result-defining values in program order.
+func resultValues(f *ir.Func) []*ir.Value {
+	var out []*ir.Value
+	f.Values(func(v *ir.Value) {
+		if v.Op.HasResult() {
+			out = append(out, v)
+		}
+	})
+	return out
+}
+
+func FuzzMutations(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{3, 3, 3, 0, 0, 2, 2})
+	f.Add([]byte{5, 4, 1, 0, 3, 2, 5, 4, 1, 0, 3, 2})
+	f.Add([]byte{0xff, 0x80, 0x41, 0x07, 0x00, 0x13, 0x29})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fn := ir.MustParse(fuzzBaseSrc)
+		if len(data) > 96 {
+			data = data[:96] // bound per-input work
+		}
+		check := func(step int, wantCFGBump, wantInstrBump bool, cfgBefore, instrBefore uint64) {
+			t.Helper()
+			cfgNow, instrNow := fn.CFGEpoch(), fn.InstrEpoch()
+			if cfgNow < cfgBefore || instrNow < instrBefore {
+				t.Fatalf("step %d: epochs went backwards (cfg %d->%d, instr %d->%d)",
+					step, cfgBefore, cfgNow, instrBefore, instrNow)
+			}
+			if wantCFGBump && cfgNow == cfgBefore {
+				t.Fatalf("step %d: CFG edit did not advance CFGEpoch (%d)", step, cfgNow)
+			}
+			if !wantCFGBump && cfgNow != cfgBefore {
+				t.Fatalf("step %d: instruction edit advanced CFGEpoch (%d->%d)", step, cfgBefore, cfgNow)
+			}
+			if wantInstrBump && instrNow == instrBefore {
+				t.Fatalf("step %d: instruction edit did not advance InstrEpoch (%d)", step, instrNow)
+			}
+			if !wantInstrBump && instrNow != instrBefore {
+				t.Fatalf("step %d: pure CFG edit advanced InstrEpoch (%d->%d)", step, instrBefore, instrNow)
+			}
+			if err := ir.Verify(fn); err != nil {
+				t.Fatalf("step %d: ir.Verify: %v", step, err)
+			}
+			if err := ssa.VerifyStrict(fn); err != nil {
+				t.Fatalf("step %d: ssa.VerifyStrict: %v", step, err)
+			}
+		}
+		byteAt := func(i int) int {
+			if i >= len(data) {
+				return 0
+			}
+			return int(data[i])
+		}
+		for i := 0; i < len(data); i += 2 {
+			op, sel := byteAt(i)%6, byteAt(i+1)
+			cfgBefore, instrBefore := fn.CFGEpoch(), fn.InstrEpoch()
+			switch op {
+			case 0:
+				// Append a new use of an existing value in its own block:
+				// the definition precedes it, so strictness is preserved.
+				vals := resultValues(fn)
+				v := vals[sel%len(vals)]
+				v.Block.NewValue(ir.OpNeg, v)
+				check(i, false, true, cfgBefore, instrBefore)
+			case 1:
+				// Insert a constant right after a block's φ prefix.
+				b := fn.Blocks[sel%len(fn.Blocks)]
+				b.InsertValueAt(len(b.Phis()), ir.OpConst, int64(sel))
+				check(i, false, true, cfgBefore, instrBefore)
+			case 2:
+				// Remove a use-free non-param value, if any (params keep
+				// their indices; everything else is fair game).
+				for _, b := range fn.Blocks {
+					removed := false
+					for idx, v := range b.Values {
+						if v.NumUses() == 0 && v.Op != ir.OpParam {
+							b.RemoveValueAt(idx)
+							removed = true
+							break
+						}
+					}
+					if removed {
+						check(i, false, true, cfgBefore, instrBefore)
+						break
+					}
+				}
+			case 3:
+				// Split a random CFG edge: a pure CFG edit — InstrEpoch
+				// must not move.
+				var cands []*ir.Block
+				for _, b := range fn.Blocks {
+					if len(b.Succs) > 0 {
+						cands = append(cands, b)
+					}
+				}
+				b := cands[sel%len(cands)]
+				b.SplitEdge(sel % len(b.Succs))
+				check(i, true, false, cfgBefore, instrBefore)
+			case 4:
+				// Append a constant to a φ-free block and rotate it to the
+				// front (argument-free, so intra-block dominance holds).
+				var cands []*ir.Block
+				for _, b := range fn.Blocks {
+					if len(b.Phis()) == 0 {
+						cands = append(cands, b)
+					}
+				}
+				b := cands[sel%len(cands)]
+				b.NewValueI(ir.OpConst, int64(sel))
+				b.RotateValuesToFront(len(b.Values) - 1)
+				check(i, false, true, cfgBefore, instrBefore)
+			case 5:
+				// Rewrite an operand in place (same value back): exercises
+				// the SetArg bookkeeping, including φ operands.
+				var target *ir.Value
+				fn.Values(func(v *ir.Value) {
+					if target == nil && len(v.Args) > 0 {
+						target = v
+					}
+				})
+				if target != nil {
+					j := sel % len(target.Args)
+					target.SetArg(j, target.Args[j])
+					check(i, false, true, cfgBefore, instrBefore)
+				}
+			}
+		}
+	})
+}

@@ -27,9 +27,13 @@
 // rematerialized constants but never touches the CFG, so the checker's
 // R/T precomputation — and every answer it gives — stays valid across
 // rounds. Set-producing oracles (dataflow, lao, pervar, loops) are
-// invalidated by any edit and must be refreshed between rounds via
-// Options.Refresh; cmd/benchtables -table regalloc measures exactly that
-// asymmetry on the allocator's genuine query stream.
+// invalidated by any edit; since every IR mutation now bumps the
+// function's edit epochs, staleness is the oracle's own problem, not this
+// package's — pass a self-refreshing oracle (backend.Refreshing, or the
+// fastliveness Engine's Oracle) and it re-analyzes exactly when the spill
+// edits demand, while the checker never does. cmd/benchtables -table
+// regalloc and -table pipeline measure exactly that asymmetry on the
+// allocator's genuine query stream.
 package regalloc
 
 import (
@@ -100,29 +104,21 @@ func (a *Allocation) RegOf(v *ir.Value) int {
 	return a.Reg[v.ID]
 }
 
-// Options tune Run beyond the required (f, oracle, k).
-type Options struct {
-	// Refresh, when non-nil, is called after each spill round to obtain an
-	// oracle that is valid for the edited program. Leave nil for oracles
-	// that survive instruction edits — the paper's checker, whose CFG-only
-	// precomputation is the reason the spill loop needs no re-analysis.
-	// Set-producing oracles (dataflow, lao, pervar, loops) must supply it.
-	Refresh func() (Oracle, error)
-}
-
 // Run allocates k registers for the strict-SSA function f, spilling (in
 // place: stores after definitions, reloads before uses, constants and
 // parameters rematerialized) until the scan fits. The oracle must answer
-// liveness for f; if it cannot survive instruction edits, use RunOptions
-// with a Refresh hook. On success f is unchanged except for inserted spill
-// code, and the returned Allocation maps every result-defining value —
-// including spill artifacts — to a register.
+// liveness for f *as currently edited* at every query: the paper's checker
+// does so natively (spill code never touches the CFG), and oracles built
+// on materialized sets must self-refresh — wrap them in
+// backend.Refreshing or use a fastliveness Engine Oracle, both of which
+// detect the spill edits through the function's instruction epoch. There
+// is no manual refresh hook. On success f is unchanged except for inserted
+// spill code, and the returned Allocation maps every result-defining value
+// — including spill artifacts — to a register. On ErrTooFewRegisters the
+// returned Allocation is partial — Stats and Spilled only, no register
+// assignment — describing the failed attempt, whose spill edits remain in
+// f; other errors return a nil Allocation.
 func Run(f *ir.Func, oracle Oracle, k int) (*Allocation, error) {
-	return RunOptions(f, oracle, k, Options{})
-}
-
-// RunOptions is Run with explicit Options.
-func RunOptions(f *ir.Func, oracle Oracle, k int, opt Options) (*Allocation, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("regalloc: k = %d, need at least one register", k)
 	}
@@ -137,17 +133,17 @@ func RunOptions(f *ir.Func, oracle Oracle, k int, opt Options) (*Allocation, err
 		}
 		victim := a.chooseVictim()
 		if victim == nil {
-			return nil, fmt.Errorf("%w: %s needs more than %d registers to define %s in %s (k too small for its unspillable values)",
-				ErrTooFewRegisters, f.Name, k, a.fault.v, a.fault.b)
+			// Report the failed attempt's work alongside the error: the
+			// spill edits stay in f, so callers that retry with a wider
+			// budget (the pipeline's doubling loop) can keep their spill
+			// accounting consistent with the emitted program. The partial
+			// Allocation carries Stats and Spilled only — no register
+			// assignment.
+			return &Allocation{K: k, Spilled: a.spilled, Stats: a.stats},
+				fmt.Errorf("%w: %s needs more than %d registers to define %s in %s (k too small for its unspillable values)",
+					ErrTooFewRegisters, f.Name, k, a.fault.v, a.fault.b)
 		}
 		a.spill(victim)
-		if opt.Refresh != nil {
-			o, err := opt.Refresh()
-			if err != nil {
-				return nil, fmt.Errorf("regalloc: refreshing oracle after spill round %d: %w", a.stats.Rounds, err)
-			}
-			a.oracle = o
-		}
 		a.grow()
 	}
 	if a.err != nil {

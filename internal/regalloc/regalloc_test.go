@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fastliveness"
+	"fastliveness/internal/backend"
 	"fastliveness/internal/backend/difftest"
 	"fastliveness/internal/dataflow"
 	"fastliveness/internal/gen"
@@ -139,34 +140,81 @@ func TestSpillFreeCrossCheck(t *testing.T) {
 }
 
 // A set-producing oracle is invalidated by the allocator's own spill
-// edits; the Refresh hook re-analyzes between rounds, and the result must
-// agree with the checker-driven allocation on validity.
-func TestSetOracleWithRefresh(t *testing.T) {
+// edits; wrapped in backend.Refreshing it re-analyzes automatically —
+// exactly once per edited-then-queried round, observable via Rebuilds —
+// and the result must agree with the checker-driven allocation on
+// validity.
+func TestSetOracleSelfRefreshes(t *testing.T) {
 	c := gen.HighPressure(7)
 	c.TargetBlocks = 28
 	f := gen.Generate("refresh", c)
 	ssa.Construct(f)
 	ref := ir.Clone(f)
 
-	oracle := dataflow.Analyze(f)
+	db, err := backend.Get("dataflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := backend.NewRefreshing(db, f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p := regalloc.MeasurePressure(f, oracle)
 	k := p.Max/2 + 1
 	if k < 4 {
 		k = 4
 	}
-	alloc, err := regalloc.RunOptions(f, oracle, k, regalloc.Options{
-		Refresh: func() (regalloc.Oracle, error) { return dataflow.Analyze(f), nil },
-	})
+	alloc, err := regalloc.Run(f, oracle, k)
 	if err != nil {
 		t.Fatalf("k=%d (max pressure %d): %v", k, p.Max, err)
 	}
 	if alloc.Stats.Spills == 0 {
 		t.Fatalf("k=%d below max pressure %d but nothing spilled", k, p.Max)
 	}
+	if oracle.Rebuilds() == 0 {
+		t.Fatal("spill edits should have forced the set-producing oracle to rebuild")
+	}
 	if err := regalloc.VerifyAllocation(f, alloc); err != nil {
 		t.Fatal(err)
 	}
 	if err := regalloc.CrossCheck(ref, f, 8, 1<<18, 99); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The checker-backed oracle must survive the same spill workload with
+// zero rebuilds — the paper's headline property, now asserted through the
+// epoch machinery rather than by convention.
+func TestCheckerOracleZeroRebuilds(t *testing.T) {
+	c := gen.HighPressure(7)
+	c.TargetBlocks = 28
+	f := gen.Generate("norebuild", c)
+	ssa.Construct(f)
+
+	cb, err := backend.Get("checker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := backend.NewRefreshing(cb, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := regalloc.MeasurePressure(f, oracle)
+	k := p.Max/2 + 1
+	if k < 4 {
+		k = 4
+	}
+	alloc, err := regalloc.Run(f, oracle, k)
+	if err != nil {
+		t.Fatalf("k=%d (max pressure %d): %v", k, p.Max, err)
+	}
+	if alloc.Stats.Spills == 0 {
+		t.Fatalf("k=%d below max pressure %d but nothing spilled", k, p.Max)
+	}
+	if got := oracle.Rebuilds(); got != 0 {
+		t.Fatalf("checker oracle rebuilt %d times across the spill loop, want 0", got)
+	}
+	if err := regalloc.VerifyAllocation(f, alloc); err != nil {
 		t.Fatal(err)
 	}
 }

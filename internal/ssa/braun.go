@@ -233,8 +233,7 @@ func (b *braun) zeroConst() *ir.Value {
 		z := entry.NewValueI(ir.OpConst, 0)
 		z.Name = "braun.init0"
 		// Move it to the front so every later value may use it.
-		copy(entry.Values[1:], entry.Values[:len(entry.Values)-1])
-		entry.Values[0] = z
+		entry.RotateValuesToFront(len(entry.Values) - 1)
 		b.zeroInit = z
 	}
 	return b.zeroInit

@@ -82,12 +82,20 @@ func Construct(f *ir.Func) {
 
 	// Renaming walk over the dominator tree. φ arguments are collected on
 	// the side (a φ's argument list must align with predecessor order, and
-	// predecessors are visited out of order).
+	// predecessors are visited out of order). phiList fixes the
+	// installation order below: installing per map order would be correct
+	// but nondeterministic, and the order AddArg records uses is
+	// observable — clients that iterate def-use chains to place code
+	// (the allocator's spill rewrite) must behave identically run to run.
 	stacks := make([][]*ir.Value, nSlots)
 	phiArgs := map[*ir.Value][]*ir.Value{}
+	var phiList []*ir.Value
 	for s := 0; s < nSlots; s++ {
-		for _, phi := range phiFor[s] {
-			phiArgs[phi] = make([]*ir.Value, len(phi.Block.Preds))
+		for n := 0; n < g.N(); n++ {
+			if phi := phiFor[s][n]; phi != nil {
+				phiArgs[phi] = make([]*ir.Value, len(phi.Block.Preds))
+				phiList = append(phiList, phi)
+			}
 		}
 	}
 
@@ -140,9 +148,10 @@ func Construct(f *ir.Func) {
 	}
 	walk(0)
 
-	// Install the collected φ arguments.
-	for phi, args := range phiArgs {
-		for _, a := range args {
+	// Install the collected φ arguments, in the deterministic phiList
+	// order (slot-major, then CFG node).
+	for _, phi := range phiList {
+		for _, a := range phiArgs[phi] {
 			if a == nil {
 				panic("ssa: φ argument not reached by renaming (unreachable predecessor?)")
 			}
@@ -176,7 +185,8 @@ func ensureEntryDefs(f *ir.Func) {
 		return
 	}
 	// Build the initializer sequence at the end, then rotate it to the
-	// front of the entry block (the entry has no φs to respect).
+	// front of the entry block (the entry has no φs to respect, and the
+	// initializers use nothing defined before them).
 	firstNew := len(entry.Values)
 	zero := entry.NewValueI(ir.OpConst, 0)
 	zero.Name = "ssa.init0"
@@ -185,7 +195,5 @@ func ensureEntryDefs(f *ir.Func) {
 			entry.NewValueI(ir.OpSlotStore, int64(s), zero)
 		}
 	}
-	tail := append([]*ir.Value(nil), entry.Values[firstNew:]...)
-	copy(entry.Values[len(tail):], entry.Values[:firstNew])
-	copy(entry.Values, tail)
+	entry.RotateValuesToFront(firstNew)
 }
