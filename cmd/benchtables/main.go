@@ -9,7 +9,11 @@
 // full corpus, 4823 procedures — Table 2 then takes a few minutes).
 // The default limit of 120 yields stable shapes quickly. The engine table
 // uses its own whole-program corpus, sized by -funcs and spread over the
-// -workers counts.
+// -workers counts; besides the precompute-scaling and batch-query tables
+// it runs the sharded-engine contention benchmark (concurrent querier
+// goroutines vs. a paced mutator, -shards and -rebuildworkers setting the
+// engine shape), and with -json emits that contention report in the
+// BENCH_*.json format.
 //
 // -table backends runs every backend registered with internal/backend over
 // the same corpus and query stream — the paper's §6.2 engine comparison
@@ -47,14 +51,17 @@ import (
 func main() {
 	table := flag.String("table", "all", "which table: 1|2|edges|fullprecomp|queries|scaling|engine|backends|regalloc|pipeline|all")
 	limit := flag.Int("limit", 120, "procedures per benchmark (0 = full corpus)")
-	workers := flag.String("workers", "1,2,4,8", "worker counts for -table engine")
+	workers := flag.String("workers", "1,2,4,8", "worker/querier counts for -table engine")
 	funcs := flag.Int("funcs", 128, "corpus size for -table engine")
-	jsonOut := flag.Bool("json", false, "emit -table backends|regalloc|pipeline rows as JSON")
+	shards := flag.Int("shards", 0, "engine shard count for -table engine (0 = default)")
+	rebuildWorkers := flag.Int("rebuildworkers", 2, "background rebuild workers for -table engine")
+	jsonOut := flag.Bool("json", false, "emit -table engine|backends|regalloc|pipeline rows as JSON")
 	regs := flag.Int("regs", 8, "register budget for -table regalloc|pipeline")
 	flag.Parse()
 
-	if *jsonOut && *table != "backends" && *table != "regalloc" && *table != "pipeline" {
-		fmt.Fprintln(os.Stderr, "-json is only supported with -table backends, -table regalloc or -table pipeline")
+	jsonTables := map[string]bool{"engine": true, "backends": true, "regalloc": true, "pipeline": true}
+	if *jsonOut && !jsonTables[*table] {
+		fmt.Fprintln(os.Stderr, "-json is only supported with -table engine, backends, regalloc or pipeline")
 		os.Exit(2)
 	}
 
@@ -87,7 +94,18 @@ func main() {
 	case "scaling":
 		fmt.Println(bench.ScalingSeries([]int{64, 128, 256, 512, 1024, 2048, 4096}))
 	case "engine":
-		fmt.Println(bench.ProgramTable(*funcs, workerCounts, 3))
+		rep := bench.MeasureEngineContention(*funcs, workerCounts, *shards, *rebuildWorkers, 0)
+		if *jsonOut {
+			out, err := bench.EngineContentionJSON(rep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+		} else {
+			fmt.Println(bench.ProgramTable(*funcs, workerCounts, 3))
+			fmt.Println(bench.EngineContentionSection(rep))
+		}
 	case "backends":
 		if *jsonOut {
 			rows, err := bench.MeasureBackends(corpora)
@@ -144,6 +162,8 @@ func main() {
 		fmt.Println(bench.FullPrecompStats(corpora))
 		fmt.Println(bench.ScalingSeries([]int{64, 128, 256, 512, 1024, 2048}))
 		fmt.Println(bench.ProgramTable(*funcs, workerCounts, 3))
+		fmt.Println(bench.EngineContentionSection(
+			bench.MeasureEngineContention(*funcs, workerCounts, *shards, *rebuildWorkers, 0)))
 		fmt.Println(bench.BackendTable(corpora))
 		fmt.Println(bench.RegallocTable(corpora, *regs))
 		fmt.Println(bench.PipelineTable(*limit, *regs))

@@ -87,6 +87,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "whole-program precompute workers (0 = GOMAXPROCS)")
 		regs     = flag.Int("regalloc", 0, "allocate that many registers and print the assignment (0 = off)")
 		pipe     = flag.Bool("pipeline", false, "run the full pass pipeline and print the per-pass report")
+		shards   = flag.Int("shards", 0, "engine shard count (0 = default); a contention knob, never changes answers")
+		rebuild  = flag.Int("rebuild-workers", 0, "background rebuild workers re-analyzing edited functions ahead of queries (0 = off)")
 		queries  queryList
 	)
 	flag.Var(&queries, "q", "query '[in:|out:]%value@block[@func]' (repeatable)")
@@ -100,9 +102,9 @@ func main() {
 	if err == nil {
 		switch {
 		case *pipe:
-			err = runPipeline(paths, *backendN, *verify, *regs)
+			err = runPipeline(paths, *backendN, *verify, *regs, *shards, *rebuild)
 		case program:
-			err = runProgram(paths, *construct, *backendN, *verify, *stat, *parallel, *regs, queries)
+			err = runProgram(paths, *construct, *backendN, *verify, *stat, *parallel, *regs, *shards, *rebuild, queries)
 		default:
 			err = run(flag.Arg(0), *construct, *backendN, *verify, *stat, *regs, queries)
 		}
@@ -167,7 +169,7 @@ func parseFile(p string) (*ir.Func, error) {
 // concurrently by the engine with the selected backend, summarized (or
 // queried) in sorted file order so output is deterministic regardless of
 // parallelism.
-func runProgram(paths []string, construct bool, backendName string, verify, stat bool, parallel, regs int, queries queryList) error {
+func runProgram(paths []string, construct bool, backendName string, verify, stat bool, parallel, regs, shards, rebuildWorkers int, queries queryList) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("no .ssair files found")
 	}
@@ -194,12 +196,15 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 	}
 
 	eng, err := fastliveness.AnalyzeProgram(funcs, fastliveness.EngineConfig{
-		Config:      fastliveness.Config{Backend: backendName},
-		Parallelism: parallel,
+		Config:         fastliveness.Config{Backend: backendName},
+		Parallelism:    parallel,
+		Shards:         shards,
+		RebuildWorkers: rebuildWorkers,
 	})
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 
 	if len(queries) > 0 {
 		if stat {
@@ -362,7 +367,7 @@ func run(path string, construct bool, backendName string, verify, stat bool, reg
 // liveness queries it issued. Inputs may be slot form — construction is
 // the first pass. Output is deterministic (no timings), so it doubles as
 // the golden-test surface.
-func runPipeline(paths []string, backendName string, verify bool, regs int) error {
+func runPipeline(paths []string, backendName string, verify bool, regs, shards, rebuildWorkers int) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("no .ssair files found")
 	}
@@ -374,7 +379,10 @@ func runPipeline(paths []string, backendName string, verify bool, regs int) erro
 		}
 		funcs = append(funcs, f)
 	}
-	rep, err := pipeline.Run(funcs, pipeline.Config{Backend: backendName, Regs: regs, Verify: verify})
+	rep, err := pipeline.Run(funcs, pipeline.Config{
+		Backend: backendName, Regs: regs, Verify: verify,
+		Shards: shards, RebuildWorkers: rebuildWorkers,
+	})
 	if err != nil {
 		return err
 	}

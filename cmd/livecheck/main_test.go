@@ -214,11 +214,11 @@ func TestProgramArgsExpandsDirectories(t *testing.T) {
 func TestRunProgramSummaryAndQueries(t *testing.T) {
 	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
 	paths, _, _ := programArgs([]string{dir})
-	if err := runProgram(paths, false, "checker", true, true, 4, 0, nil); err != nil {
+	if err := runProgram(paths, false, "checker", true, true, 4, 0, 0, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	qs := queryList{"%i@body@loop", "out:%x@entry@clamp", "in:%r@join@clamp"}
-	if err := runProgram(paths, false, "checker", true, false, 2, 0, qs); err != nil {
+	if err := runProgram(paths, false, "checker", true, false, 2, 0, 0, 0, qs); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -231,7 +231,7 @@ func TestRunProgramPerBackend(t *testing.T) {
 	qs := queryList{"out:%i@head@loop", "in:%r@join@clamp"}
 	var want string
 	for i, name := range fastliveness.Backends() {
-		got := capture(t, func() error { return runProgram(paths, false, name, true, false, 2, 0, qs) })
+		got := capture(t, func() error { return runProgram(paths, false, name, true, false, 2, 0, 0, 0, qs) })
 		if i == 0 {
 			want = got
 			continue
@@ -256,25 +256,25 @@ func TestRunProgramErrors(t *testing.T) {
 		{nil, "frobnicate", "unknown backend"},
 	}
 	for _, c := range cases {
-		err := runProgram(paths, false, c.backend, true, false, 1, 0, c.queries)
+		err := runProgram(paths, false, c.backend, true, false, 1, 0, 0, 0, c.queries)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("queries %v backend %s: err = %v, want %q", c.queries, c.backend, err, c.want)
 		}
 	}
-	if err := runProgram(nil, false, "checker", true, false, 1, 0, nil); err == nil {
+	if err := runProgram(nil, false, "checker", true, false, 1, 0, 0, 0, nil); err == nil {
 		t.Error("empty program should error")
 	}
 	// Duplicate function names across files are rejected.
 	dup := writeProgram(t, map[string]string{"a.ssair": loopSrc, "b.ssair": loopSrc})
 	paths, _, _ = programArgs([]string{dup})
-	if err := runProgram(paths, false, "checker", true, false, 1, 0, nil); err == nil ||
+	if err := runProgram(paths, false, "checker", true, false, 1, 0, 0, 0, nil); err == nil ||
 		!strings.Contains(err.Error(), "duplicate function name") {
 		t.Errorf("duplicate names: err = %v", err)
 	}
 	// Single-file program mode may omit the @func component.
 	single := writeProgram(t, map[string]string{"loop.ssair": loopSrc})
 	paths, _, _ = programArgs([]string{single})
-	if err := runProgram(paths, false, "checker", true, false, 1, 0, queryList{"out:%i@head"}); err != nil {
+	if err := runProgram(paths, false, "checker", true, false, 1, 0, 0, 0, queryList{"out:%i@head"}); err != nil {
 		t.Errorf("single-function program without @func: %v", err)
 	}
 }
@@ -317,7 +317,7 @@ func TestRunRegallocGoldenPerBackend(t *testing.T) {
 // positive count for a set-producing backend on the same input.
 func TestRunPipelineReport(t *testing.T) {
 	p := writeTemp(t, loopSrc)
-	got := capture(t, func() error { return runPipeline([]string{p}, "checker", true, 0) })
+	got := capture(t, func() error { return runPipeline([]string{p}, "checker", true, 0, 0, 0) })
 	for _, want := range []string{
 		"pipeline backend=checker: 1 funcs (0 skipped), k=8, 0 stale rebuilds",
 		"construct", "split-edges", "destruct", "regalloc",
@@ -331,7 +331,7 @@ func TestRunPipelineReport(t *testing.T) {
 	// insertion and the φ elimination each stale the sets once before the
 	// next query — exactly 2 rebuilds on this function.
 	p2 := writeTemp(t, loopSrc)
-	got2 := capture(t, func() error { return runPipeline([]string{p2}, "dataflow", true, 0) })
+	got2 := capture(t, func() error { return runPipeline([]string{p2}, "dataflow", true, 0, 0, 0) })
 	if !strings.Contains(got2, "pipeline backend=dataflow: 1 funcs (0 skipped), k=8, 2 stale rebuilds") {
 		t.Fatalf("dataflow pipeline should report exactly 2 stale rebuilds:\n%s", got2)
 	}
@@ -353,7 +353,7 @@ b1:
 }
 `
 	p := writeTemp(t, slotSrc)
-	got := capture(t, func() error { return runPipeline([]string{p}, "checker", true, 0) })
+	got := capture(t, func() error { return runPipeline([]string{p}, "checker", true, 0, 0, 0) })
 	if !strings.Contains(got, "pipeline backend=checker: 1 funcs (0 skipped)") {
 		t.Fatalf("slot-form pipeline failed:\n%s", got)
 	}
@@ -368,11 +368,30 @@ func TestRunProgramRegallocWithQueries(t *testing.T) {
 	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
 	paths, _, _ := programArgs([]string{dir})
 	got := capture(t, func() error {
-		return runProgram(paths, false, "checker", true, false, 2, 4, queryList{"out:%i@head@loop"})
+		return runProgram(paths, false, "checker", true, false, 2, 4, 0, 0, queryList{"out:%i@head@loop"})
 	})
 	for _, want := range []string{"live-out(%i, head) = true", "regalloc @clamp: k=4:", "regalloc @loop: k=4:"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("output missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// The engine-tuning flags (-shards, -rebuild-workers) are contention
+// knobs only: whole-program and pipeline output must be byte-identical
+// with them on.
+func TestEngineTuningFlagsIdenticalOutput(t *testing.T) {
+	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
+	paths, _, _ := programArgs([]string{dir})
+	qs := queryList{"out:%i@head@loop", "in:%r@join@clamp"}
+	plain := capture(t, func() error { return runProgram(paths, false, "checker", true, false, 2, 0, 0, 0, qs) })
+	tuned := capture(t, func() error { return runProgram(paths, false, "checker", true, false, 2, 0, 4, 2, qs) })
+	if plain != tuned {
+		t.Errorf("-shards/-rebuild-workers changed program output:\n%s\nwant:\n%s", tuned, plain)
+	}
+	plain = capture(t, func() error { return runPipeline(paths, "dataflow", true, 0, 0, 0) })
+	tuned = capture(t, func() error { return runPipeline(paths, "dataflow", true, 0, 4, 2) })
+	if plain != tuned {
+		t.Errorf("-shards/-rebuild-workers changed pipeline output:\n%s\nwant:\n%s", tuned, plain)
 	}
 }

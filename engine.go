@@ -6,8 +6,20 @@
 // parallelism for a compiler server or JIT that must analyze a module, not
 // a procedure. Engine owns that axis: it registers many ir.Funcs,
 // precomputes their analyses across a bounded worker pool, keeps the
-// results behind a thread-safe LRU-cached handle, and batches queries so
-// callers amortize per-query overhead.
+// results behind sharded thread-safe LRU-cached handles, and batches
+// queries so callers amortize per-query overhead.
+//
+// Concurrency layout (see also rebuild.go):
+//
+//   - The function index is a lock-free sync.Map; looking up the handle
+//     for a function takes no lock at all.
+//   - Handles are partitioned across N shards, each with its own mutex,
+//     condition variable and LRU list. Queries on functions in different
+//     shards never contend; the old single engine mutex is gone.
+//   - Per-function staleness is an epoch comparison against atomic
+//     counters (ir.Func.CFGEpoch/InstrEpoch) — no lock on that check.
+//   - An optional background rebuild pool re-analyzes functions marked
+//     dirty by editing passes ahead of the next query (rebuild.go).
 
 package fastliveness
 
@@ -22,19 +34,42 @@ import (
 	"fastliveness/internal/ir"
 )
 
+// defaultShards is the shard count when EngineConfig.Shards is zero: high
+// enough that independent query streams rarely share a shard mutex, low
+// enough that per-shard state stays negligible.
+const defaultShards = 16
+
 // EngineConfig tunes a program-level Engine. The zero value analyzes with
-// the paper's per-function configuration, uses one worker per CPU, and
-// caches every analysis.
+// the paper's per-function configuration, uses one worker per CPU, shards
+// the index defaultShards ways, caches every analysis, and runs no
+// background rebuild workers.
 type EngineConfig struct {
 	// Config is the per-function analysis configuration.
 	Config Config
 	// Parallelism bounds the precompute worker pool and the fan-out of
 	// large batched queries. 0 means GOMAXPROCS.
 	Parallelism int
-	// MaxCached bounds how many per-function analyses stay resident; the
-	// least recently used are evicted and transparently rebuilt on the
-	// next request. 0 means unlimited.
+	// MaxCached bounds how many per-function analyses stay resident
+	// across all shards; the least recently used are evicted and
+	// transparently rebuilt on the next request. The bound is global but
+	// enforced locally: the shard that overflows it evicts from its own
+	// LRU tail, so under concurrent inserts the victim is the least
+	// recently used handle of that shard, not necessarily of the whole
+	// engine. 0 means unlimited.
 	MaxCached int
+	// Shards is the number of independent index partitions, each with its
+	// own mutex and LRU. Functions are assigned round-robin in
+	// registration order — deterministic, perfectly balanced, and
+	// equivalent to hashing the function pointer without depending on
+	// address-space layout. Query answers, Stats and Rebuilds are
+	// invariant under the shard count. 0 means defaultShards.
+	Shards int
+	// RebuildWorkers starts that many background goroutines that
+	// re-analyze functions enqueued by MarkDirty (or Edit) before the
+	// next query needs them. 0 disables the pool: stale analyses are
+	// rebuilt synchronously on the query path, exactly as before. An
+	// engine with workers must be Closed to stop them.
+	RebuildWorkers int
 }
 
 func (c EngineConfig) workers() int {
@@ -42,6 +77,13 @@ func (c EngineConfig) workers() int {
 		return c.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (c EngineConfig) shardCount() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return defaultShards
 }
 
 // Query is one liveness question: is V live (in or out, per the method
@@ -52,16 +94,38 @@ type Query struct {
 	B *ir.Block
 }
 
-// handle is the engine's per-function cache slot. All fields are guarded
-// by the engine mutex; the Analyze call itself runs unlocked with
-// `building` set so concurrent requesters wait instead of duplicating it.
+// shard is one partition of the engine's handle index: a mutex, the
+// condition variable build-waiters sleep on, the partition's LRU list of
+// resident handles, and its share of the rebuild counter. Handles are
+// assigned to shards at registration and never migrate.
+type shard struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	lru      *list.List // resident handles of this shard, most recent first
+	rebuilds int        // staleness-forced query-path re-analyses
+}
+
+// handle is the engine's per-function cache slot. The irMu field guards
+// the function's IR structure against the background rebuild pool (see
+// Engine.Edit); every other field is guarded by the owning shard's mutex.
+// The Analyze call itself runs unlocked with `building` set so concurrent
+// requesters wait instead of duplicating it.
 type handle struct {
-	f        *ir.Func
+	f     *ir.Func
+	shard *shard
+
+	// irMu is the function-structure guard: Edit write-locks it around
+	// mutations, builds (sync and async) and batch query execution
+	// read-lock it around IR walks. Callers that never run the rebuild
+	// pool and never call Edit pay only uncontended RLocks.
+	irMu sync.RWMutex
+
 	live     *Liveness
 	err      error          // Analyze failure, held until the function is edited again
 	errAt    backend.Epochs // epochs the failure was recorded at
 	building bool
-	gen      int // bumped by invalidation; in-flight builds from older gens are discarded
+	queued   bool // sitting in the rebuild pool's queue
+	gen      int  // bumped by invalidation and eviction; in-flight builds from older gens are discarded
 	elem     *list.Element
 }
 
@@ -80,8 +144,9 @@ type handle struct {
 // paper's §4 property. With a set-producing backend ("dataflow", "lao",
 // "pervar", "loops", or "auto" when it picks one) any edit triggers a
 // rebuild on the next request. Rebuilds reports how many staleness-forced
-// re-analyses have happened; Invalidate remains as an explicit eager drop
-// but is no longer required for correctness.
+// re-analyses the query path has paid; with a rebuild pool
+// (EngineConfig.RebuildWorkers) BackgroundRebuilds reports the ones the
+// workers absorbed off the hot path instead.
 //
 // The one hazard left with the caller is handle lifetime: a *Liveness or
 // Querier obtained before an edit keeps answering against the pre-edit
@@ -90,22 +155,29 @@ type handle struct {
 type Engine struct {
 	config EngineConfig
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	funcs    []*ir.Func // registration order: the deterministic program order
-	index    map[*ir.Func]*handle
-	lru      *list.List // resident handles, most recent first
-	rebuilds int        // staleness-forced re-analyses (not first builds or eviction refills)
+	regMu  sync.Mutex // guards funcs and shard assignment
+	funcs  []*ir.Func // registration order: the deterministic program order
+	index  sync.Map   // map[*ir.Func]*handle; lock-free on the query path
+	shards []*shard
+
+	resident atomic.Int64 // resident analyses across all shards
+	pool     *rebuildPool // nil unless RebuildWorkers > 0
 }
 
-// NewEngine returns an empty engine; register functions with Add.
+// NewEngine returns an empty engine; register functions with Add. With
+// EngineConfig.RebuildWorkers > 0 the background pool starts immediately;
+// call Close to stop it.
 func NewEngine(config EngineConfig) *Engine {
-	e := &Engine{
-		config: config,
-		index:  make(map[*ir.Func]*handle),
-		lru:    list.New(),
+	e := &Engine{config: config}
+	e.shards = make([]*shard, config.shardCount())
+	for i := range e.shards {
+		s := &shard{lru: list.New()}
+		s.cond = sync.NewCond(&s.mu)
+		e.shards[i] = s
 	}
-	e.cond = sync.NewCond(&e.mu)
+	if config.RebuildWorkers > 0 {
+		e.pool = newRebuildPool(e, config.RebuildWorkers)
+	}
 	return e
 }
 
@@ -124,23 +196,35 @@ func AnalyzeProgram(funcs []*ir.Func, config EngineConfig) (*Engine, error) {
 
 // Add registers functions with the engine. Registration is cheap — no
 // analysis runs until Precompute or the first query. Re-adding a
-// registered function is a no-op.
+// registered function is a no-op. Shards are assigned round-robin in
+// registration order, so a fixed registration sequence gets a fixed
+// (and balanced) shard layout at every shard count.
 func (e *Engine) Add(funcs ...*ir.Func) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
 	for _, f := range funcs {
-		if _, ok := e.index[f]; ok {
+		if _, ok := e.index.Load(f); ok {
 			continue
 		}
+		h := &handle{f: f, shard: e.shards[len(e.funcs)%len(e.shards)]}
 		e.funcs = append(e.funcs, f)
-		e.index[f] = &handle{f: f}
+		e.index.Store(f, h)
 	}
+}
+
+// lookup resolves a function to its handle without taking any lock.
+func (e *Engine) lookup(f *ir.Func) *handle {
+	v, ok := e.index.Load(f)
+	if !ok {
+		return nil
+	}
+	return v.(*handle)
 }
 
 // Funcs returns the registered functions in registration order.
 func (e *Engine) Funcs() []*ir.Func {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
 	out := make([]*ir.Func, len(e.funcs))
 	copy(out, e.funcs)
 	return out
@@ -155,10 +239,7 @@ func (e *Engine) Funcs() []*ir.Func {
 // MaxCached is smaller than the program — LRU order follows completion
 // order — but evicted analyses rebuild on demand to identical answers.
 func (e *Engine) Precompute() error {
-	e.mu.Lock()
-	funcs := make([]*ir.Func, len(e.funcs))
-	copy(funcs, e.funcs)
-	e.mu.Unlock()
+	funcs := e.Funcs()
 
 	workers := e.config.workers()
 	if workers > len(funcs) {
@@ -196,17 +277,24 @@ func (e *Engine) Precompute() error {
 // demand (and transparently rebuilding after eviction or after an edit
 // made the resident analysis stale for the configured backend — see the
 // Engine invalidation contract). Concurrent calls for the same function
-// share one build. The returned Liveness stays valid even if the engine
-// later evicts it; as with Analyze, its query methods reuse a scratch
-// buffer, so use NewQuerier (or the engine's batch methods) for concurrent
-// querying.
+// share one build; a build the rebuild pool already has in flight is
+// likewise shared, never duplicated. The returned Liveness stays valid
+// even if the engine later evicts it; as with Analyze, its query methods
+// reuse a scratch buffer, so use NewQuerier (or the engine's batch
+// methods) for concurrent querying.
 func (e *Engine) Liveness(f *ir.Func) (*Liveness, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	h, ok := e.index[f]
-	if !ok {
+	h := e.lookup(f)
+	if h == nil {
 		return nil, fmt.Errorf("fastliveness: function %s is not registered with the engine", f.Name)
 	}
+	return e.liveness(h)
+}
+
+// liveness is Liveness after handle resolution.
+func (e *Engine) liveness(h *handle) (*Liveness, error) {
+	s := h.shard
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for {
 		switch {
 		case h.err != nil:
@@ -214,7 +302,7 @@ func (e *Engine) Liveness(f *ir.Func) (*Liveness, error) {
 			// recorded at; once the function is edited again, retry
 			// instead of reporting a verdict about a program that no
 			// longer exists.
-			if h.errAt != backend.EpochsOf(f) {
+			if h.errAt != backend.EpochsOf(h.f) {
 				h.err = nil
 				continue
 			}
@@ -225,37 +313,53 @@ func (e *Engine) Liveness(f *ir.Func) (*Liveness, error) {
 				// backend's invalidation class: drop it and rebuild.
 				// In-flight builds from before the drop are discarded via
 				// the generation counter, exactly like Invalidate.
-				h.gen++
-				if h.elem != nil {
-					e.lru.Remove(h.elem)
-				}
-				h.live, h.elem = nil, nil
-				e.rebuilds++
+				e.drop(h)
+				s.rebuilds++
 				continue
 			}
-			e.lru.MoveToFront(h.elem)
+			s.lru.MoveToFront(h.elem)
 			return h.live, nil
 		case !h.building:
 			return e.build(h)
 		}
-		e.cond.Wait()
+		s.cond.Wait()
 	}
 }
 
-// build analyzes h.f with the engine unlocked, then publishes the result.
-// Called (and returns) with e.mu held.
+// drop removes h's cached analysis (if resident) and bumps its generation
+// so in-flight builds from before the drop are discarded instead of
+// cached. Called with h's shard mutex held. Used by staleness rebuilds,
+// Invalidate, and LRU eviction — the generation bump on eviction is what
+// keeps a function evicted while queued for an async rebuild from being
+// resurrected into the cache (see rebuildOne in rebuild.go).
+func (e *Engine) drop(h *handle) {
+	h.gen++
+	if h.elem != nil {
+		h.shard.lru.Remove(h.elem)
+		e.resident.Add(-1)
+	}
+	h.live, h.elem = nil, nil
+}
+
+// build analyzes h.f with the shard unlocked, then publishes the result.
+// Called (and returns) with h's shard mutex held. The IR walk runs under
+// the function's read lock so it cannot race an Edit on another
+// goroutine.
 func (e *Engine) build(h *handle) (*Liveness, error) {
+	s := h.shard
 	h.building = true
 	gen := h.gen
-	e.mu.Unlock()
+	s.mu.Unlock()
+	h.irMu.RLock()
 	live, err := Analyze(h.f, e.config.Config)
-	e.mu.Lock()
+	h.irMu.RUnlock()
+	s.mu.Lock()
 	h.building = false
-	e.cond.Broadcast()
+	s.cond.Broadcast()
 	if h.gen != gen {
-		// Invalidated mid-build: the result describes a CFG that may no
-		// longer exist. Hand it to this caller (whose view predates the
-		// invalidation) but do not cache it.
+		// Invalidated or evicted mid-build: the result describes a CFG
+		// that may no longer exist. Hand it to this caller (whose view
+		// predates the invalidation) but do not cache it.
 		return live, err
 	}
 	h.live, h.err = live, err
@@ -263,12 +367,25 @@ func (e *Engine) build(h *handle) (*Liveness, error) {
 		h.errAt = backend.EpochsOf(h.f)
 		return nil, err
 	}
-	h.elem = e.lru.PushFront(h)
-	for e.config.MaxCached > 0 && e.lru.Len() > e.config.MaxCached {
-		old := e.lru.Remove(e.lru.Back()).(*handle)
-		old.live, old.elem = nil, nil
-	}
+	h.elem = s.lru.PushFront(h)
+	e.resident.Add(1)
+	e.enforceCacheBound(s)
 	return live, nil
+}
+
+// enforceCacheBound evicts from s's LRU tail while the global resident
+// count exceeds MaxCached. Called with s's mutex held; only the local
+// shard is touched, so enforcement never takes a second lock. Eviction
+// goes through drop, so a victim's queued or in-flight rebuild is
+// discarded rather than resurrecting it.
+func (e *Engine) enforceCacheBound(s *shard) {
+	max := e.config.MaxCached
+	if max <= 0 {
+		return
+	}
+	for e.resident.Load() > int64(max) && s.lru.Len() > 0 {
+		e.drop(s.lru.Back().Value.(*handle))
+	}
 }
 
 // Invalidate eagerly drops any cached analysis (and any recorded error)
@@ -278,38 +395,46 @@ func (e *Engine) build(h *handle) (*Liveness, error) {
 // will not be queried again soon, never required for correctness.
 // Analyses already handed out keep answering against the old program.
 func (e *Engine) Invalidate(f *ir.Func) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	h, ok := e.index[f]
-	if !ok {
+	h := e.lookup(f)
+	if h == nil {
 		return
 	}
-	h.gen++
+	s := h.shard
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	h.err = nil
-	if h.elem != nil {
-		e.lru.Remove(h.elem)
-	}
-	h.live, h.elem = nil, nil
+	e.drop(h)
 }
 
-// Resident reports how many per-function analyses are currently cached.
+// Resident reports how many per-function analyses are currently cached
+// across all shards.
 func (e *Engine) Resident() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.lru.Len()
+	return int(e.resident.Load())
 }
 
-// Rebuilds reports how many re-analyses stale results have forced so far —
-// first builds and refills after LRU eviction or explicit Invalidate do
-// not count. This is the measurable form of the paper's asymmetry: over an
-// instruction-editing pipeline (destruction, the spill loop) a
-// checker-backed engine reports 0 while set-producing backends pay one
-// rebuild per edit-then-query; cmd/benchtables -table pipeline records
-// exactly this per backend.
+// Shards reports the engine's effective shard count (the configured value,
+// or the default when the config left it zero).
+func (e *Engine) Shards() int {
+	return len(e.shards)
+}
+
+// Rebuilds reports how many re-analyses stale results have forced on the
+// query path so far — first builds and refills after LRU eviction or
+// explicit Invalidate do not count, and neither do rebuilds the
+// background pool absorbed (those are BackgroundRebuilds). This is the
+// measurable form of the paper's asymmetry: over an instruction-editing
+// pipeline (destruction, the spill loop) a checker-backed engine reports
+// 0 while set-producing backends pay one rebuild per edit-then-query;
+// cmd/benchtables -table pipeline records exactly this per backend. The
+// total is invariant under the shard count.
 func (e *Engine) Rebuilds() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.rebuilds
+	total := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		total += s.rebuilds
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // BackendStats summarizes the resident analyses served by one backend.
@@ -325,27 +450,31 @@ type BackendStats struct {
 // actually picked per function, which is how callers observe the
 // selection mix of a whole program.
 func (e *Engine) Stats() map[string]BackendStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	out := make(map[string]BackendStats)
-	for el := e.lru.Front(); el != nil; el = el.Next() {
-		live := el.Value.(*handle).live
-		s := out[live.Backend()]
-		s.Funcs++
-		s.MemoryBytes += live.MemoryBytes()
-		out[live.Backend()] = s
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			live := el.Value.(*handle).live
+			st := out[live.Backend()]
+			st.Funcs++
+			st.MemoryBytes += live.MemoryBytes()
+			out[live.Backend()] = st
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // MemoryBytes reports the total footprint of the resident precomputed
-// sets (§6.1, summed over the cache).
+// sets (§6.1, summed over all shards).
 func (e *Engine) MemoryBytes() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	total := 0
-	for el := e.lru.Front(); el != nil; el = el.Next() {
-		total += el.Value.(*handle).live.MemoryBytes()
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			total += el.Value.(*handle).live.MemoryBytes()
+		}
+		s.mu.Unlock()
 	}
 	return total
 }
@@ -358,7 +487,10 @@ const batchParallelThreshold = 256
 // against function f. One analysis lookup and one query handle serve the
 // whole batch (large batches are sharded over the worker pool), so the
 // per-query overhead of the one-at-a-time API is paid once. Answers are
-// positionally identical to calling Liveness.IsLiveIn per query.
+// positionally identical to calling Liveness.IsLiveIn per query. The
+// batch runs under the function's read lock and re-fetches if an Edit
+// lands between the analysis lookup and the batch execution, so it never
+// answers from an analysis an edit has invalidated.
 func (e *Engine) BatchIsLiveIn(f *ir.Func, queries []Query) ([]bool, error) {
 	return e.batch(f, queries, (*Querier).IsLiveIn)
 }
@@ -368,74 +500,37 @@ func (e *Engine) BatchIsLiveOut(f *ir.Func, queries []Query) ([]bool, error) {
 	return e.batch(f, queries, (*Querier).IsLiveOut)
 }
 
-// Oracle is an auto-refreshing query handle bound to one registered
-// function: every query first checks the epochs its current analysis was
-// computed at and transparently re-fetches through the engine (which
-// rebuilds stale analyses) when an edit invalidated it. It satisfies the
-// liveness-oracle shapes of internal/regalloc and internal/destruct, so
-// editing passes run against any backend with no manual refresh hooks —
-// rebuild policy lives in the epochs, not at the call sites.
-//
-// An Oracle owns its Querier (scratch buffers and, with Config.CacheUses,
-// a use-set cache); like the function it queries, it is single-goroutine.
-// Create one per goroutine.
-type Oracle struct {
-	e    *Engine
-	f    *ir.Func
-	live *Liveness
-	qr   *Querier
-}
-
-// Oracle returns an auto-refreshing query handle for a registered
-// function, analyzing it first if needed.
-func (e *Engine) Oracle(f *ir.Func) (*Oracle, error) {
-	live, err := e.Liveness(f)
-	if err != nil {
-		return nil, err
-	}
-	return &Oracle{e: e, f: f, live: live, qr: live.NewQuerier()}, nil
-}
-
-// ensure re-fetches the analysis when the held one went stale. Re-analysis
-// can fail — an edit broke the function structurally, or a CFG edit made
-// it irreducible under the loops backend — and the query methods have no
-// error channel, so the oracle fails closed with a panic rather than
-// answering from a dead analysis. Callers that edit CFGs under a
-// reducibility-limited backend must re-request oracles through
-// Engine.Oracle, where the error is returnable.
-func (o *Oracle) ensure() *Querier {
-	if o.live.Stale() {
-		live, err := o.e.Liveness(o.f)
-		if err != nil {
-			panic(fmt.Sprintf("fastliveness: oracle re-analysis of %s after edit: %v", o.f.Name, err))
-		}
-		o.live = live
-		o.qr = live.NewQuerier()
-	}
-	return o.qr
-}
-
-// IsLiveIn answers against the current program, re-analyzing first if an
-// edit made the held analysis stale.
-func (o *Oracle) IsLiveIn(v *ir.Value, b *ir.Block) bool { return o.ensure().IsLiveIn(v, b) }
-
-// IsLiveOut is IsLiveIn for live-out queries.
-func (o *Oracle) IsLiveOut(v *ir.Value, b *ir.Block) bool { return o.ensure().IsLiveOut(v, b) }
-
-// Interfere is the Budimlić interference test against the current program.
-func (o *Oracle) Interfere(x, y *ir.Value) bool { return o.ensure().Interfere(x, y) }
-
-// Liveness returns the underlying analysis handle, refreshed if stale.
-func (o *Oracle) Liveness() *Liveness {
-	o.ensure()
-	return o.live
-}
-
 func (e *Engine) batch(f *ir.Func, queries []Query, ask func(*Querier, *ir.Value, *ir.Block) bool) ([]bool, error) {
-	live, err := e.Liveness(f)
-	if err != nil {
-		return nil, err
+	h := e.lookup(f)
+	if h == nil {
+		return nil, fmt.Errorf("fastliveness: function %s is not registered with the engine", f.Name)
 	}
+	for {
+		live, err := e.liveness(h)
+		if err != nil {
+			return nil, err
+		}
+		// Execute under the function's read lock: Edits are excluded for
+		// the duration of the batch. If an edit slipped in between the
+		// lookup above and the lock, the analysis reads as stale here and
+		// the batch re-fetches — a fresh result or a transparent
+		// on-demand build, never a stale answer.
+		h.irMu.RLock()
+		if live.Stale() {
+			h.irMu.RUnlock()
+			continue
+		}
+		out := e.runBatch(live, queries, ask)
+		h.irMu.RUnlock()
+		return out, nil
+	}
+}
+
+// runBatch executes the queries against one (fresh) analysis, sharding
+// large batches over the worker pool. The caller holds the function's
+// read lock; the fan-out goroutines run under it too — RLock is shared,
+// so they need no locks of their own.
+func (e *Engine) runBatch(live *Liveness, queries []Query, ask func(*Querier, *ir.Value, *ir.Block) bool) []bool {
 	out := make([]bool, len(queries))
 	workers := e.config.workers()
 	if len(queries) < batchParallelThreshold || workers < 2 {
@@ -443,7 +538,7 @@ func (e *Engine) batch(f *ir.Func, queries []Query, ask func(*Querier, *ir.Value
 		for i, q := range queries {
 			out[i] = ask(qr, q.V, q.B)
 		}
-		return out, nil
+		return out
 	}
 	// Shard into contiguous ranges, one querier per shard; each shard
 	// writes disjoint indices, so the result is order-independent.
@@ -467,5 +562,104 @@ func (e *Engine) batch(f *ir.Func, queries []Query, ask func(*Querier, *ir.Value
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out, nil
+	return out
+}
+
+// Oracle is an auto-refreshing query handle bound to one registered
+// function: every query first checks the epochs its current analysis was
+// computed at (a lock-free atomic comparison) and transparently
+// re-fetches through the engine (which rebuilds stale analyses) when an
+// edit invalidated it. It satisfies the liveness-oracle shapes of
+// internal/regalloc and internal/destruct, so editing passes run against
+// any backend with no manual refresh hooks — rebuild policy lives in the
+// epochs, not at the call sites.
+//
+// An Oracle owns its Querier (scratch buffers and, with Config.CacheUses,
+// a use-set cache); like the function it queries, it is single-goroutine.
+// Create one per goroutine. Each query executes under the function's
+// read lock, so oracle queries are safe against concurrent Engine.Edit
+// calls on the same function.
+type Oracle struct {
+	e    *Engine
+	h    *handle
+	f    *ir.Func
+	live *Liveness
+	qr   *Querier
+}
+
+// Oracle returns an auto-refreshing query handle for a registered
+// function, analyzing it first if needed.
+func (e *Engine) Oracle(f *ir.Func) (*Oracle, error) {
+	h := e.lookup(f)
+	if h == nil {
+		return nil, fmt.Errorf("fastliveness: function %s is not registered with the engine", f.Name)
+	}
+	live, err := e.liveness(h)
+	if err != nil {
+		return nil, err
+	}
+	return &Oracle{e: e, h: h, f: f, live: live, qr: live.NewQuerier()}, nil
+}
+
+// ensure re-fetches the analysis when the held one went stale. Re-analysis
+// can fail — an edit broke the function structurally, or a CFG edit made
+// it irreducible under the loops backend — and the query methods have no
+// error channel, so the oracle fails closed with a panic rather than
+// answering from a dead analysis. Callers that edit CFGs under a
+// reducibility-limited backend must re-request oracles through
+// Engine.Oracle, where the error is returnable.
+//
+// ensure runs without the function's read lock held (taking it here
+// would deadlock against the build path, which read-locks around its own
+// IR walk); the query wrapper re-checks staleness under the lock.
+func (o *Oracle) ensure() *Querier {
+	if o.live.Stale() {
+		live, err := o.e.liveness(o.h)
+		if err != nil {
+			panic(fmt.Sprintf("fastliveness: oracle re-analysis of %s after edit: %v", o.f.Name, err))
+		}
+		o.live = live
+		o.qr = live.NewQuerier()
+	}
+	return o.qr
+}
+
+// query answers one question under the function's read lock, re-fetching
+// until the analysis it holds is fresh at the moment the lock is held.
+// The common case (no intervening edit) is one lock-free staleness check
+// plus one uncontended RLock.
+func (o *Oracle) query(ask func(*Querier) bool) bool {
+	for {
+		qr := o.ensure()
+		o.h.irMu.RLock()
+		if !o.live.Stale() {
+			v := ask(qr)
+			o.h.irMu.RUnlock()
+			return v
+		}
+		// An edit landed between ensure and the lock: retry.
+		o.h.irMu.RUnlock()
+	}
+}
+
+// IsLiveIn answers against the current program, re-analyzing first if an
+// edit made the held analysis stale.
+func (o *Oracle) IsLiveIn(v *ir.Value, b *ir.Block) bool {
+	return o.query(func(qr *Querier) bool { return qr.IsLiveIn(v, b) })
+}
+
+// IsLiveOut is IsLiveIn for live-out queries.
+func (o *Oracle) IsLiveOut(v *ir.Value, b *ir.Block) bool {
+	return o.query(func(qr *Querier) bool { return qr.IsLiveOut(v, b) })
+}
+
+// Interfere is the Budimlić interference test against the current program.
+func (o *Oracle) Interfere(x, y *ir.Value) bool {
+	return o.query(func(qr *Querier) bool { return qr.Interfere(x, y) })
+}
+
+// Liveness returns the underlying analysis handle, refreshed if stale.
+func (o *Oracle) Liveness() *Liveness {
+	o.ensure()
+	return o.live
 }

@@ -117,6 +117,35 @@ func NewRefreshing(b Backend, f *ir.Func) (*Refreshing, error) {
 	return &Refreshing{b: b, f: f, res: res}, nil
 }
 
+// NewRefreshingFrom adopts an already-computed result for f instead of
+// analyzing inline — the async-aware construction path: a concurrent
+// engine (or its background rebuild pool) that has a fresh result on hand
+// wraps it into a single-goroutine self-refreshing handle without paying
+// a second analysis. res must have been produced by b (or an equivalent
+// backend) for f; if it is already stale, the first query simply rebuilds.
+func NewRefreshingFrom(b Backend, f *ir.Func, res Result) *Refreshing {
+	return &Refreshing{b: b, f: f, res: res}
+}
+
+// Refresh eagerly re-analyzes now if the held result is stale, returning
+// the error instead of panicking like the query-path ensure does. It
+// exists for callers that rebuild off the hot path — a background worker
+// or a between-passes hook can Refresh where an error is returnable, so
+// the next query finds the handle fresh and never hits the fail-closed
+// panic. A no-op (and nil) when the result is already fresh.
+func (r *Refreshing) Refresh() error {
+	if !Stale(r.res, r.f) {
+		return nil
+	}
+	res, err := r.b.Analyze(r.f)
+	if err != nil {
+		return err
+	}
+	r.res = res
+	r.rebuilds++
+	return nil
+}
+
 // ensure re-analyzes when stale. Re-analysis can fail — an edit broke the
 // function structurally, or a CFG edit made it irreducible under a
 // reducibility-limited backend — and the Result query methods have no

@@ -198,3 +198,44 @@ func TestRefreshingRebuildPolicy(t *testing.T) {
 		})
 	}
 }
+
+// The async-aware Refreshing paths: NewRefreshingFrom adopts a result
+// built elsewhere (no second analysis), and Refresh rebuilds eagerly off
+// the hot path with a returnable error, so the next query is a pure hit.
+func TestRefreshingAsyncPaths(t *testing.T) {
+	f := ir.MustParse(stalenessSrc)
+	db, err := Get("dataflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewRefreshingFrom(db, f, res)
+	if fresh.Result() != res {
+		t.Fatal("NewRefreshingFrom should serve the adopted result while fresh")
+	}
+	if err := fresh.Refresh(); err != nil {
+		t.Fatalf("Refresh on a fresh handle: %v", err)
+	}
+	if got := fresh.Rebuilds(); got != 0 {
+		t.Fatalf("Rebuilds = %d after no-op Refresh, want 0", got)
+	}
+	one, exit := f.ValueByName("one"), f.BlockByName("exit")
+	exit.NewValue(ir.OpAdd, one, one)
+	if err := fresh.Refresh(); err != nil {
+		t.Fatalf("Refresh after edit: %v", err)
+	}
+	if got := fresh.Rebuilds(); got != 1 {
+		t.Fatalf("Rebuilds = %d after eager Refresh, want 1", got)
+	}
+	// The query after the eager refresh pays no rebuild of its own and
+	// answers against the edited program.
+	if !fresh.IsLiveIn(one, exit) {
+		t.Fatal("refreshed handle should see the new use")
+	}
+	if got := fresh.Rebuilds(); got != 1 {
+		t.Fatalf("Rebuilds = %d after post-Refresh query, want 1", got)
+	}
+}

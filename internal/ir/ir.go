@@ -1,6 +1,9 @@
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Func is a single function: a CFG of blocks. Blocks[0] is the entry.
 //
@@ -25,30 +28,39 @@ type Func struct {
 
 	// cfgEpoch and instrEpoch count the two edit classes. They only ever
 	// increase; any single mutation may advance its epoch by more than one
-	// (compound edits count their parts). Like all IR mutation, bumps are
-	// not synchronized — functions must not be edited concurrently with
-	// reads.
-	cfgEpoch   uint64
-	instrEpoch uint64
+	// (compound edits count their parts). The counters are atomic so a
+	// staleness check (an epoch load) may race a mutation on another
+	// goroutine without torn reads — this is the lock-free seam the
+	// program-level engine's per-query freshness test rides on. The IR
+	// structure itself is NOT synchronized: a bumped epoch says "an edit
+	// happened", it does not make concurrent structural reads safe, so
+	// functions must still not be edited concurrently with IR walks
+	// (the engine's Edit method provides that exclusion when needed).
+	cfgEpoch   atomic.Uint64
+	instrEpoch atomic.Uint64
 }
 
 // CFGEpoch returns the function's CFG edit counter: it advances whenever
 // blocks or edges are added, removed or split. Analyses of every
-// invalidation class are stale once it moves.
-func (f *Func) CFGEpoch() uint64 { return f.cfgEpoch }
+// invalidation class are stale once it moves. The load is atomic and may
+// race mutations on other goroutines.
+func (f *Func) CFGEpoch() uint64 { return f.cfgEpoch.Load() }
 
 // InstrEpoch returns the function's instruction edit counter: it advances
 // whenever values are inserted, removed or reordered, or operands
 // (including φ operands and block controls) are rewritten. Only analyses
 // that materialize per-block sets are stale when it moves; the paper's
-// checker survives.
-func (f *Func) InstrEpoch() uint64 { return f.instrEpoch }
+// checker survives. The load is atomic and may race mutations on other
+// goroutines.
+func (f *Func) InstrEpoch() uint64 { return f.instrEpoch.Load() }
 
-// bumpCFG records a CFG edit.
-func (f *Func) bumpCFG() { f.cfgEpoch++ }
+// bumpCFG records a CFG edit. The bump is published after the structural
+// change in program order; see the field comment for what that does and
+// does not guarantee.
+func (f *Func) bumpCFG() { f.cfgEpoch.Add(1) }
 
 // bumpInstr records an instruction edit.
-func (f *Func) bumpInstr() { f.instrEpoch++ }
+func (f *Func) bumpInstr() { f.instrEpoch.Add(1) }
 
 // NewFunc returns an empty function with the given name.
 func NewFunc(name string) *Func { return &Func{Name: name} }

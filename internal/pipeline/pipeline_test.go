@@ -2,6 +2,7 @@ package pipeline_test
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"fastliveness/internal/gen"
@@ -138,5 +139,50 @@ func TestPipelineSkipsIrreducibleForLoops(t *testing.T) {
 	}
 	if rep.Funcs == 0 {
 		t.Fatal("reducible functions should complete")
+	}
+}
+
+// Driving the pipeline through an engine with shards and background
+// rebuild workers must not change a single report counter or output
+// program: functions are marked dirty only after they finish the chain,
+// so the async machinery refreshes finished functions without touching
+// the per-pass accounting. Wall-time fields are the only legitimate
+// difference and are normalized away.
+func TestPipelineAsyncEngineEquivalence(t *testing.T) {
+	protos := slotCorpus(t, 8, 42, true)
+	run := func(cfg pipeline.Config) (*pipeline.Report, []string) {
+		funcs := make([]*ir.Func, len(protos))
+		for i, p := range protos {
+			funcs[i] = ir.Clone(p)
+		}
+		rep, err := pipeline.Run(funcs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Passes = append([]pipeline.PassStats(nil), rep.Passes...)
+		for i := range rep.Passes {
+			rep.Passes[i].Ns = 0
+		}
+		out := make([]string, len(funcs))
+		for i, f := range funcs {
+			out[i] = ir.Print(f)
+		}
+		return rep, out
+	}
+	// dataflow so the post-chain MarkDirty actually queues work (the
+	// checker survives the editing tail and marks nothing dirty).
+	base := pipeline.Config{Backend: "dataflow", Regs: 4, Verify: true}
+	wantRep, wantOut := run(base)
+	async := base
+	async.Shards = 4
+	async.RebuildWorkers = 2
+	gotRep, gotOut := run(async)
+	if !reflect.DeepEqual(gotRep, wantRep) {
+		t.Fatalf("async engine changed the report:\nsync  %+v\nasync %+v", wantRep, gotRep)
+	}
+	for i := range wantOut {
+		if gotOut[i] != wantOut[i] {
+			t.Fatalf("async engine changed the output program for %s", protos[i].Name)
+		}
 	}
 }

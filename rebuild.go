@@ -1,0 +1,260 @@
+// Background rebuild pool: editing passes (or an explicit MarkDirty)
+// enqueue stale functions, and a small set of worker goroutines
+// re-analyzes them ahead of the next query, so edit-heavy workloads pay
+// re-analysis off the query hot path.
+//
+// Lifecycle of a dirty function:
+//
+//	Edit/MarkDirty ──► queued (deduplicated per handle)
+//	       │
+//	       ▼
+//	worker dequeues ──► skipped if: evicted while queued, already
+//	       │            building, or no longer stale (a query got there
+//	       │            first) — the "no resurrection after eviction"
+//	       ▼            guard is the h.live == nil check plus the
+//	drop + Analyze      generation bump eviction performs.
+//	       │
+//	       ▼
+//	publish if the generation is unchanged and the result is still
+//	fresh; otherwise discard (a query that raced the rebuild either
+//	waited on the shared build or builds on demand — never a stale
+//	answer).
+//
+// The pool shares the engine's single-flight machinery: a worker build
+// sets handle.building, so a query that arrives mid-rebuild waits on the
+// shard's condition variable and is handed the worker's result.
+
+package fastliveness
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fastliveness/internal/backend"
+	"fastliveness/internal/ir"
+)
+
+// rebuildPool runs EngineConfig.RebuildWorkers goroutines over a
+// deduplicated queue of dirty handles.
+type rebuildPool struct {
+	e *Engine
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*handle
+	closed bool
+
+	wg      sync.WaitGroup
+	rebuilt atomic.Int64 // analyses the pool rebuilt and published
+}
+
+func newRebuildPool(e *Engine, workers int) *rebuildPool {
+	p := &rebuildPool{e: e}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *rebuildPool) worker() {
+	defer p.wg.Done()
+	for {
+		h, ok := p.next()
+		if !ok {
+			return
+		}
+		p.e.rebuildOne(h)
+	}
+}
+
+// next blocks until a handle is queued or the pool is closed.
+func (p *rebuildPool) next() (*handle, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if p.closed {
+		return nil, false
+	}
+	h := p.queue[0]
+	p.queue = p.queue[1:]
+	return h, true
+}
+
+// enqueue adds h to the work queue. The caller has already set h.queued
+// under the shard mutex; if the pool is closed the flag is rolled back so
+// the handle is not stuck looking queued forever.
+func (p *rebuildPool) enqueue(h *handle) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		h.shard.mu.Lock()
+		h.queued = false
+		h.shard.mu.Unlock()
+		return
+	}
+	p.queue = append(p.queue, h)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// close stops the workers and waits for them to exit. Pending queue
+// entries are discarded — an un-rebuilt dirty function is simply rebuilt
+// on demand by its next query.
+func (p *rebuildPool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	pending := p.queue
+	p.queue = nil
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+	for _, h := range pending {
+		h.shard.mu.Lock()
+		h.queued = false
+		h.shard.mu.Unlock()
+	}
+}
+
+// rebuildOne re-analyzes one dequeued handle if it still needs it. The
+// decision runs under the shard mutex; the Analyze itself runs unlocked
+// (with building set, sharing the single-flight path with queries) and
+// under the function's read lock, so it cannot race an Edit.
+func (e *Engine) rebuildOne(h *handle) {
+	s := h.shard
+	s.mu.Lock()
+	h.queued = false
+	if h.building || h.live == nil || !h.live.Stale() {
+		// Already being built (a query got there first and the result
+		// will be fresh), evicted or invalidated while queued (must not
+		// be resurrected into the cache), or no longer stale (a query
+		// already rebuilt it). All are no-ops.
+		s.mu.Unlock()
+		return
+	}
+	e.drop(h)
+	h.building = true
+	gen := h.gen
+	s.mu.Unlock()
+
+	h.irMu.RLock()
+	live, err := Analyze(h.f, e.config.Config)
+	h.irMu.RUnlock()
+
+	s.mu.Lock()
+	h.building = false
+	s.cond.Broadcast()
+	switch {
+	case h.gen != gen:
+		// Superseded while building (Invalidate, or an eviction of a
+		// racing publisher bumped the generation): discard. Queries that
+		// waited on this build find live == nil and build on demand.
+	case err != nil:
+		h.err, h.errAt = err, backend.EpochsOf(h.f)
+	case live.Stale():
+		// Another edit landed mid-build; the result is already dead.
+		// Leave the slot empty — the next query (or MarkDirty) rebuilds
+		// against the newer program.
+	default:
+		h.live = live
+		h.elem = s.lru.PushFront(h)
+		e.resident.Add(1)
+		e.enforceCacheBound(s)
+		if h.elem != nil { // not self-evicted by the bound
+			e.pool.rebuilt.Add(1)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// MarkDirty tells the engine f may have been edited. With a rebuild pool
+// configured, a resident analysis that the function's current epochs
+// invalidate is enqueued for background re-analysis, so the next query
+// finds it fresh instead of paying the rebuild inline. Without a pool —
+// and for an unregistered, evicted, still-fresh, already-queued or
+// already-building function — MarkDirty is a cheap safe no-op: staleness
+// is detected from the epochs on the query path regardless, so MarkDirty
+// is always an optimization hint, never required for correctness.
+func (e *Engine) MarkDirty(f *ir.Func) {
+	if e.pool == nil {
+		return
+	}
+	h := e.lookup(f)
+	if h == nil {
+		return
+	}
+	s := h.shard
+	s.mu.Lock()
+	if h.live == nil || h.queued || h.building || !h.live.Stale() {
+		s.mu.Unlock()
+		return
+	}
+	h.queued = true
+	s.mu.Unlock()
+	e.pool.enqueue(h)
+}
+
+// Edit runs edit — a mutation of f — under f's write lock, excluding the
+// background rebuild workers (and any concurrent batch or Oracle query on
+// f) for its duration, then marks f dirty so the pool re-analyzes it
+// ahead of the next query. This is the sanctioned way to mutate a
+// registered function while other goroutines are using the engine; a
+// single-goroutine owner that also issues all the queries (a pass
+// pipeline) may instead edit the IR directly, as the ir package contract
+// always allowed.
+//
+// edit must not call back into the engine for f (the lock is not
+// reentrant); engine calls for other functions are fine. If f is not
+// registered, edit runs with no locking and no dirty mark.
+func (e *Engine) Edit(f *ir.Func, edit func()) {
+	h := e.lookup(f)
+	if h == nil {
+		edit()
+		return
+	}
+	h.irMu.Lock()
+	edit()
+	h.irMu.Unlock()
+	e.MarkDirty(f)
+}
+
+// BackgroundRebuilds reports how many stale analyses the rebuild pool has
+// re-analyzed and published so far — re-analysis work absorbed off the
+// query path. The query-path counterpart is Rebuilds; an edit-heavy
+// workload with enough workers shifts its count from the latter to the
+// former. Zero when no pool is configured.
+func (e *Engine) BackgroundRebuilds() int {
+	if e.pool == nil {
+		return 0
+	}
+	return int(e.pool.rebuilt.Load())
+}
+
+// QueuedRebuilds reports how many functions currently sit in the rebuild
+// pool's queue. Zero when no pool is configured.
+func (e *Engine) QueuedRebuilds() int {
+	if e.pool == nil {
+		return 0
+	}
+	e.pool.mu.Lock()
+	defer e.pool.mu.Unlock()
+	return len(e.pool.queue)
+}
+
+// Close stops the background rebuild workers, if any, and waits for
+// in-flight rebuilds to finish. The engine stays fully usable afterwards
+// — stale analyses are simply rebuilt on the query path again, and
+// MarkDirty reverts to a no-op. Close is idempotent and a no-op for
+// engines without workers.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.close()
+	}
+}
