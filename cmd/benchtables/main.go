@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtables [-table 1|2|edges|fullprecomp|scaling|queries|engine|backends|regalloc|all] [-limit N] [-json] [-regs K]
+//	benchtables [-table 1|2|edges|fullprecomp|scaling|queries|engine|backends|regalloc|pipeline|warmstart|all] [-limit N] [-json] [-regs K]
 //
 // -limit caps the number of procedures generated per benchmark (0 = the
 // full corpus, 4823 procedures — Table 2 then takes a few minutes).
@@ -36,6 +36,15 @@
 // the editing passes caused (0 for the checker — the paper's §4 property
 // measured end to end), per-pass epoch deltas and query counts. -regs
 // sets the base register budget; -json emits rows like the other tables.
+//
+// -table warmstart measures the persistent snapshot tier: a corpus of
+// large loopy functions (~500-8000 blocks each) analyzed cold (empty
+// snapshot store — full precompute plus write-back), warm (populated
+// store, fresh handle per rep — mmap, validate, re-derive the linear
+// parts) and with no store at all as the baseline. The savings column is
+// the fraction of per-function precompute a warm process start no longer
+// pays relative to a cold one; -json emits the report in the
+// BENCH_*.json format (BENCH_7.json is its first point).
 package main
 
 import (
@@ -59,9 +68,9 @@ func main() {
 	regs := flag.Int("regs", 8, "register budget for -table regalloc|pipeline")
 	flag.Parse()
 
-	jsonTables := map[string]bool{"engine": true, "backends": true, "regalloc": true, "pipeline": true}
+	jsonTables := map[string]bool{"engine": true, "backends": true, "regalloc": true, "pipeline": true, "warmstart": true}
 	if *jsonOut && !jsonTables[*table] {
-		fmt.Fprintln(os.Stderr, "-json is only supported with -table engine, backends, regalloc or pipeline")
+		fmt.Fprintln(os.Stderr, "-json is only supported with -table engine, backends, regalloc, pipeline or warmstart")
 		os.Exit(2)
 	}
 
@@ -154,6 +163,25 @@ func main() {
 		} else {
 			fmt.Println(bench.PipelineTable(*limit, *regs))
 		}
+	case "warmstart":
+		// The warm-start corpus is deliberately small in function count —
+		// its functions run to ~8000 blocks each, so 8 and 16 functions
+		// already dwarf the other tables' corpora in analysis time.
+		rep, err := bench.MeasureWarmStart([]int{8, 16}, 5)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			out, err := bench.WarmStartJSON(rep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+		} else {
+			fmt.Println(bench.WarmStartSection(rep))
+		}
 	case "all":
 		fmt.Println(bench.Table1(corpora))
 		fmt.Println(bench.EdgeStats(corpora))
@@ -167,6 +195,9 @@ func main() {
 		fmt.Println(bench.BackendTable(corpora))
 		fmt.Println(bench.RegallocTable(corpora, *regs))
 		fmt.Println(bench.PipelineTable(*limit, *regs))
+		if rep, err := bench.MeasureWarmStart([]int{8, 16}, 3); err == nil {
+			fmt.Println(bench.WarmStartSection(rep))
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)

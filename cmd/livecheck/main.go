@@ -47,6 +47,14 @@
 //	              against the selected backend, printing the per-pass
 //	              epoch-delta/rebuild/query report. Inputs may be slot
 //	              form; the pipeline constructs SSA itself.
+//	-snapshot-dir persist checker precomputations to (and load them from)
+//	              this directory, keyed by CFG structure: a second run over
+//	              the same program skips every per-function precompute. The
+//	              run ends with a "snapshot: H hits, M misses, S stored"
+//	              summary. Snapshots never change answers — a stale or
+//	              corrupt entry is validated away and recomputed. Only the
+//	              checker backend persists; other -backend choices ignore
+//	              the directory.
 package main
 
 import (
@@ -89,6 +97,7 @@ func main() {
 		pipe     = flag.Bool("pipeline", false, "run the full pass pipeline and print the per-pass report")
 		shards   = flag.Int("shards", 0, "engine shard count (0 = default); a contention knob, never changes answers")
 		rebuild  = flag.Int("rebuild-workers", 0, "background rebuild workers re-analyzing edited functions ahead of queries (0 = off)")
+		snapDir  = flag.String("snapshot-dir", "", "persist checker precomputations under this directory and reuse them across runs")
 		queries  queryList
 	)
 	flag.Var(&queries, "q", "query '[in:|out:]%value@block[@func]' (repeatable)")
@@ -99,14 +108,18 @@ func main() {
 		os.Exit(2)
 	}
 	paths, program, err := programArgs(flag.Args())
+	var snap *fastliveness.SnapshotStore
+	if err == nil && *snapDir != "" {
+		snap, err = fastliveness.OpenSnapshotStore(*snapDir, 0)
+	}
 	if err == nil {
 		switch {
 		case *pipe:
 			err = runPipeline(paths, *backendN, *verify, *regs, *shards, *rebuild)
 		case program:
-			err = runProgram(paths, *construct, *backendN, *verify, *stat, *parallel, *regs, *shards, *rebuild, queries)
+			err = runProgram(paths, *construct, *backendN, *verify, *stat, *parallel, *regs, *shards, *rebuild, snap, queries)
 		default:
-			err = run(flag.Arg(0), *construct, *backendN, *verify, *stat, *regs, queries)
+			err = run(flag.Arg(0), *construct, *backendN, *verify, *stat, *regs, snap, queries)
 		}
 	}
 	if err != nil {
@@ -169,7 +182,7 @@ func parseFile(p string) (*ir.Func, error) {
 // concurrently by the engine with the selected backend, summarized (or
 // queried) in sorted file order so output is deterministic regardless of
 // parallelism.
-func runProgram(paths []string, construct bool, backendName string, verify, stat bool, parallel, regs, shards, rebuildWorkers int, queries queryList) error {
+func runProgram(paths []string, construct bool, backendName string, verify, stat bool, parallel, regs, shards, rebuildWorkers int, snap *fastliveness.SnapshotStore, queries queryList) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("no .ssair files found")
 	}
@@ -200,6 +213,7 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 		Parallelism:    parallel,
 		Shards:         shards,
 		RebuildWorkers: rebuildWorkers,
+		SnapshotStore:  snap,
 	})
 	if err != nil {
 		return err
@@ -228,6 +242,7 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 				}
 			}
 		}
+		printSnapshotStats(eng, snap)
 		return nil
 	}
 
@@ -254,7 +269,22 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 	}
 	fmt.Fprintf(stdout, "%d functions analyzed (%d resident, %d bytes of precomputed sets)\n",
 		len(funcs), eng.Resident(), eng.MemoryBytes())
+	printSnapshotStats(eng, snap)
 	return nil
+}
+
+// printSnapshotStats ends a -snapshot-dir run with its disk-tier traffic,
+// one scriptable line — the double-run smoke in CI greps the second run
+// for "0 misses". Close first so pending asynchronous write-backs land on
+// disk before the count is reported (Close is idempotent, so the caller's
+// deferred Close stays harmless).
+func printSnapshotStats(eng *fastliveness.Engine, snap *fastliveness.SnapshotStore) {
+	if snap == nil {
+		return
+	}
+	eng.Close()
+	s := eng.SnapshotStats()
+	fmt.Fprintf(stdout, "snapshot: %d hits, %d misses, %d stored\n", s.Hits, s.Misses, s.Stores)
 }
 
 // answerProgram resolves a '[in:|out:]%value@block@func' query against the
@@ -285,7 +315,7 @@ func answerProgram(eng *fastliveness.Engine, byName map[string]*ir.Func, q strin
 	return answer(f, kind, rest, live.IsLiveIn, live.IsLiveOut)
 }
 
-func run(path string, construct bool, backendName string, verify, stat bool, regs int, queries queryList) error {
+func run(path string, construct bool, backendName string, verify, stat bool, regs int, snap *fastliveness.SnapshotStore, queries queryList) error {
 	f, err := parseFile(path)
 	if err != nil {
 		return err
@@ -303,7 +333,8 @@ func run(path string, construct bool, backendName string, verify, stat bool, reg
 	// — with -regalloc — the allocator's auto-refreshing oracle, so the
 	// function is analyzed exactly once.
 	eng := fastliveness.NewEngine(fastliveness.EngineConfig{
-		Config: fastliveness.Config{Backend: backendName},
+		Config:        fastliveness.Config{Backend: backendName},
+		SnapshotStore: snap,
 	})
 	eng.Add(f)
 	live, err := eng.Liveness(f)
@@ -332,8 +363,11 @@ func run(path string, construct bool, backendName string, verify, stat bool, reg
 			}
 		}
 		if regs > 0 {
-			return regallocPass()
+			if err := regallocPass(); err != nil {
+				return err
+			}
 		}
+		printSnapshotStats(eng, snap)
 		return nil
 	}
 
@@ -355,8 +389,11 @@ func run(path string, construct bool, backendName string, verify, stat bool, reg
 			b, strings.Join(ins, " "), strings.Join(outs, " "))
 	}
 	if regs > 0 {
-		return regallocPass()
+		if err := regallocPass(); err != nil {
+			return err
+		}
 	}
+	printSnapshotStats(eng, snap)
 	return nil
 }
 

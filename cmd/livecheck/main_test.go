@@ -82,12 +82,12 @@ func TestRunGoldenPerBackend(t *testing.T) {
 	for _, name := range fastliveness.Backends() {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			got := capture(t, func() error { return run(p, false, name, true, false, 0, nil) })
+			got := capture(t, func() error { return run(p, false, name, true, false, 0, nil, nil) })
 			if trimLines(got) != trimLines(goldenDump) {
 				t.Errorf("backend %s dump:\n%s\nwant:\n%s", name, got, goldenDump)
 			}
 			queries := capture(t, func() error {
-				return run(p, false, name, true, false, 0,
+				return run(p, false, name, true, false, 0, nil,
 					queryList{"%n@body", "out:%i@head", "in:%one@exit"})
 			})
 			want := "live-in(%n, body) = true\nlive-out(%i, head) = true\nlive-in(%one, exit) = false\n"
@@ -101,7 +101,7 @@ func TestRunGoldenPerBackend(t *testing.T) {
 func TestRunDumpsSets(t *testing.T) {
 	p := writeTemp(t, loopSrc)
 	for _, name := range fastliveness.Backends() {
-		if err := run(p, false, name, true, true, 0, nil); err != nil {
+		if err := run(p, false, name, true, true, 0, nil, nil); err != nil {
 			t.Fatalf("backend %s: %v", name, err)
 		}
 	}
@@ -109,7 +109,7 @@ func TestRunDumpsSets(t *testing.T) {
 
 func TestRunQueries(t *testing.T) {
 	p := writeTemp(t, loopSrc)
-	err := run(p, false, "checker", true, false, 0,
+	err := run(p, false, "checker", true, false, 0, nil,
 		queryList{"%n@body", "out:%i@head", "in:%one@exit"})
 	if err != nil {
 		t.Fatal(err)
@@ -129,12 +129,12 @@ func TestRunErrors(t *testing.T) {
 		{nil, "frobnicate", "unknown backend"},
 	}
 	for _, c := range cases {
-		err := run(p, false, c.backend, true, false, 0, c.queries)
+		err := run(p, false, c.backend, true, false, 0, nil, c.queries)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("queries %v backend %s: err = %v, want %q", c.queries, c.backend, err, c.want)
 		}
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing"), false, "checker", true, false, 0, nil); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing"), false, "checker", true, false, 0, nil, nil); err == nil {
 		t.Error("missing file should error")
 	}
 }
@@ -153,11 +153,11 @@ b1:
 `
 	p := writeTemp(t, slot)
 	// Without -construct, strict verification must reject slot ops.
-	if err := run(p, false, "checker", true, false, 0, nil); err == nil {
+	if err := run(p, false, "checker", true, false, 0, nil, nil); err == nil {
 		t.Fatal("slot form should fail strict verification")
 	}
 	// With -construct it passes.
-	if err := run(p, true, "checker", true, false, 0, nil); err != nil {
+	if err := run(p, true, "checker", true, false, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -214,12 +214,48 @@ func TestProgramArgsExpandsDirectories(t *testing.T) {
 func TestRunProgramSummaryAndQueries(t *testing.T) {
 	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
 	paths, _, _ := programArgs([]string{dir})
-	if err := runProgram(paths, false, "checker", true, true, 4, 0, 0, 0, nil); err != nil {
+	if err := runProgram(paths, false, "checker", true, true, 4, 0, 0, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	qs := queryList{"%i@body@loop", "out:%x@entry@clamp", "in:%r@join@clamp"}
-	if err := runProgram(paths, false, "checker", true, false, 2, 0, 0, 0, qs); err != nil {
+	if err := runProgram(paths, false, "checker", true, false, 2, 0, 0, 0, nil, qs); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// -snapshot-dir double run: the first run misses and stores, the second
+// run of the same program answers identically with zero misses and zero
+// new stores — the warm-start contract, end to end through the CLI. Same
+// assertion the CI smoke makes on the built binary.
+func TestRunProgramSnapshotDoubleRun(t *testing.T) {
+	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
+	paths, _, _ := programArgs([]string{dir})
+	snap, err := fastliveness.OpenSnapshotStore(filepath.Join(t.TempDir(), "snap"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func() string {
+		return capture(t, func() error {
+			return runProgram(paths, false, "checker", true, false, 2, 0, 0, 0, snap, nil)
+		})
+	}
+	cold, warm := runOnce(), runOnce()
+	if !strings.Contains(cold, "snapshot: 0 hits, 2 misses, 2 stored") {
+		t.Errorf("cold run summary:\n%s", cold)
+	}
+	if !strings.Contains(warm, "snapshot: 2 hits, 0 misses, 0 stored") {
+		t.Errorf("warm run summary:\n%s", warm)
+	}
+	if cut := func(s string) string { return s[:strings.Index(s, "snapshot:")] }; cut(cold) != cut(warm) {
+		t.Errorf("snapshot-loaded output differs:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+
+	// Single-function mode shares the store and the summary line.
+	single := capture(t, func() error {
+		return run(paths[0], false, "checker", true, false, 0, snap, nil)
+	})
+	if !strings.Contains(single, "snapshot: 1 hits, 0 misses, 0 stored") {
+		t.Errorf("single-function warm run summary:\n%s", single)
 	}
 }
 
@@ -231,7 +267,7 @@ func TestRunProgramPerBackend(t *testing.T) {
 	qs := queryList{"out:%i@head@loop", "in:%r@join@clamp"}
 	var want string
 	for i, name := range fastliveness.Backends() {
-		got := capture(t, func() error { return runProgram(paths, false, name, true, false, 2, 0, 0, 0, qs) })
+		got := capture(t, func() error { return runProgram(paths, false, name, true, false, 2, 0, 0, 0, nil, qs) })
 		if i == 0 {
 			want = got
 			continue
@@ -256,25 +292,25 @@ func TestRunProgramErrors(t *testing.T) {
 		{nil, "frobnicate", "unknown backend"},
 	}
 	for _, c := range cases {
-		err := runProgram(paths, false, c.backend, true, false, 1, 0, 0, 0, c.queries)
+		err := runProgram(paths, false, c.backend, true, false, 1, 0, 0, 0, nil, c.queries)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("queries %v backend %s: err = %v, want %q", c.queries, c.backend, err, c.want)
 		}
 	}
-	if err := runProgram(nil, false, "checker", true, false, 1, 0, 0, 0, nil); err == nil {
+	if err := runProgram(nil, false, "checker", true, false, 1, 0, 0, 0, nil, nil); err == nil {
 		t.Error("empty program should error")
 	}
 	// Duplicate function names across files are rejected.
 	dup := writeProgram(t, map[string]string{"a.ssair": loopSrc, "b.ssair": loopSrc})
 	paths, _, _ = programArgs([]string{dup})
-	if err := runProgram(paths, false, "checker", true, false, 1, 0, 0, 0, nil); err == nil ||
+	if err := runProgram(paths, false, "checker", true, false, 1, 0, 0, 0, nil, nil); err == nil ||
 		!strings.Contains(err.Error(), "duplicate function name") {
 		t.Errorf("duplicate names: err = %v", err)
 	}
 	// Single-file program mode may omit the @func component.
 	single := writeProgram(t, map[string]string{"loop.ssair": loopSrc})
 	paths, _, _ = programArgs([]string{single})
-	if err := runProgram(paths, false, "checker", true, false, 1, 0, 0, 0, queryList{"out:%i@head"}); err != nil {
+	if err := runProgram(paths, false, "checker", true, false, 1, 0, 0, 0, nil, queryList{"out:%i@head"}); err != nil {
 		t.Errorf("single-function program without @func: %v", err)
 	}
 }
@@ -286,7 +322,7 @@ func TestRunRegallocGoldenPerBackend(t *testing.T) {
 	var want string
 	for i, name := range fastliveness.Backends() {
 		p := writeTemp(t, loopSrc) // fresh file: spills would edit in place
-		got := capture(t, func() error { return run(p, false, name, true, false, 4, nil) })
+		got := capture(t, func() error { return run(p, false, name, true, false, 4, nil, nil) })
 		if i == 0 {
 			want = got
 			if !strings.Contains(got, "regalloc @loop: k=4:") ||
@@ -304,7 +340,7 @@ func TestRunRegallocGoldenPerBackend(t *testing.T) {
 	// A below-pressure budget forces spilling; the run must still succeed
 	// and report it.
 	p := writeTemp(t, loopSrc)
-	got := capture(t, func() error { return run(p, false, "checker", true, false, 3, nil) })
+	got := capture(t, func() error { return run(p, false, "checker", true, false, 3, nil, nil) })
 	if !strings.Contains(got, "spills") || strings.Contains(got, " 0 spills") {
 		t.Errorf("k=3 should spill on the loop function:\n%s", got)
 	}
@@ -368,7 +404,7 @@ func TestRunProgramRegallocWithQueries(t *testing.T) {
 	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
 	paths, _, _ := programArgs([]string{dir})
 	got := capture(t, func() error {
-		return runProgram(paths, false, "checker", true, false, 2, 4, 0, 0, queryList{"out:%i@head@loop"})
+		return runProgram(paths, false, "checker", true, false, 2, 4, 0, 0, nil, queryList{"out:%i@head@loop"})
 	})
 	for _, want := range []string{"live-out(%i, head) = true", "regalloc @clamp: k=4:", "regalloc @loop: k=4:"} {
 		if !strings.Contains(got, want) {
@@ -384,8 +420,8 @@ func TestEngineTuningFlagsIdenticalOutput(t *testing.T) {
 	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
 	paths, _, _ := programArgs([]string{dir})
 	qs := queryList{"out:%i@head@loop", "in:%r@join@clamp"}
-	plain := capture(t, func() error { return runProgram(paths, false, "checker", true, false, 2, 0, 0, 0, qs) })
-	tuned := capture(t, func() error { return runProgram(paths, false, "checker", true, false, 2, 0, 4, 2, qs) })
+	plain := capture(t, func() error { return runProgram(paths, false, "checker", true, false, 2, 0, 0, 0, nil, qs) })
+	tuned := capture(t, func() error { return runProgram(paths, false, "checker", true, false, 2, 0, 4, 2, nil, qs) })
 	if plain != tuned {
 		t.Errorf("-shards/-rebuild-workers changed program output:\n%s\nwant:\n%s", tuned, plain)
 	}

@@ -70,6 +70,13 @@ type EngineConfig struct {
 	// rebuilt synchronously on the query path, exactly as before. An
 	// engine with workers must be Closed to stop them.
 	RebuildWorkers int
+	// SnapshotStore adds a persistent disk tier under the LRU (see
+	// snapshot.go): analysis builds first try a fingerprint-matched
+	// snapshot load, and full precomputes are written back for future
+	// processes. Nil disables the tier. Only the checker backend (the
+	// default) uses it; its precomputation is the CFG-only one that stays
+	// valid across instruction edits and hence across runs.
+	SnapshotStore *SnapshotStore
 }
 
 func (c EngineConfig) workers() int {
@@ -124,6 +131,12 @@ type handle struct {
 	err      error          // Analyze failure, held until the function is edited again
 	errAt    backend.Epochs // epochs the failure was recorded at
 	building bool
+	// verified/verifiedAt record that ir.Verify passed for the function as
+	// of verifiedAt's epochs, so rebuilds, eviction refills and snapshot
+	// restores of unchanged IR skip the verifier's full IR walk. Only the
+	// single in-flight builder (building flag) touches them.
+	verified   bool
+	verifiedAt backend.Epochs
 	queued   bool // sitting in the rebuild pool's queue
 	gen      int  // bumped by invalidation and eviction; in-flight builds from older gens are discarded
 	elem     *list.Element
@@ -162,6 +175,7 @@ type Engine struct {
 
 	resident atomic.Int64 // resident analyses across all shards
 	pool     *rebuildPool // nil unless RebuildWorkers > 0
+	snap     snapshotCounters
 }
 
 // NewEngine returns an empty engine; register functions with Add. With
@@ -351,7 +365,7 @@ func (e *Engine) build(h *handle) (*Liveness, error) {
 	gen := h.gen
 	s.mu.Unlock()
 	h.irMu.RLock()
-	live, err := Analyze(h.f, e.config.Config)
+	live, err := e.analyze(h)
 	h.irMu.RUnlock()
 	s.mu.Lock()
 	h.building = false

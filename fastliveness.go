@@ -88,6 +88,16 @@ type Config struct {
 	// invalidates them — set-producing backends are invalidated by any
 	// program edit, the checker only by CFG changes.
 	Backend string
+	// SkipVerify skips the structural verifier (ir.Verify) at the head of
+	// Analyze. The caller then warrants the function is well formed; a
+	// malformed function yields undefined answers instead of an error. Set
+	// it when the IR was already verified — a frontend that validates its
+	// output, or a benchmark isolating analysis cost. The Engine manages
+	// this itself: it verifies each function once per edit epoch and skips
+	// re-verification on eviction refills, snapshot restores, and
+	// background rebuilds, so engine builds never pay the verifier twice
+	// for the same IR.
+	SkipVerify bool
 }
 
 // Backends lists the registered backend names accepted by Config.Backend.
@@ -129,7 +139,13 @@ type Liveness struct {
 // the entry, and queries assume strict SSA (ssa.VerifyStrict); liveness of
 // a variable whose definition does not dominate its uses is undefined.
 func Analyze(f *ir.Func, config Config) (*Liveness, error) {
-	prep, err := backend.Prepare(f)
+	var prep *backend.Prep
+	var err error
+	if config.SkipVerify {
+		prep, err = backend.PrepareUnverified(f)
+	} else {
+		prep, err = backend.Prepare(f)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -138,12 +154,7 @@ func Analyze(f *ir.Func, config Config) (*Liveness, error) {
 	case "", backend.DefaultName:
 		// The checker honors the strategy/ablation knobs; going through
 		// the registry would lose them.
-		res = backend.NewCheckerResult(prep, core.Options{
-			Strategy:            config.Strategy,
-			NoSkipSubtrees:      config.NoSkipSubtrees,
-			NoReducibleFastPath: config.NoReducibleFastPath,
-			SortedT:             config.SortedT,
-		})
+		res = backend.NewCheckerResult(prep, config.coreOptions())
 	default:
 		b, err := backend.Get(config.Backend)
 		if err != nil {

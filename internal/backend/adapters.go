@@ -59,6 +59,15 @@ func NewCheckerResult(p *Prep, opts core.Options) *CheckerResult {
 	}
 }
 
+// NewCheckerResultFrom wraps an already-built checker — the snapshot-restore
+// path, where the R/T arenas were adopted from disk via core.Adopt instead
+// of recomputed. Epochs are read from p.F at wrap time, exactly as
+// NewCheckerResult does, so staleness tracking is indistinguishable between
+// the two construction paths.
+func NewCheckerResultFrom(p *Prep, c *core.Checker) *CheckerResult {
+	return &CheckerResult{prep: p, checker: c, epochs: EpochsOf(p.F)}
+}
+
 // Checker exposes the underlying core checker.
 func (r *CheckerResult) Checker() *core.Checker { return r.checker }
 

@@ -1,0 +1,102 @@
+package difftest
+
+import (
+	"fmt"
+
+	"fastliveness/internal/backend"
+	"fastliveness/internal/cfg"
+	"fastliveness/internal/core"
+	"fastliveness/internal/dataflow"
+	"fastliveness/internal/ir"
+	"fastliveness/internal/snapshot"
+)
+
+// ValidateSnapshot proves the disk tier can never change an answer, on one
+// function: a checker restored from a saved-and-reloaded snapshot must
+// agree with the data-flow ground truth on every query (exactly the
+// Validate discipline), the snapshot must stay valid — same fingerprint,
+// still answer-identical — after an instruction-only edit, and a CFG edit
+// must change the fingerprint and make Restore fail closed rather than
+// answer from the dead shape.
+//
+// The function is mutated (one added use, one split edge); pass a
+// throwaway corpus function, not one another check still needs.
+func ValidateSnapshot(f *ir.Func, dir string) error {
+	st, err := snapshot.Open(dir, 0)
+	if err != nil {
+		return err
+	}
+	p, err := backend.Prepare(f)
+	if err != nil {
+		return err
+	}
+	fresh := backend.NewCheckerResult(p, core.Options{})
+	snap, err := snapshot.Capture(p, fresh.Checker())
+	if err != nil {
+		return fmt.Errorf("difftest: capture %s: %w", f.Name, err)
+	}
+	if err := st.Save(snap); err != nil {
+		return fmt.Errorf("difftest: save %s: %w", f.Name, err)
+	}
+	loaded, err := st.Load(snap.FP)
+	if err != nil {
+		return fmt.Errorf("difftest: load %s: %w", f.Name, err)
+	}
+	restored, err := loaded.Restore(f, core.Options{})
+	if err != nil {
+		return fmt.Errorf("difftest: restore %s: %w", f.Name, err)
+	}
+	if err := compare("snapshot", f, restored, dataflow.Analyze(f)); err != nil {
+		return err
+	}
+
+	// Instruction-only edit: the cache key must not move (the checker's
+	// CFG-only contract made persistent), and the same on-disk bytes must
+	// answer for the *edited* program — against a ground truth recomputed
+	// after the edit.
+	var someVal *ir.Value
+	f.Values(func(v *ir.Value) {
+		if someVal == nil && v.Op.HasResult() {
+			someVal = v
+		}
+	})
+	if someVal == nil {
+		return fmt.Errorf("difftest: %s has no result-producing value", f.Name)
+	}
+	someVal.Block.NewValue(ir.OpNeg, someVal)
+	g, _ := cfg.FromFunc(f)
+	if fp := snapshot.Fingerprint(g, snap.Flags); fp != snap.FP {
+		return fmt.Errorf("difftest: %s: instruction edit moved the fingerprint %016x -> %016x",
+			f.Name, snap.FP, fp)
+	}
+	restored, err = loaded.Restore(f, core.Options{})
+	if err != nil {
+		return fmt.Errorf("difftest: restore %s after instruction edit: %w", f.Name, err)
+	}
+	if err := compare("snapshot-after-instr-edit", f, restored, dataflow.Analyze(f)); err != nil {
+		return err
+	}
+
+	// CFG edit: the fingerprint must move (the snapshot no longer describes
+	// this shape) and a restore forced across the mismatch must error, not
+	// answer.
+	split := false
+	for _, b := range f.Blocks {
+		if len(b.Succs) > 0 {
+			b.SplitEdge(0)
+			split = true
+			break
+		}
+	}
+	if !split {
+		return fmt.Errorf("difftest: %s has no edge to split", f.Name)
+	}
+	g, _ = cfg.FromFunc(f)
+	if fp := snapshot.Fingerprint(g, snap.Flags); fp == snap.FP {
+		return fmt.Errorf("difftest: %s: CFG edit left the fingerprint at %016x", f.Name, fp)
+	}
+	if _, err := loaded.Restore(f, core.Options{}); err == nil {
+		return fmt.Errorf("difftest: %s: restore across a CFG edit succeeded; want fail-closed error", f.Name)
+	}
+	return nil
+}

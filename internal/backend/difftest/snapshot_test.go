@@ -1,0 +1,22 @@
+package difftest
+
+import (
+	"testing"
+)
+
+// The acceptance criterion of the persistent snapshot tier: over the
+// random reducible + irreducible corpus, a checker restored from disk is
+// answer-identical to the ground truth, stays so after instruction-only
+// edits without a new cache key, and fails closed across CFG edits.
+func TestSnapshotRestoredCheckerAgrees(t *testing.T) {
+	n := 48
+	if testing.Short() {
+		n = 12
+	}
+	dir := t.TempDir()
+	for _, f := range Corpus(n, 20260807) {
+		if err := ValidateSnapshot(f, dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

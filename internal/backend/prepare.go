@@ -32,6 +32,17 @@ func Prepare(f *ir.Func) (*Prep, error) {
 	if err := ir.Verify(f); err != nil {
 		return nil, err
 	}
+	return PrepareUnverified(f)
+}
+
+// PrepareUnverified is Prepare for a caller that warrants f already passes
+// ir.Verify — the engine verifies once per function per edit epoch and then
+// reuses that result across every rebuild, refill, and snapshot restore, so
+// the verifier's full IR walk stays off the per-build path. The CFG-level
+// checks (reachability here, the dominator and dimension validation in the
+// snapshot path) still run; only the instruction-level invariant walk is
+// skipped.
+func PrepareUnverified(f *ir.Func) (*Prep, error) {
 	g, index := cfg.FromFunc(f)
 	d := cfg.NewDFS(g)
 	if d.NumReachable != g.N() {

@@ -1,6 +1,8 @@
 package bitset
 
 import (
+	"errors"
+	"fmt"
 	"math/bits"
 	"strconv"
 )
@@ -39,6 +41,41 @@ func NewMatrix(rows, n int) *Matrix {
 		m.rows[i] = Set{words: m.words[i*wpr : (i+1)*wpr : (i+1)*wpr], n: n}
 	}
 	return m
+}
+
+// AdoptMatrix wraps an existing word arena as a rows × n matrix without
+// copying: the matrix aliases words, so the caller's buffer (a decoded
+// snapshot, an mmap'd file) becomes live set storage with zero per-row
+// allocation. The arena must hold exactly rows*wordsPerRow(n) words; a
+// mismatch is an error, not a panic — adopted data arrives from disk, and
+// corrupt inputs must degrade gracefully.
+func AdoptMatrix(words []uint64, rows, n int) (*Matrix, error) {
+	if rows < 0 || n < 0 {
+		return nil, errors.New("bitset: negative matrix dimension")
+	}
+	wpr := (n + wordBits - 1) / wordBits
+	if len(words) != rows*wpr {
+		return nil, fmt.Errorf("bitset: adopt %d words for %d×%d matrix (want %d)",
+			len(words), rows, n, rows*wpr)
+	}
+	m := &Matrix{words: words, wpr: wpr, n: n}
+	m.rows = make([]Set, rows)
+	for i := range m.rows {
+		m.rows[i] = Set{words: m.words[i*wpr : (i+1)*wpr : (i+1)*wpr], n: n}
+	}
+	return m, nil
+}
+
+// Words exposes the backing arena: rows*wordsPerRow contiguous uint64s, row
+// i at [i*wpr, (i+1)*wpr). It is the zero-copy export AdoptMatrix is the
+// import for — serializers write these words verbatim and re-adopt them on
+// load. The slice aliases live storage; treat it as read-only unless the
+// matrix is otherwise unreferenced. Nil matrices export nil.
+func (m *Matrix) Words() []uint64 {
+	if m == nil {
+		return nil
+	}
+	return m.words
 }
 
 // Rows returns the number of rows.

@@ -40,18 +40,51 @@ func (g *Graph) NumEdges() int {
 // FromFunc extracts the CFG of f. Node i corresponds to f.Blocks[i]; block
 // IDs are not used because they may be sparse after edits. The returned
 // index maps block ID to node.
+//
+// FromFunc runs at the head of every analysis build — including snapshot
+// restores, where it is most of what is left to pay — so the adjacency
+// rows are carved out of two flat arenas sized from the blocks' own
+// degree counts (the IR's edge cross-indices guarantee in-degree ==
+// len(b.Preds)): a handful of allocations total instead of two growing
+// appends per node, and the arenas are pointer-free so the collector
+// never scans the edges. Edge order is identical to the naive
+// AddEdge-per-successor construction.
 func FromFunc(f *ir.Func) (*Graph, []int) {
-	g := NewGraph(len(f.Blocks))
+	n := len(f.Blocks)
 	index := make([]int, f.NumBlocks())
 	for i := range index {
 		index[i] = -1
 	}
+	nEdges := 0
 	for i, b := range f.Blocks {
 		index[b.ID] = i
+		nEdges += len(b.Succs)
 	}
+
+	g := &Graph{Succs: make([][]int, n), Preds: make([][]int, n)}
+	sArena := make([]int, nEdges)
+	sOff := 0
 	for i, b := range f.Blocks {
-		for _, e := range b.Succs {
-			g.AddEdge(i, index[e.B.ID])
+		row := sArena[sOff : sOff+len(b.Succs)]
+		sOff += len(b.Succs)
+		for j, e := range b.Succs {
+			row[j] = index[e.B.ID]
+		}
+		g.Succs[i] = row
+	}
+	// Pred rows, in the same (source, successor-index) order AddEdge would
+	// have produced: carve each row empty at its node's offset, then fill
+	// by appending (within the row's fixed capacity) while walking the
+	// successor lists source-first.
+	pArena := make([]int, nEdges)
+	pOff := 0
+	for i, b := range f.Blocks {
+		g.Preds[i] = pArena[pOff:pOff:pOff+len(b.Preds)]
+		pOff += len(b.Preds)
+	}
+	for i := range f.Blocks {
+		for _, t := range g.Succs[i] {
+			g.Preds[t] = append(g.Preds[t], i)
 		}
 	}
 	return g, index
@@ -116,13 +149,20 @@ type DFS struct {
 // NewDFS runs an iterative depth-first search over g from node 0,
 // classifying edges. Successors are explored in adjacency order, so the
 // traversal is deterministic.
+//
+// Like FromFunc, this runs on every build including snapshot restores, so
+// the six per-node arrays come out of one arena (pointer-free, one GC
+// object) and the visit-order lists are pre-sized to n instead of grown.
 func NewDFS(g *Graph) *DFS {
 	n := g.N()
+	arena := make([]int, 6*n)
 	d := &DFS{
-		Pre:        make([]int, n),
-		Post:       make([]int, n),
-		Parent:     make([]int, n),
-		subtreeMax: make([]int, n),
+		Pre:        arena[0:n:n],
+		Post:       arena[n : 2*n : 2*n],
+		Parent:     arena[2*n : 3*n : 3*n],
+		subtreeMax: arena[3*n : 4*n : 4*n],
+		PreOrder:   arena[4*n : 4*n : 5*n],
+		PostOrder:  arena[5*n : 5*n : 6*n],
 		g:          g,
 	}
 	for i := 0; i < n; i++ {

@@ -109,16 +109,55 @@ func NewFrom(g *cfg.Graph, d *cfg.DFS, tree *dom.Tree, opts Options) *Checker {
 	default:
 		panic("core: unknown strategy")
 	}
+	c.finish()
+	return c
+}
+
+// Adopt builds a ready-to-query checker around R/T matrices computed
+// earlier — by a previous process, typically, with the arenas loaded back
+// from a snapshot (internal/snapshot) instead of re-run through the
+// precompute passes. The matrices must have been produced by the same
+// Strategy over a structurally identical CFG with the same DFS and
+// dominator tree; callers guarantee that by keying snapshots on a
+// structural fingerprint. Everything cheap is re-derived here from g, d
+// and tree (numMax, backTarget, reducibility, the SortedT conversion), so
+// the only trusted inputs are the two arenas, and dimension mismatches are
+// rejected rather than adopted.
+func Adopt(g *cfg.Graph, d *cfg.DFS, tree *dom.Tree, opts Options, r, t *bitset.Matrix) (*Checker, error) {
 	n := d.NumReachable
+	for _, m := range []struct {
+		name string
+		m    *bitset.Matrix
+	}{{"R", r}, {"T", t}} {
+		if m.m == nil {
+			return nil, fmt.Errorf("core: adopt: nil %s matrix", m.name)
+		}
+		if m.m.Rows() != n || m.m.Len() != n {
+			return nil, fmt.Errorf("core: adopt: %s matrix is %d×%d, want %d×%d",
+				m.name, m.m.Rows(), m.m.Len(), n, n)
+		}
+	}
+	c := &Checker{g: g, dfs: d, tree: tree, opts: opts, r: r, t: t}
+	c.reducible = dom.IsReducible(d, tree)
+	c.finish()
+	return c, nil
+}
+
+// finish derives the query-time helpers every construction path needs from
+// the R/T arenas and the shared analyses: the per-node dominance-subtree
+// bounds, the back-edge-target marks, and — under opts.SortedT — the
+// sorted-array T representation (dropping the T arena).
+func (c *Checker) finish() {
+	n := c.dfs.NumReachable
 	c.numMax = make([]int, n)
-	for num, v := range tree.Order {
-		c.numMax[num] = tree.MaxNum[v]
+	for num, v := range c.tree.Order {
+		c.numMax[num] = c.tree.MaxNum[v]
 	}
 	c.backTarget = make([]bool, n)
-	for _, e := range d.BackEdges {
-		c.backTarget[tree.Num[e.T]] = true
+	for _, e := range c.dfs.BackEdges {
+		c.backTarget[c.tree.Num[e.T]] = true
 	}
-	if opts.SortedT {
+	if c.opts.SortedT {
 		c.tSorted = make([][]int32, n)
 		for i := 0; i < n; i++ {
 			elems := c.t.Row(i).Elements()
@@ -130,7 +169,6 @@ func NewFrom(g *cfg.Graph, d *cfg.DFS, tree *dom.Tree, opts Options) *Checker {
 		}
 		c.t = nil // one release frees the whole T arena
 	}
-	return c
 }
 
 // precomputeR builds the reduced-reachability closure in one pass over the
@@ -549,6 +587,15 @@ func (c *Checker) Tree() *dom.Tree { return c.tree }
 
 // DFS returns the depth-first search the checker was built with.
 func (c *Checker) DFS() *cfg.DFS { return c.dfs }
+
+// Options returns the options the checker was built with.
+func (c *Checker) Options() Options { return c.opts }
+
+// Matrices exposes the R and T arenas for serialization (see Adopt for the
+// reverse direction). T is nil for the SortedT variant, which dropped its
+// arena after conversion — such checkers cannot be snapshotted. Treat both
+// as read-only: they are live query storage.
+func (c *Checker) Matrices() (r, t *bitset.Matrix) { return c.r, c.t }
 
 // MemoryBytes reports the payload footprint of the precomputed sets; the
 // harness uses it to reproduce the §6.1 break-even discussion and the §8

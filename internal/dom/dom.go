@@ -1,6 +1,8 @@
 package dom
 
 import (
+	"fmt"
+
 	"fastliveness/internal/cfg"
 )
 
@@ -79,6 +81,41 @@ func Iterative(g *cfg.Graph, d *cfg.DFS) *Tree {
 	}
 	idom[entry] = -1
 	return build(g, d, idom)
+}
+
+// FromIdom rebuilds a dominator tree from a precomputed immediate-dominator
+// array — the snapshot-restore path: idom is the only part of the tree worth
+// persisting, everything else (children order, the dominance-preorder
+// numbering) is re-derived deterministically exactly as Iterative's build
+// step does. The array arrives from disk, so it is validated rather than
+// trusted: wrong length, out-of-range entries, a dominated entry node, or
+// an idom relation that fails to span the reachable nodes (a cycle, say)
+// all return an error instead of producing a tree that would answer
+// dominance queries wrongly.
+func FromIdom(g *cfg.Graph, d *cfg.DFS, idom []int) (*Tree, error) {
+	n := g.N()
+	if len(idom) != n {
+		return nil, fmt.Errorf("dom: idom array has %d entries for %d nodes", len(idom), n)
+	}
+	for v, p := range idom {
+		if p < -1 || p >= n {
+			return nil, fmt.Errorf("dom: idom[%d] = %d out of range", v, p)
+		}
+		if d.Reachable(v) {
+			if v == 0 && p != -1 {
+				return nil, fmt.Errorf("dom: entry node has idom %d", p)
+			}
+			if v != 0 && (p < 0 || !d.Reachable(p)) {
+				return nil, fmt.Errorf("dom: reachable node %d has idom %d", v, p)
+			}
+		}
+	}
+	t := build(g, d, idom)
+	if len(t.Order) != d.NumReachable {
+		return nil, fmt.Errorf("dom: idom relation spans %d of %d reachable nodes",
+			len(t.Order), d.NumReachable)
+	}
+	return t, nil
 }
 
 // build derives children lists and the dominance-preorder numbering from an

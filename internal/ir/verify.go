@@ -15,6 +15,13 @@ import "fmt"
 //   - use lists exactly mirror Args/Control references,
 //   - values belong to the block that contains them, IDs are unique,
 //   - slot references stay below Func.NumSlots.
+//
+// Verify runs before every analysis precompute (backend.Prepare), so it is
+// on the hot path of every engine build and rebuild. All bookkeeping is
+// ID-indexed slices — IDs are small dense ints assigned by the function's
+// own counters — and no error string is formatted until a violation is
+// found, so a verification pass costs O(blocks + values + references) with
+// no map traffic and no allocation beyond the three scratch slices.
 func Verify(f *Func) error {
 	if len(f.Blocks) == 0 {
 		return fmt.Errorf("%s: function has no blocks", f.Name)
@@ -23,15 +30,26 @@ func Verify(f *Func) error {
 		return fmt.Errorf("%s: entry block %s has predecessors", f.Name, f.Entry())
 	}
 
-	seenBlockID := map[int]bool{}
+	// Block identity: placed blocks, ID-indexed. IDs outside the counter's
+	// range mean corrupt bookkeeping (NewBlock assigns them densely).
+	maxBlockID := -1
+	for _, b := range f.Blocks {
+		if b.ID < 0 || b.ID >= f.nextBlockID {
+			return fmt.Errorf("%s: block with ID %d outside [0,%d)", f.Name, b.ID, f.nextBlockID)
+		}
+		if b.ID > maxBlockID {
+			maxBlockID = b.ID
+		}
+	}
+	seenBlock := make([]*Block, maxBlockID+1)
 	for _, b := range f.Blocks {
 		if b.Func != f {
 			return fmt.Errorf("%s: block %s belongs to wrong func", f.Name, b)
 		}
-		if seenBlockID[b.ID] {
+		if seenBlock[b.ID] != nil {
 			return fmt.Errorf("%s: duplicate block ID %d", f.Name, b.ID)
 		}
-		seenBlockID[b.ID] = true
+		seenBlock[b.ID] = b
 		if err := verifyBlockShape(f, b); err != nil {
 			return err
 		}
@@ -57,36 +75,36 @@ func Verify(f *Func) error {
 		}
 	}
 
-	// Value invariants and use-list bookkeeping.
-	type useKey struct {
-		user      *Value
-		index     int
-		userBlock *Block
+	// Value identity: placed values, ID-indexed like blocks, plus a
+	// per-value count of incoming references (arguments and block controls)
+	// that the use lists must match.
+	maxValueID := -1
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			if v.ID < 0 || v.ID >= f.nextValueID {
+				return fmt.Errorf("%s: value with ID %d outside [0,%d)", f.Name, v.ID, f.nextValueID)
+			}
+			if v.ID > maxValueID {
+				maxValueID = v.ID
+			}
+		}
 	}
-	wantUses := map[*Value]map[useKey]bool{}
-	record := func(a *Value, k useKey) {
-		m := wantUses[a]
-		if m == nil {
-			m = map[useKey]bool{}
-			wantUses[a] = m
-		}
-		if m[k] {
-			panic("ir.Verify: duplicate use key") // impossible by construction
-		}
-		m[k] = true
+	seenValue := make([]*Value, maxValueID+1)
+	refCount := make([]int32, maxValueID+1)
+	placed := func(a *Value) bool {
+		return a.ID >= 0 && a.ID <= maxValueID && seenValue[a.ID] == a
 	}
 
-	seenValueID := map[int]*Value{}
 	for _, b := range f.Blocks {
 		inPhis := true
 		for _, v := range b.Values {
 			if v.Block != b {
 				return fmt.Errorf("%s: value %s in %s has Block=%v", f.Name, v, b, v.Block)
 			}
-			if prev, dup := seenValueID[v.ID]; dup {
+			if prev := seenValue[v.ID]; prev != nil {
 				return fmt.Errorf("%s: duplicate value ID %d (%s, %s)", f.Name, v.ID, prev, v)
 			}
-			seenValueID[v.ID] = v
+			seenValue[v.ID] = v
 			if v.Op == OpPhi {
 				if !inPhis {
 					return fmt.Errorf("%s: φ %s in %s appears after non-φ values", f.Name, v, b)
@@ -117,28 +135,47 @@ func Verify(f *Func) error {
 				if !a.Op.HasResult() {
 					return fmt.Errorf("%s: %s uses result-less value %s", f.Name, v, a)
 				}
-				record(a, useKey{user: v, index: i})
+				if a.ID >= 0 && a.ID <= maxValueID {
+					refCount[a.ID]++ // detached targets are rejected below
+				}
 			}
 		}
 		if b.Control != nil {
 			if !b.Control.Op.HasResult() {
 				return fmt.Errorf("%s: %s control %s has no result", f.Name, b, b.Control)
 			}
-			record(b.Control, useKey{userBlock: b})
+			if c := b.Control; c.ID >= 0 && c.ID <= maxValueID {
+				refCount[c.ID]++
+			}
 		}
 	}
 
-	// Every recorded reference must appear exactly once in the use list, and
-	// nothing else may.
+	// Every reference must appear exactly once in the target's use list, and
+	// nothing else may: use counts match reference counts, and every use
+	// record resolves to an actual in-function reference. (Note refCount is
+	// filled during the same walk that populates seenValue, so a value's
+	// count is only trustworthy once the walk is complete — which it is
+	// here.)
 	for _, b := range f.Blocks {
 		for _, v := range b.Values {
-			want := wantUses[v]
-			if len(v.uses) != len(want) {
+			if len(v.uses) != int(refCount[v.ID]) {
 				return fmt.Errorf("%s: %s has %d use records, want %d",
-					f.Name, v, len(v.uses), len(want))
+					f.Name, v, len(v.uses), refCount[v.ID])
 			}
 			for _, u := range v.uses {
-				if !want[useKey{user: u.User, index: u.Index, userBlock: u.UserBlock}] {
+				switch {
+				case u.User != nil && u.UserBlock == nil:
+					if !placed(u.User) || u.Index < 0 || u.Index >= len(u.User.Args) ||
+						u.User.Args[u.Index] != v {
+						return fmt.Errorf("%s: %s has stray use record %+v", f.Name, v, u)
+					}
+				case u.User == nil && u.UserBlock != nil:
+					ub := u.UserBlock
+					if u.Index != 0 || ub.ID < 0 || ub.ID > maxBlockID ||
+						seenBlock[ub.ID] != ub || ub.Control != v {
+						return fmt.Errorf("%s: %s has stray use record %+v", f.Name, v, u)
+					}
+				default:
 					return fmt.Errorf("%s: %s has stray use record %+v", f.Name, v, u)
 				}
 			}
@@ -146,25 +183,18 @@ func Verify(f *Func) error {
 	}
 
 	// Arguments and controls must be values that are placed in some block of
-	// this function.
+	// this function. (Format the reference description only on failure —
+	// this loop runs per argument of every value.)
 	for _, b := range f.Blocks {
-		check := func(a *Value, what string) error {
-			if a.Block == nil || seenValueID[a.ID] != a {
-				return fmt.Errorf("%s: %s references detached value %s", f.Name, what, a)
-			}
-			return nil
-		}
 		for _, v := range b.Values {
 			for _, a := range v.Args {
-				if err := check(a, v.String()); err != nil {
-					return err
+				if !placed(a) {
+					return fmt.Errorf("%s: %s references detached value %s", f.Name, v, a)
 				}
 			}
 		}
-		if b.Control != nil {
-			if err := check(b.Control, b.String()+" control"); err != nil {
-				return err
-			}
+		if a := b.Control; a != nil && !placed(a) {
+			return fmt.Errorf("%s: %s control references detached value %s", f.Name, b, a)
 		}
 	}
 	return nil

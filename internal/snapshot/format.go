@@ -1,0 +1,322 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"unsafe"
+
+	"fastliveness/internal/backend"
+	"fastliveness/internal/bitset"
+	"fastliveness/internal/cfg"
+	"fastliveness/internal/core"
+	"fastliveness/internal/dom"
+	"fastliveness/internal/ir"
+)
+
+// Binary layout (all fixed-width fields little-endian):
+//
+//	offset  size  field
+//	0       8     magic "FLSNAP01"
+//	8       4     version (currently 2)
+//	12      4     flags (FlagsFor bits)
+//	16      8     fingerprint
+//	24      4     nBlocks  (CFG nodes, = len(idom))
+//	28      4     nEdges   (CFG edges; cheap structural cross-check)
+//	32      4     nReach   (entry-reachable nodes, = matrix dimension)
+//	36      4     reserved (zero)
+//	40      8     CRC-32C (Castagnoli) of bytes [0,40) ++ [48,end) in the
+//	              low 4 bytes, high 4 bytes zero — everything but this
+//	              field itself, so any single corrupted bit anywhere in
+//	              the file fails Decode. Castagnoli rather than crc64
+//	              because amd64 and arm64 compute it in hardware: the
+//	              payload is the O(n²) part of the file, and validating it
+//	              must stay far cheaper than recomputing it, or a warm load
+//	              hands back the time the snapshot saved. (Version 1 used
+//	              crc64/ECMA; v1 files simply fail the version check and
+//	              are recomputed and rewritten.)
+//	48      ...   payload: idom as nBlocks×int32, zero padding to the next
+//	              8-byte boundary, then the R arena (nReach×wpr uint64) and
+//	              the T arena (nReach×wpr uint64), wpr = ceil(nReach/64)
+//
+// The header is 48 bytes — a multiple of 8 — and the idom array is padded
+// to 8, so both word arenas sit 8-aligned within the buffer. A Decode of a
+// buffer whose base address is itself 8-aligned (every ReadFile buffer and
+// every page-aligned mmap in practice) can therefore alias the arenas as
+// []uint64 without copying; see adoptWords.
+const (
+	headerSize    = 48
+	formatVersion = 2
+)
+
+var magic = [8]byte{'F', 'L', 'S', 'N', 'A', 'P', '0', '1'}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// maxDim bounds the node counts a header may claim, purely as an
+// arithmetic-overflow guard; real validation is the exact payload-length
+// match below, which ties every count to the actual file size.
+const maxDim = 1 << 30
+
+// Snapshot is one function's decoded (or about-to-be-encoded) checker
+// precomputation. RWords/TWords may alias a Decode input buffer — the
+// zero-copy path — so a Snapshot adopted into a live checker must outlive
+// its buffer, which it does by construction (the slices keep it reachable).
+type Snapshot struct {
+	Flags   uint32
+	FP      uint64
+	NBlocks int
+	NEdges  int
+	NReach  int
+	Idom    []int32
+	RWords  []uint64
+	TWords  []uint64
+}
+
+// ErrNoArena marks checkers that cannot be captured: the SortedT variant
+// drops its T arena after conversion, leaving nothing to serialize. (Such
+// configs still *load* snapshots — core.Adopt re-runs the conversion.)
+var ErrNoArena = errors.New("snapshot: checker dropped its T arena (SortedT); nothing to capture")
+
+// Capture packages a live checker's precomputation for serialization. The
+// word slices alias the checker's arenas — Encode reads them immediately,
+// so the alias is safe as long as the checker is not queried *mutably*
+// in between, and checker arenas are write-once at precompute time.
+func Capture(p *backend.Prep, c *core.Checker) (*Snapshot, error) {
+	r, t := c.Matrices()
+	if t == nil {
+		return nil, ErrNoArena
+	}
+	g := p.Graph
+	flags := FlagsFor(c.Options())
+	idom := make([]int32, g.N())
+	for i, d := range p.Tree.Idom {
+		idom[i] = int32(d)
+	}
+	return &Snapshot{
+		Flags:   flags,
+		FP:      Fingerprint(g, flags),
+		NBlocks: g.N(),
+		NEdges:  g.NumEdges(),
+		NReach:  p.DFS.NumReachable,
+		Idom:    idom,
+		RWords:  r.Words(),
+		TWords:  t.Words(),
+	}, nil
+}
+
+// wordsPerRow mirrors the bitset package's row stride.
+func wordsPerRow(n int) int { return (n + 63) / 64 }
+
+// payloadSize returns the byte length of the payload section for the given
+// dimensions, or -1 on arithmetic overflow.
+func payloadSize(nBlocks, nReach int) int64 {
+	if nBlocks < 0 || nReach < 0 || nBlocks > maxDim || nReach > maxDim {
+		return -1
+	}
+	idomBytes := int64(nBlocks) * 4
+	pad := (8 - idomBytes%8) % 8
+	arena := int64(nReach) * int64(wordsPerRow(nReach)) * 8
+	return idomBytes + pad + 2*arena
+}
+
+// Encode serializes s. The returned buffer is freshly allocated and fully
+// self-contained.
+func (s *Snapshot) Encode() ([]byte, error) {
+	psize := payloadSize(s.NBlocks, s.NReach)
+	if psize < 0 {
+		return nil, fmt.Errorf("snapshot: dimensions out of range (%d blocks, %d reachable)", s.NBlocks, s.NReach)
+	}
+	wpr := wordsPerRow(s.NReach)
+	arena := s.NReach * wpr
+	if len(s.Idom) != s.NBlocks || len(s.RWords) != arena || len(s.TWords) != arena {
+		return nil, fmt.Errorf("snapshot: inconsistent snapshot (idom %d/%d, R %d, T %d, want arena %d)",
+			len(s.Idom), s.NBlocks, len(s.RWords), len(s.TWords), arena)
+	}
+	buf := make([]byte, headerSize+int(psize))
+
+	// Payload first, so the header's checksum field can cover it.
+	p := buf[headerSize:]
+	off := 0
+	for _, d := range s.Idom {
+		binary.LittleEndian.PutUint32(p[off:], uint32(d))
+		off += 4
+	}
+	off += (8 - off%8) % 8 // zero padding is already there
+	for _, w := range s.RWords {
+		binary.LittleEndian.PutUint64(p[off:], w)
+		off += 8
+	}
+	for _, w := range s.TWords {
+		binary.LittleEndian.PutUint64(p[off:], w)
+		off += 8
+	}
+
+	copy(buf[0:8], magic[:])
+	binary.LittleEndian.PutUint32(buf[8:], formatVersion)
+	binary.LittleEndian.PutUint32(buf[12:], s.Flags)
+	binary.LittleEndian.PutUint64(buf[16:], s.FP)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(s.NBlocks))
+	binary.LittleEndian.PutUint32(buf[28:], uint32(s.NEdges))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(s.NReach))
+	binary.LittleEndian.PutUint32(buf[36:], 0)
+	binary.LittleEndian.PutUint64(buf[40:], checksum(buf))
+	return buf, nil
+}
+
+// checksum covers the whole buffer except the checksum field itself.
+func checksum(buf []byte) uint64 {
+	c := crc32.Update(0, crcTable, buf[:40])
+	return uint64(crc32.Update(c, crcTable, buf[headerSize:]))
+}
+
+// Decode parses and validates a snapshot buffer: magic, version, exact
+// payload length for the claimed dimensions, and the payload checksum. Any
+// deviation — truncation, bit flips anywhere, an unknown version — is an
+// error, never a panic and never a silently corrupt Snapshot. On the happy
+// path the R/T word slices alias buf (see adoptWords), so Decode of a
+// ReadFile'd buffer performs no per-word copying.
+func Decode(buf []byte) (*Snapshot, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("snapshot: %d-byte buffer is shorter than the %d-byte header", len(buf), headerSize)
+	}
+	if [8]byte(buf[0:8]) != magic {
+		return nil, errors.New("snapshot: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != formatVersion {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (want %d)", v, formatVersion)
+	}
+	s := &Snapshot{
+		Flags:   binary.LittleEndian.Uint32(buf[12:]),
+		FP:      binary.LittleEndian.Uint64(buf[16:]),
+		NBlocks: int(binary.LittleEndian.Uint32(buf[24:])),
+		NEdges:  int(binary.LittleEndian.Uint32(buf[28:])),
+		NReach:  int(binary.LittleEndian.Uint32(buf[32:])),
+	}
+	psize := payloadSize(s.NBlocks, s.NReach)
+	if psize < 0 || int64(len(buf)-headerSize) != psize {
+		return nil, fmt.Errorf("snapshot: payload is %d bytes, want %d for %d blocks / %d reachable",
+			len(buf)-headerSize, psize, s.NBlocks, s.NReach)
+	}
+	if got, want := checksum(buf), binary.LittleEndian.Uint64(buf[40:]); got != want {
+		return nil, fmt.Errorf("snapshot: checksum %016x does not match header %016x", got, want)
+	}
+	p := buf[headerSize:]
+
+	s.Idom = make([]int32, s.NBlocks)
+	off := 0
+	for i := range s.Idom {
+		s.Idom[i] = int32(binary.LittleEndian.Uint32(p[off:]))
+		off += 4
+	}
+	off += (8 - off%8) % 8
+	arena := s.NReach * wordsPerRow(s.NReach)
+	s.RWords = adoptWords(p[off:off+arena*8], arena)
+	off += arena * 8
+	s.TWords = adoptWords(p[off:off+arena*8], arena)
+	return s, nil
+}
+
+// nativeLittleEndian reports whether the host stores uint64s in the file's
+// byte order, the precondition for aliasing file bytes as words.
+var nativeLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// adoptWords views an 8n-byte buffer as n little-endian uint64s — zero-copy
+// when the host is little-endian and the buffer base is 8-aligned (Go's
+// allocator 8-aligns every fresh []byte, so ReadFile buffers qualify;
+// sub-slices at unpadded offsets would not, which is why the format pads
+// the arenas to 8). Otherwise it falls back to a decoding copy, so the
+// function is correct on any host; only the constant factor changes.
+func adoptWords(b []byte, n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	if nativeLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+// Restore rebuilds a ready-to-query checker result for f from the
+// snapshot, skipping the R/T precompute passes entirely. It re-derives
+// everything linear from the live function — graph, block index, DFS,
+// dominator tree (from the snapshot's idom via dom.FromIdom) — and adopts
+// the word arenas as the checker's matrices.
+//
+// Correctness gate: the snapshot must describe f's *current* CFG under the
+// caller's options. Restore re-fingerprints f and rejects mismatches, plus
+// cheaper structural cross-checks (node/edge counts, full reachability) and
+// the dominator-tree validation inside FromIdom — so a snapshot picked up
+// for the wrong function, or raced with a CFG edit, fails closed into the
+// recompute path rather than answering from someone else's sets.
+func (s *Snapshot) Restore(f *ir.Func, opts core.Options) (*backend.CheckerResult, error) {
+	if err := ir.Verify(f); err != nil {
+		return nil, err
+	}
+	g, index := cfg.FromFunc(f)
+	if fp := Fingerprint(g, s.Flags); fp != s.FP {
+		return nil, fmt.Errorf("snapshot: fingerprint %016x does not match function's %016x", s.FP, fp)
+	}
+	return s.RestoreFrom(f, g, index, opts)
+}
+
+// RestoreFrom is Restore for a caller that has already derived f's graph
+// and block index, matched Fingerprint(g, s.Flags) against s.FP, and
+// warrants that f passes ir.Verify — the engine's load path computes the
+// graph and fingerprint to key its store lookup and tracks verification per
+// edit epoch, and this entry point keeps it from paying for any of them
+// twice. All CFG-level validation (flags, structural counts, full
+// reachability, the dominator-tree checks in FromIdom, matrix dimensions)
+// still runs.
+func (s *Snapshot) RestoreFrom(f *ir.Func, g *cfg.Graph, index []int, opts core.Options) (*backend.CheckerResult, error) {
+	if got := FlagsFor(opts); got != s.Flags {
+		return nil, fmt.Errorf("snapshot: flags %#x do not match requested options (%#x)", s.Flags, got)
+	}
+	if g.N() != s.NBlocks || g.NumEdges() != s.NEdges {
+		return nil, fmt.Errorf("snapshot: CFG is %d nodes/%d edges, snapshot has %d/%d",
+			g.N(), g.NumEdges(), s.NBlocks, s.NEdges)
+	}
+	d := cfg.NewDFS(g)
+	if d.NumReachable != g.N() {
+		return nil, fmt.Errorf("snapshot: %d of %d blocks unreachable from entry", g.N()-d.NumReachable, g.N())
+	}
+	if d.NumReachable != s.NReach {
+		return nil, fmt.Errorf("snapshot: %d reachable nodes, snapshot has %d", d.NumReachable, s.NReach)
+	}
+	idom := make([]int, len(s.Idom))
+	for i, p := range s.Idom {
+		idom[i] = int(p)
+	}
+	tree, err := dom.FromIdom(g, d, idom)
+	if err != nil {
+		return nil, err
+	}
+	n := d.NumReachable
+	r, err := bitset.AdoptMatrix(s.RWords, n, n)
+	if err != nil {
+		return nil, err
+	}
+	t, err := bitset.AdoptMatrix(s.TWords, n, n)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.Adopt(g, d, tree, opts, r, t)
+	if err != nil {
+		return nil, err
+	}
+	p := &backend.Prep{F: f, Graph: g, Index: index, DFS: d, Tree: tree}
+	return backend.NewCheckerResultFrom(p, c), nil
+}
+
+// SizeBytes returns the encoded size of s without encoding it.
+func (s *Snapshot) SizeBytes() int64 {
+	return headerSize + payloadSize(s.NBlocks, s.NReach)
+}

@@ -1,0 +1,354 @@
+package snapshot_test
+
+// External test package: the corpus comes from difftest, which imports
+// fastliveness (and, now, this package) — an in-package test would cycle.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fastliveness/internal/backend"
+	"fastliveness/internal/backend/difftest"
+	"fastliveness/internal/core"
+	"fastliveness/internal/snapshot"
+)
+
+// captureOne builds a fresh checker for f and captures it.
+func captureOne(t testing.TB, i int, seed int64) *snapshot.Snapshot {
+	t.Helper()
+	f := difftest.Corpus(i+1, seed)[i]
+	p, err := backend.Prepare(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := backend.NewCheckerResult(p, core.Options{})
+	s, err := snapshot.Capture(p, cr.Checker())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		s := captureOne(t, i, 11)
+		buf, err := s.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := snapshot.Decode(buf)
+		if err != nil {
+			t.Fatalf("decode snapshot %d: %v", i, err)
+		}
+		if got.Flags != s.Flags || got.FP != s.FP ||
+			got.NBlocks != s.NBlocks || got.NEdges != s.NEdges || got.NReach != s.NReach {
+			t.Fatalf("snapshot %d: header fields changed: %+v vs %+v", i, got, s)
+		}
+		for j := range s.Idom {
+			if got.Idom[j] != s.Idom[j] {
+				t.Fatalf("snapshot %d: idom[%d] = %d, want %d", i, j, got.Idom[j], s.Idom[j])
+			}
+		}
+		if len(got.RWords) != len(s.RWords) || len(got.TWords) != len(s.TWords) {
+			t.Fatalf("snapshot %d: arena lengths changed", i)
+		}
+		for j := range s.RWords {
+			if got.RWords[j] != s.RWords[j] {
+				t.Fatalf("snapshot %d: R word %d changed", i, j)
+			}
+		}
+		for j := range s.TWords {
+			if got.TWords[j] != s.TWords[j] {
+				t.Fatalf("snapshot %d: T word %d changed", i, j)
+			}
+		}
+		// Determinism: re-encoding the decoded snapshot is byte-identical.
+		buf2, err := got.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, buf2) {
+			t.Fatalf("snapshot %d: re-encode is not byte-identical", i)
+		}
+	}
+}
+
+// Every truncation length must be rejected cleanly.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	buf, err := captureOne(t, 3, 12).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(buf); n++ {
+		if _, err := snapshot.Decode(buf[:n]); err == nil {
+			t.Fatalf("decode accepted a %d/%d-byte truncation", n, len(buf))
+		}
+	}
+}
+
+// Every single-bit flip anywhere in the file must be rejected: the
+// checksum covers header and payload alike (only its own field is
+// excluded, and a flip there mismatches the recomputed value).
+func TestDecodeRejectsBitFlips(t *testing.T) {
+	buf, err := captureOne(t, 5, 13).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		for bit := 0; bit < 8; bit++ {
+			buf[i] ^= 1 << bit
+			if _, err := snapshot.Decode(buf); err == nil {
+				t.Fatalf("decode accepted a flip of byte %d bit %d", i, bit)
+			}
+			buf[i] ^= 1 << bit
+		}
+	}
+	if _, err := snapshot.Decode(buf); err != nil {
+		t.Fatalf("pristine buffer no longer decodes: %v", err)
+	}
+}
+
+// A future format version must be rejected by the version check, not by
+// an incidental checksum failure — re-seal the checksum so only the
+// version differs.
+func TestDecodeRejectsWrongVersion(t *testing.T) {
+	buf, err := captureOne(t, 2, 14).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := binary.LittleEndian.Uint32(buf[8:])
+	binary.LittleEndian.PutUint32(buf[8:], current+1)
+	reseal(buf)
+	if _, err := snapshot.Decode(buf); err == nil {
+		t.Fatalf("decode accepted format version %d", current+1)
+	}
+	binary.LittleEndian.PutUint32(buf[8:], current)
+	reseal(buf)
+	if _, err := snapshot.Decode(buf); err != nil {
+		t.Fatalf("restored buffer no longer decodes: %v", err)
+	}
+}
+
+// Dimension fields that change the payload size are tied to the actual
+// byte count even with a valid checksum: a header claiming more data than
+// the buffer holds must fail the length check, never over-read. (Lies the
+// length check cannot see — nEdges, or a ±1 nBlocks that aliases into the
+// alignment padding — are caught by Restore's cross-checks against the
+// live function instead; difftest exercises that side.)
+func TestDecodeRejectsResealedDimensionLies(t *testing.T) {
+	buf, err := captureOne(t, 4, 15).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lie := range []struct {
+		off   int
+		delta uint32
+	}{
+		{24, 2}, // nBlocks: +2 grows the idom array past the padding slack
+		{32, 1}, // nReach: any change resizes both arenas
+	} {
+		orig := binary.LittleEndian.Uint32(buf[lie.off:])
+		binary.LittleEndian.PutUint32(buf[lie.off:], orig+lie.delta)
+		reseal(buf)
+		if _, err := snapshot.Decode(buf); err == nil {
+			t.Fatalf("decode accepted an inflated count at offset %d", lie.off)
+		}
+		binary.LittleEndian.PutUint32(buf[lie.off:], orig)
+	}
+}
+
+// reseal recomputes the checksum field after a deliberate header edit,
+// mirroring the format's definition (everything except bytes [40,48)).
+func reseal(buf []byte) {
+	castagnoli := crc32.MakeTable(crc32.Castagnoli)
+	c := crc32.Update(0, castagnoli, buf[:40])
+	c = crc32.Update(c, castagnoli, buf[48:])
+	binary.LittleEndian.PutUint64(buf[40:], uint64(c))
+}
+
+// FuzzDecode hammers the parser with corrupted and arbitrary buffers: the
+// contract under test is "error or valid snapshot, never a panic". Seeds
+// include a genuine encoded snapshot so mutation explores the interesting
+// neighborhood.
+func FuzzDecode(f *testing.F) {
+	buf, err := captureOne(f, 1, 16).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf)
+	f.Add([]byte{})
+	f.Add(buf[:48])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := snapshot.Decode(data)
+		if err == nil && s == nil {
+			t.Fatal("nil snapshot with nil error")
+		}
+	})
+}
+
+// Structurally distinct graphs must get distinct fingerprints across the
+// corpus (collisions are possible in principle at 64 bits; at corpus scale
+// one would indicate a framing bug, not bad luck).
+func TestFingerprintDistinctAcrossCorpus(t *testing.T) {
+	seen := make(map[uint64]string)
+	for i, f := range difftest.Corpus(80, 17) {
+		p, err := backend.Prepare(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon := canonical(p)
+		fp := snapshot.Fingerprint(p.Graph, 0)
+		if prev, ok := seen[fp]; ok && prev != canon {
+			t.Fatalf("corpus func %d: fingerprint %016x collides across distinct structures", i, fp)
+		} else if ok && prev == canon {
+			continue // structurally identical functions must collide
+		}
+		seen[fp] = canon
+		// Flags are part of the key: the same graph under the exact
+		// strategy must not alias the propagate-strategy snapshot.
+		if alt := snapshot.Fingerprint(p.Graph, snapshot.FlagsFor(core.Options{Strategy: core.StrategyExact})); alt == fp {
+			t.Fatalf("corpus func %d: exact and propagate share fingerprint %016x", i, fp)
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("corpus produced only %d distinct structures", len(seen))
+	}
+}
+
+func canonical(p *backend.Prep) string {
+	var b bytes.Buffer
+	for _, succs := range p.Graph.Succs {
+		fmt.Fprintf(&b, "%v;", succs)
+	}
+	return b.String()
+}
+
+func TestStoreSaveLoadGC(t *testing.T) {
+	dir := t.TempDir()
+	st, err := snapshot.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []*snapshot.Snapshot
+	for i := 0; i < 6; i++ {
+		s := captureOne(t, 2*i, 18) // even corpus indices: structured gen, varied shapes
+		if err := st.Save(s); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, s)
+	}
+	distinct := make(map[uint64]*snapshot.Snapshot)
+	for _, s := range snaps {
+		distinct[s.FP] = s
+	}
+	if st.Len() != len(distinct) {
+		t.Fatalf("store holds %d files, want %d", st.Len(), len(distinct))
+	}
+	for fp := range distinct {
+		if !st.Contains(fp) {
+			t.Fatalf("store lost fingerprint %016x", fp)
+		}
+		if _, err := st.Load(fp); err != nil {
+			t.Fatalf("load %016x: %v", fp, err)
+		}
+	}
+	if _, err := st.Load(0xdeadbeef); err != snapshot.ErrNotFound {
+		t.Fatalf("missing fingerprint: got %v, want ErrNotFound", err)
+	}
+
+	// GC: re-open with a budget that fits roughly half the files, stamp
+	// deterministic mtimes (oldest first in snaps order), and save one
+	// more — the oldest must go, the newest must stay.
+	total := st.SizeBytes()
+	bounded, err := snapshot.Open(dir, total/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	base := time.Now().Add(-time.Hour)
+	for fp := range distinct {
+		path := filepath.Join(dir, fpName(fp))
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(path, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	fresh := captureOne(t, 13, 19)
+	if err := bounded.Save(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if got := bounded.SizeBytes(); got > total/2 {
+		t.Fatalf("store holds %d bytes after GC, budget %d", got, total/2)
+	}
+	if !bounded.Contains(fresh.FP) {
+		t.Fatal("GC deleted the snapshot just saved")
+	}
+}
+
+// A budget smaller than a single snapshot must keep the file just written
+// (Save must not immediately unlink its own work).
+func TestStoreGCKeepsJustWritten(t *testing.T) {
+	st, err := snapshot.Open(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := captureOne(t, 0, 20)
+	if err := st.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Contains(s.FP) {
+		t.Fatal("1-byte budget unlinked the snapshot being saved")
+	}
+}
+
+// A corrupt file degrades to a miss and is removed so a future save can
+// repair it.
+func TestStoreCorruptFileSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	st, err := snapshot.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := captureOne(t, 1, 21)
+	if err := st.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fpName(s.FP))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(path, buf, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(s.FP); err == nil || err == snapshot.ErrNotFound {
+		t.Fatalf("corrupt load: got %v, want a decode error", err)
+	}
+	if st.Contains(s.FP) {
+		t.Fatal("corrupt file survived the failed load; a save would dedupe against it forever")
+	}
+	if err := st.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(s.FP); err != nil {
+		t.Fatalf("store did not heal: %v", err)
+	}
+}
+
+func fpName(fp uint64) string {
+	const hexdigits = "0123456789abcdef"
+	name := make([]byte, 16)
+	for i := 15; i >= 0; i-- {
+		name[i] = hexdigits[fp&0xf]
+		fp >>= 4
+	}
+	return string(name) + ".flsnap"
+}

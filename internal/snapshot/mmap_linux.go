@@ -1,0 +1,12 @@
+//go:build linux
+
+package snapshot
+
+import "syscall"
+
+// populateFlag asks mmap to prefault the whole mapping up front.
+// Snapshot loads validate the checksum over every payload byte
+// immediately, so the pages are all needed anyway — one MAP_POPULATE
+// walk in the kernel is several times cheaper than taking a demand
+// fault per 4KiB page during the checksum scan.
+const populateFlag = syscall.MAP_POPULATE

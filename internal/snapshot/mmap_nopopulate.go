@@ -1,0 +1,7 @@
+//go:build unix && !linux
+
+package snapshot
+
+// populateFlag: no MAP_POPULATE equivalent; pages fault in on demand
+// during the checksum scan.
+const populateFlag = 0

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package snapshot
+
+// mapFile on platforms without a (wired-up) mmap reads the whole file; the
+// decode path is identical, just with a private copy instead of shared
+// pages.
+func mapFile(path string) ([]byte, func() error, error) {
+	return readFallback(path)
+}

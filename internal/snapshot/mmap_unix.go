@@ -1,0 +1,38 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and returns the mapped bytes plus a release
+// function. The mapping is MAP_SHARED over an immutable file (Save only
+// ever renames complete files into place), so the kernel's page cache is
+// the single copy of the payload for every process that loads the same
+// snapshot — the point of the format's mmap-friendly alignment. Filesystems
+// that refuse mmap fall back to a plain read; callers cannot tell the
+// difference beyond the copy.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := info.Size()
+	if size <= 0 || size != int64(int(size)) {
+		// Empty (below any valid header, let Decode say so) or too large to
+		// address; read the honest way.
+		return readFallback(path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED|populateFlag)
+	if err != nil {
+		return readFallback(path)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,13 @@
+package snapshot
+
+import "os"
+
+// readFallback is mapFile's portable slow path: a plain read into a fresh
+// buffer, with a no-op release.
+func readFallback(path string) ([]byte, func() error, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf, func() error { return nil }, nil
+}

@@ -1,0 +1,223 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned by Store.Load when no snapshot exists for the
+// fingerprint — the ordinary cache-miss signal, distinct from corruption
+// (which surfaces as a Decode error and equally degrades to recompute).
+var ErrNotFound = errors.New("snapshot: not found")
+
+const fileExt = ".flsnap"
+
+// Store manages a directory of snapshot files, one per fingerprint
+// (<%016x>.flsnap), with a byte budget enforced by mtime-ordered GC —
+// effectively LRU, because Load touches the file it hits. Saves go through
+// a temp file plus atomic rename, so concurrent processes sharing a
+// directory never observe half-written snapshots; the checksum in the
+// format catches everything else. The mutex serializes Save/GC within one
+// process; cross-process races at worst re-save an identical file or GC a
+// file the other process re-creates — benign, because snapshots are pure
+// functions of their fingerprint.
+//
+// Loads are mmap-backed where the platform allows (see mapFile): the
+// decoded Snapshot's word arenas alias the read-only mapping, so the
+// kernel's page cache — shared across every process mapping the same file
+// — is the only copy of the O(n²) payload, and a load moves no matrix
+// bytes at all beyond the checksum scan. Validated snapshots are cached
+// per fingerprint for the store's lifetime; since a snapshot is a pure
+// function of its fingerprint and Save only ever replaces files via
+// rename (new inode, existing mappings untouched), a cached entry can
+// never go stale. The flip side of aliasing the file is a contract on
+// writers: snapshot files must be replaced atomically, as Save does —
+// truncating a file in place while some process has it loaded is
+// undefined (SIGBUS territory), exactly as with any mmap'd format.
+type Store struct {
+	dir      string
+	maxBytes int64 // <= 0 means unbounded
+	mu       sync.Mutex
+	cache    map[uint64]*Snapshot // validated loads, alive for the store's lifetime
+}
+
+// Open creates (if needed) and opens a snapshot directory. maxBytes bounds
+// the directory's total snapshot size; <= 0 disables the bound.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, maxBytes: maxBytes, cache: make(map[uint64]*Snapshot)}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) path(fp uint64) string {
+	return filepath.Join(st.dir, fmt.Sprintf("%016x%s", fp, fileExt))
+}
+
+// Contains reports whether a snapshot file exists for fp (without reading
+// or validating it) — the cheap dedupe check before scheduling a Save.
+func (st *Store) Contains(fp uint64) bool {
+	_, err := os.Stat(st.path(fp))
+	return err == nil
+}
+
+// Load returns the decoded snapshot for fp — from the in-process cache
+// when this store validated it before, otherwise by mapping and decoding
+// the file. Missing files return ErrNotFound; corrupt or mismatched files
+// return the Decode/consistency error. A fresh hit touches the file's
+// mtime so the GC's eviction order tracks use, not just creation.
+func (st *Store) Load(fp uint64) (*Snapshot, error) {
+	st.mu.Lock()
+	if s, ok := st.cache[fp]; ok {
+		st.mu.Unlock()
+		return s, nil
+	}
+	st.mu.Unlock()
+
+	path := st.path(fp)
+	buf, unmap, err := mapFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	s, err := Decode(buf)
+	if err != nil {
+		// The file is demonstrably garbage. Delete it so a future save can
+		// repair the store; while it sat there, Contains would dedupe the
+		// very save that could fix it. The caller still sees the miss.
+		os.Remove(path)
+		unmap()
+		return nil, err
+	}
+	if s.FP != fp {
+		os.Remove(path)
+		unmap()
+		return nil, fmt.Errorf("snapshot: file %s holds fingerprint %016x", filepath.Base(path), s.FP)
+	}
+	if !nativeLittleEndian {
+		unmap() // Decode copied the arenas; nothing aliases the mapping
+	}
+	now := time.Now()
+	_ = os.Chtimes(path, now, now) // best-effort recency for GC
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if prior, ok := st.cache[fp]; ok {
+		return prior, nil // a concurrent loader won; this mapping stays too
+	}
+	st.cache[fp] = s
+	return s, nil
+}
+
+// Save encodes and writes s, keyed by its fingerprint, then enforces the
+// byte budget. Writing an already-present fingerprint replaces the file
+// with identical bytes — harmless, and what concurrent savers do to each
+// other.
+func (st *Store) Save(s *Snapshot) error {
+	buf, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	final := st.path(s.FP)
+	tmp, err := os.CreateTemp(st.dir, "tmp-*"+fileExt+".partial")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	st.gcLocked(filepath.Base(final))
+	return nil
+}
+
+// SizeBytes sums the store's snapshot files.
+func (st *Store) SizeBytes() int64 {
+	var total int64
+	for _, f := range st.files() {
+		total += f.size
+	}
+	return total
+}
+
+// Len counts the store's snapshot files.
+func (st *Store) Len() int { return len(st.files()) }
+
+type storeFile struct {
+	name  string
+	size  int64
+	mtime time.Time
+}
+
+// files lists the directory's snapshot files (ignoring temp files and
+// anything unstattable — it may have been GC'd by a concurrent process).
+func (st *Store) files() []storeFile {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil
+	}
+	var out []storeFile
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), fileExt) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, storeFile{name: e.Name(), size: info.Size(), mtime: info.ModTime()})
+	}
+	return out
+}
+
+// gcLocked deletes oldest-first until the directory fits the byte budget,
+// never deleting keep (the file just written — a budget smaller than one
+// snapshot must not make Save a no-op that immediately unlinks its own
+// work).
+func (st *Store) gcLocked(keep string) {
+	if st.maxBytes <= 0 {
+		return
+	}
+	files := st.files()
+	var total int64
+	for _, f := range files {
+		total += f.size
+	}
+	if total <= st.maxBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if total <= st.maxBytes {
+			break
+		}
+		if f.name == keep {
+			continue
+		}
+		if os.Remove(filepath.Join(st.dir, f.name)) == nil {
+			total -= f.size
+		}
+	}
+}

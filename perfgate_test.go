@@ -1,0 +1,160 @@
+package fastliveness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestPerfGate is the CI perf-regression gate over the committed
+// BENCH_*.json artifacts. Each PR's benchmark run is committed as an
+// artifact rather than re-run in CI (CI machines are too noisy to time
+// on), so the gate pins the properties the artifacts are required to
+// demonstrate; regressing one means committing an artifact that no longer
+// shows it, and the gate turns that into a test failure instead of a
+// silently weaker claim.
+//
+// Gated properties:
+//   - pipeline artifacts (BENCH_5): the checker backend completes the
+//     editing pipeline with 0 staleness-forced rebuilds (the paper's §4
+//     claim measured end to end), and its end-to-end cost per procedure
+//     stays under a pinned ceiling.
+//   - engine throughput artifacts (BENCH_6): concurrent edits never force
+//     a rebuild onto a query path (query_rebuilds == 0 in every row; the
+//     one background rebuild the edit schedules is expected and not
+//     gated).
+//   - warm-start artifacts (BENCH_7): a warm process start skips >= 80%
+//     of per-function precompute vs a cold one, every function is served
+//     from the store (hits == funcs, misses == 0), and steady-state
+//     queries on snapshot-adopted arenas stay at 0 allocs/op.
+const (
+	// checkerPipelineNsPerProcMax bounds the checker pipeline row's
+	// ns_per_op/procs. The committed value is ~72.5µs/proc; the ceiling
+	// leaves ~2x headroom so a re-benchmark on slower hardware passes
+	// while an algorithmic regression (or an artifact from a broken
+	// build) does not.
+	checkerPipelineNsPerProcMax = 150_000
+	// warmStartMinSavings is the acceptance floor for the snapshot tier:
+	// fraction of per-function precompute a warm start must eliminate.
+	warmStartMinSavings = 0.80
+)
+
+func TestPerfGate(t *testing.T) {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no BENCH_*.json artifacts found; the gate has nothing to check")
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		t.Run(path, func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var doc map[string]json.RawMessage
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				t.Fatalf("not a JSON object: %v", err)
+			}
+			if rows, ok := doc["pipeline"]; ok {
+				gatePipeline(t, rows)
+			}
+			if rows, ok := doc["rows"]; ok {
+				gateEngineRows(t, rows)
+			}
+			if rep, ok := doc["warmstart"]; ok {
+				gateWarmStart(t, rep)
+			}
+		})
+	}
+}
+
+func gatePipeline(t *testing.T, raw json.RawMessage) {
+	var rows []struct {
+		Name     string  `json:"name"`
+		Procs    int     `json:"procs"`
+		NsPerOp  float64 `json:"ns_per_op"`
+		Rebuilds int64   `json:"rebuilds"`
+	}
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatalf("pipeline rows: %v", err)
+	}
+	found := false
+	for _, r := range rows {
+		if r.Name != "checker" {
+			continue
+		}
+		found = true
+		if r.Rebuilds != 0 {
+			t.Errorf("checker pipeline row reports %d staleness-forced rebuilds, want 0", r.Rebuilds)
+		}
+		if r.Procs <= 0 {
+			t.Errorf("checker pipeline row has procs=%d", r.Procs)
+			continue
+		}
+		if perProc := r.NsPerOp / float64(r.Procs); perProc > checkerPipelineNsPerProcMax {
+			t.Errorf("checker pipeline cost %.0f ns/proc exceeds the %d ns/proc ceiling",
+				perProc, int(checkerPipelineNsPerProcMax))
+		}
+	}
+	if !found {
+		t.Error("pipeline artifact has no checker row")
+	}
+}
+
+func gateEngineRows(t *testing.T, raw json.RawMessage) {
+	var rows []map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatalf("rows: %v", err)
+	}
+	for i, r := range rows {
+		qr, ok := r["query_rebuilds"]
+		if !ok {
+			continue // not an engine-throughput row shape
+		}
+		var n int64
+		if err := json.Unmarshal(qr, &n); err != nil {
+			t.Errorf("row %d: query_rebuilds: %v", i, err)
+			continue
+		}
+		if n != 0 {
+			t.Errorf("row %d: %d rebuilds forced onto query paths, want 0", i, n)
+		}
+	}
+}
+
+func gateWarmStart(t *testing.T, raw json.RawMessage) {
+	var rep struct {
+		Rows []struct {
+			Funcs          int     `json:"funcs"`
+			Savings        float64 `json:"savings"`
+			Hits           int64   `json:"snapshot_hits"`
+			Misses         int64   `json:"snapshot_misses"`
+			QueryAllocsPer float64 `json:"warm_query_allocs_per_op"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("warmstart report: %v", err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("warmstart artifact has no rows")
+	}
+	for _, r := range rep.Rows {
+		if r.Savings < warmStartMinSavings {
+			t.Errorf("funcs=%d: warm start saves only %.1f%% of per-function precompute, want >= %.0f%%",
+				r.Funcs, r.Savings*100, warmStartMinSavings*100)
+		}
+		if r.Hits != int64(r.Funcs) || r.Misses != 0 {
+			t.Errorf("funcs=%d: warm run hit %d/%d with %d misses; every function must load from the store",
+				r.Funcs, r.Hits, r.Funcs, r.Misses)
+		}
+		if r.QueryAllocsPer != 0 {
+			t.Errorf("funcs=%d: steady-state queries allocate %.1f/op on snapshot-adopted arenas, want 0",
+				r.Funcs, r.QueryAllocsPer)
+		}
+	}
+}

@@ -35,13 +35,17 @@ import (
 )
 
 // rebuildPool runs EngineConfig.RebuildWorkers goroutines over a
-// deduplicated queue of dirty handles.
+// deduplicated queue of dirty handles, plus a second, lower-priority queue
+// of snapshot write-back jobs (engine.saveSnapshot): rebuilds keep queries
+// fast now, saves only help future processes, so workers always drain
+// rebuilds first.
 type rebuildPool struct {
 	e *Engine
 
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []*handle
+	saves  []func()
 	closed bool
 
 	wg      sync.WaitGroup
@@ -61,27 +65,53 @@ func newRebuildPool(e *Engine, workers int) *rebuildPool {
 func (p *rebuildPool) worker() {
 	defer p.wg.Done()
 	for {
-		h, ok := p.next()
-		if !ok {
+		h, save, ok := p.next()
+		switch {
+		case !ok:
 			return
+		case h != nil:
+			p.e.rebuildOne(h)
+		default:
+			save()
 		}
-		p.e.rebuildOne(h)
 	}
 }
 
-// next blocks until a handle is queued or the pool is closed.
-func (p *rebuildPool) next() (*handle, bool) {
+// next blocks until work is queued or the pool is closed, handing out
+// rebuilds before saves.
+func (p *rebuildPool) next() (*handle, func(), bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for len(p.queue) == 0 && !p.closed {
+	for len(p.queue) == 0 && len(p.saves) == 0 && !p.closed {
 		p.cond.Wait()
 	}
 	if p.closed {
-		return nil, false
+		return nil, nil, false
 	}
-	h := p.queue[0]
-	p.queue = p.queue[1:]
-	return h, true
+	if len(p.queue) > 0 {
+		h := p.queue[0]
+		p.queue = p.queue[1:]
+		return h, nil, true
+	}
+	save := p.saves[0]
+	p.saves = p.saves[1:]
+	return nil, save, true
+}
+
+// enqueueSave adds a snapshot write-back job. On a closed pool the job
+// runs inline instead of being dropped: unlike a discarded rebuild (which
+// the next query transparently redoes), a dropped save would silently lose
+// the warm start the caller already paid the precompute for.
+func (p *rebuildPool) enqueueSave(save func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		save()
+		return
+	}
+	p.saves = append(p.saves, save)
+	p.mu.Unlock()
+	p.cond.Signal()
 }
 
 // enqueue adds h to the work queue. The caller has already set h.queued
@@ -101,9 +131,12 @@ func (p *rebuildPool) enqueue(h *handle) {
 	p.cond.Signal()
 }
 
-// close stops the workers and waits for them to exit. Pending queue
+// close stops the workers and waits for them to exit. Pending rebuild
 // entries are discarded — an un-rebuilt dirty function is simply rebuilt
-// on demand by its next query.
+// on demand by its next query — but pending snapshot saves are drained to
+// disk, so an engine that was Closed has flushed every write-back it
+// scheduled (the property the warm-start story rests on: process one
+// Closes, process two hits).
 func (p *rebuildPool) close() {
 	p.mu.Lock()
 	if p.closed {
@@ -113,6 +146,8 @@ func (p *rebuildPool) close() {
 	p.closed = true
 	pending := p.queue
 	p.queue = nil
+	saves := p.saves
+	p.saves = nil
 	p.mu.Unlock()
 	p.cond.Broadcast()
 	p.wg.Wait()
@@ -120,6 +155,9 @@ func (p *rebuildPool) close() {
 		h.shard.mu.Lock()
 		h.queued = false
 		h.shard.mu.Unlock()
+	}
+	for _, save := range saves {
+		save()
 	}
 }
 
@@ -145,7 +183,7 @@ func (e *Engine) rebuildOne(h *handle) {
 	s.mu.Unlock()
 
 	h.irMu.RLock()
-	live, err := Analyze(h.f, e.config.Config)
+	live, err := e.analyze(h)
 	h.irMu.RUnlock()
 
 	s.mu.Lock()

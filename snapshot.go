@@ -1,0 +1,242 @@
+// Persistent snapshot tier: the disk layer under the engine's LRU.
+//
+// The checker's R/T precomputation depends only on CFG structure (§4), so
+// it is cacheable across processes keyed by a structural fingerprint of
+// the CFG — yesterday's precomputations answer today's queries as long as
+// the control flow is unchanged, no matter how many instructions were
+// edited in between. SnapshotStore wires internal/snapshot into the
+// engine: on an analysis miss (first build, eviction refill, CFG-edit
+// rebuild) the engine first tries a fingerprint-matched load from disk and
+// only falls back to the full precompute when none validates; successful
+// computes are written back asynchronously through the rebuild pool's
+// workers, off the build path.
+package fastliveness
+
+import (
+	"sync/atomic"
+
+	"fastliveness/internal/backend"
+	"fastliveness/internal/cfg"
+	"fastliveness/internal/core"
+	"fastliveness/internal/ir"
+	"fastliveness/internal/snapshot"
+)
+
+// SnapshotStore is a handle on an on-disk snapshot directory, shareable
+// between engines and processes. Open one with OpenSnapshotStore and set
+// it as EngineConfig.SnapshotStore.
+type SnapshotStore struct {
+	store *snapshot.Store
+}
+
+// OpenSnapshotStore opens (creating if necessary) a snapshot directory.
+// maxBytes bounds the directory's total size — least recently used
+// snapshots are deleted when a save overflows it; <= 0 means unbounded.
+func OpenSnapshotStore(dir string, maxBytes int64) (*SnapshotStore, error) {
+	st, err := snapshot.Open(dir, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &SnapshotStore{store: st}, nil
+}
+
+// Dir returns the store's directory.
+func (s *SnapshotStore) Dir() string { return s.store.Dir() }
+
+// SizeBytes returns the current total size of the store's snapshot files.
+func (s *SnapshotStore) SizeBytes() int64 { return s.store.SizeBytes() }
+
+// Len returns the number of snapshots in the store.
+func (s *SnapshotStore) Len() int { return s.store.Len() }
+
+// SnapshotStats counts the engine's traffic against its snapshot tier.
+// Hits+Misses is the number of analysis builds that consulted the store;
+// Computes counts full precomputes engine-wide (with or without a store),
+// so a warm start over an unchanged corpus shows Computes == 0 —
+// the measurable form of "the disk tier eliminated the precompute".
+type SnapshotStats struct {
+	// Hits counts builds served by a validated snapshot load.
+	Hits int64
+	// Misses counts builds that consulted the store and fell through to a
+	// full precompute — no file for the fingerprint, or a file that failed
+	// validation (corruption, version skew, a stale structural match).
+	Misses int64
+	// Stores counts snapshots written back to disk.
+	Stores int64
+	// Computes counts full precomputes run by this engine, snapshot tier
+	// or not. First builds, eviction refills and CFG-edit rebuilds all
+	// count; snapshot hits do not.
+	Computes int64
+	// LoadedBytes and StoredBytes total the snapshot file sizes read on
+	// hits and written on stores.
+	LoadedBytes int64
+	StoredBytes int64
+}
+
+// snapshotCounters is the atomic-counter block behind SnapshotStats,
+// embedded in Engine.
+type snapshotCounters struct {
+	snapHits        atomic.Int64
+	snapMisses      atomic.Int64
+	snapStores      atomic.Int64
+	computes        atomic.Int64
+	snapLoadedBytes atomic.Int64
+	snapStoredBytes atomic.Int64
+}
+
+// SnapshotStats reports the engine's snapshot-tier traffic so far. All
+// counters are zero except Computes when no SnapshotStore is configured.
+// Like Stats and Rebuilds, the values are invariant under the shard count.
+func (e *Engine) SnapshotStats() SnapshotStats {
+	return SnapshotStats{
+		Hits:        e.snap.snapHits.Load(),
+		Misses:      e.snap.snapMisses.Load(),
+		Stores:      e.snap.snapStores.Load(),
+		Computes:    e.snap.computes.Load(),
+		LoadedBytes: e.snap.snapLoadedBytes.Load(),
+		StoredBytes: e.snap.snapStoredBytes.Load(),
+	}
+}
+
+// coreOptions maps the public per-function Config to checker options.
+func (c Config) coreOptions() core.Options {
+	return core.Options{
+		Strategy:            c.Strategy,
+		NoSkipSubtrees:      c.NoSkipSubtrees,
+		NoReducibleFastPath: c.NoReducibleFastPath,
+		SortedT:             c.SortedT,
+	}
+}
+
+// snapshotTier returns the store to consult for this engine's builds, or
+// nil when there is none or the configured backend is not the checker —
+// set-producing backends materialize per-instruction sets, which the
+// CFG-keyed snapshot format deliberately cannot describe.
+func (e *Engine) snapshotTier() *snapshot.Store {
+	ss := e.config.SnapshotStore
+	if ss == nil {
+		return nil
+	}
+	switch e.config.Config.Backend {
+	case "", backend.DefaultName:
+		return ss.store
+	}
+	return nil
+}
+
+// analyze is the engine's single analysis chokepoint: every build — first
+// touch, eviction refill, staleness rebuild, background rebuild — funnels
+// through here, which is what makes the snapshot tier sit under the whole
+// LRU rather than under one code path. Callers hold the function's read
+// lock with the handle's building flag set, exactly as they did around the
+// direct Analyze call this replaces — which also makes them the sole
+// toucher of the handle's verification record.
+//
+// Verification is epoch-tracked: ir.Verify runs at most once per function
+// per edit epoch, and every later build of the same IR — eviction refill,
+// snapshot restore, background rebuild — reuses the recorded pass instead
+// of re-walking every instruction. Unless Config.SkipVerify opts out
+// entirely, the first build after any edit still verifies, so the safety
+// contract of direct Analyze is kept; only the redundant re-runs go.
+func (e *Engine) analyze(h *handle) (*Liveness, error) {
+	f := h.f
+	config := e.config.Config
+	if !config.SkipVerify {
+		if now := backend.EpochsOf(f); !h.verified || h.verifiedAt != now {
+			if err := ir.Verify(f); err != nil {
+				return nil, err
+			}
+			h.verified, h.verifiedAt = true, now
+		}
+		config.SkipVerify = true // verified above (or recorded earlier)
+	}
+	st := e.snapshotTier()
+	if st != nil {
+		if live, ok := e.loadSnapshot(st, f); ok {
+			return live, nil
+		}
+	}
+	e.snap.computes.Add(1)
+	live, err := Analyze(f, config)
+	if st != nil && err == nil {
+		e.saveSnapshot(st, live)
+	}
+	return live, err
+}
+
+// loadSnapshot tries to serve f's analysis from the store. Every failure —
+// no file, torn or bit-flipped file, version skew, a fingerprint that
+// collides but fails Restore's structural re-validation — lands in the
+// same place: report a miss and let the caller run the real precompute.
+// The disk tier can therefore never produce a wrong answer, only a slower
+// one.
+func (e *Engine) loadSnapshot(st *snapshot.Store, f *ir.Func) (*Liveness, bool) {
+	opts := e.config.Config.coreOptions()
+	g, index := cfg.FromFunc(f)
+	fp := snapshot.Fingerprint(g, snapshot.FlagsFor(opts))
+	s, err := st.Load(fp)
+	if err != nil {
+		e.snap.snapMisses.Add(1)
+		return nil, false
+	}
+	cr, err := s.RestoreFrom(f, g, index, opts)
+	if err != nil {
+		e.snap.snapMisses.Add(1)
+		return nil, false
+	}
+	e.snap.snapHits.Add(1)
+	e.snap.snapLoadedBytes.Add(s.SizeBytes())
+	return livenessFromResult(f, cr, e.config.Config), true
+}
+
+// livenessFromResult wraps an adopted checker result as a query handle,
+// mirroring the tail of Analyze for the checker backend — same scratch
+// routing, same CacheUses wiring — without re-running any analysis.
+func livenessFromResult(f *ir.Func, cr *backend.CheckerResult, config Config) *Liveness {
+	return &Liveness{
+		f:         f,
+		prep:      cr.Prep(),
+		res:       cr,
+		checker:   cr.Checker(),
+		cacheUses: config.CacheUses,
+	}
+}
+
+// saveSnapshot schedules a write-back of a freshly computed checker
+// analysis. Capture is done inline — it aliases the checker's write-once
+// arenas and copies only the idom array — while the encode and file write
+// ride the rebuild pool's workers when the engine has them (rebuild jobs
+// take priority; Close drains pending saves to disk). Without a pool the
+// save runs inline, so single-shot tools still leave a warm store behind.
+//
+// Snapshots are keyed by fingerprint, not by function, so a save executing
+// long after its function was edited or evicted is still correct: it
+// describes the CFG shape it captured, and only a future function with
+// that exact shape will load it.
+func (e *Engine) saveSnapshot(st *snapshot.Store, live *Liveness) {
+	cr, ok := live.res.(*backend.CheckerResult)
+	if !ok {
+		return
+	}
+	snap, err := snapshot.Capture(cr.Prep(), cr.Checker())
+	if err != nil {
+		return // SortedT dropped its arena: loadable config, not savable
+	}
+	if st.Contains(snap.FP) {
+		return
+	}
+	job := func() {
+		if st.Contains(snap.FP) {
+			return // another function with the same shape got there first
+		}
+		if err := st.Save(snap); err == nil {
+			e.snap.snapStores.Add(1)
+			e.snap.snapStoredBytes.Add(snap.SizeBytes())
+		}
+	}
+	if e.pool != nil {
+		e.pool.enqueueSave(job)
+		return
+	}
+	job()
+}
