@@ -73,6 +73,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-json is only supported with -table engine, backends, regalloc, pipeline or warmstart")
 		os.Exit(2)
 	}
+	for _, w := range warnIgnoredFlags(*table, flag.CommandLine) {
+		fmt.Fprintln(os.Stderr, "benchtables: warning:", w)
+	}
 
 	workerCounts, err := parseWorkers(*workers)
 	if err != nil {
@@ -202,6 +205,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)
 	}
+}
+
+// flagTables maps each tunable flag to the tables that honor it; a flag
+// set on the command line for a table outside its list is silently
+// ignored by the measurement, which warnIgnoredFlags turns into an
+// explicit warning — a -shards 32 run of a table that never constructs an
+// engine should say so rather than let the user believe they measured a
+// 32-shard configuration. Flags absent here (-table, -json) are validated
+// elsewhere or always honored.
+var flagTables = map[string][]string{
+	"limit":          {"1", "2", "edges", "fullprecomp", "queries", "backends", "regalloc", "pipeline", "all"},
+	"workers":        {"engine", "all"},
+	"funcs":          {"engine", "all"},
+	"shards":         {"engine", "all"},
+	"rebuildworkers": {"engine", "all"},
+	"regs":           {"regalloc", "pipeline", "all"},
+}
+
+// warnIgnoredFlags returns a warning per explicitly set flag that the
+// selected table ignores, in flag-name order (fs.Visit is lexical).
+func warnIgnoredFlags(table string, fs *flag.FlagSet) []string {
+	var warns []string
+	fs.Visit(func(f *flag.Flag) {
+		honored, known := flagTables[f.Name]
+		if !known {
+			return
+		}
+		for _, t := range honored {
+			if t == table {
+				return
+			}
+		}
+		warns = append(warns, fmt.Sprintf("-%s is ignored by -table %s", f.Name, table))
+	})
+	return warns
 }
 
 // parseWorkers reads the -workers list ("1,2,4,8").

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+// benchFlags mirrors main's flag registration on a fresh FlagSet so the
+// warning logic is testable without running a benchmark.
+func benchFlags(t *testing.T, args ...string) *flag.FlagSet {
+	t.Helper()
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.String("table", "all", "")
+	fs.Int("limit", 120, "")
+	fs.String("workers", "1,2,4,8", "")
+	fs.Int("funcs", 128, "")
+	fs.Int("shards", 0, "")
+	fs.Int("rebuildworkers", 2, "")
+	fs.Bool("json", false, "")
+	fs.Int("regs", 8, "")
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestWarnIgnoredFlags(t *testing.T) {
+	cases := []struct {
+		table string
+		args  []string
+		want  []string
+	}{
+		// Defaults never warn, whatever the table.
+		{"scaling", nil, nil},
+		// A flag the table honors stays silent.
+		{"backends", []string{"-limit", "10"}, nil},
+		{"engine", []string{"-shards", "4", "-funcs", "64"}, nil},
+		// The classic trap: -shards on a table that never builds an engine.
+		{"backends", []string{"-shards", "32"},
+			[]string{"-shards is ignored by -table backends"}},
+		{"scaling", []string{"-limit", "10"},
+			[]string{"-limit is ignored by -table scaling"}},
+		{"engine", []string{"-regs", "4"},
+			[]string{"-regs is ignored by -table engine"}},
+		// Several ignored flags warn once each, in flag-name order.
+		{"warmstart", []string{"-shards", "4", "-regs", "2", "-funcs", "9"},
+			[]string{
+				"-funcs is ignored by -table warmstart",
+				"-regs is ignored by -table warmstart",
+				"-shards is ignored by -table warmstart",
+			}},
+		// "all" honors everything.
+		{"all", []string{"-shards", "4", "-regs", "2", "-limit", "10", "-workers", "1"}, nil},
+	}
+	for _, c := range cases {
+		got := warnIgnoredFlags(c.table, benchFlags(t, c.args...))
+		if strings.Join(got, ";") != strings.Join(c.want, ";") {
+			t.Errorf("table %s args %v:\n got %v\nwant %v", c.table, c.args, got, c.want)
+		}
+	}
+}

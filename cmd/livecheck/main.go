@@ -47,6 +47,12 @@
 //	              against the selected backend, printing the per-pass
 //	              epoch-delta/rebuild/query report. Inputs may be slot
 //	              form; the pipeline constructs SSA itself.
+//	-fail-fast    abort a whole-program run on the first failing function.
+//	              By default a failing file (parse error, broken SSA, a
+//	              backend limit like irreducible CFGs under -backend loops)
+//	              is reported as FAILED in place, every other function is
+//	              still analyzed, and the run exits non-zero at the end
+//	              with a summary of the failures.
 //	-snapshot-dir persist checker precomputations to (and load them from)
 //	              this directory, keyed by CFG structure: a second run over
 //	              the same program skips every per-function precompute. The
@@ -98,6 +104,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "engine shard count (0 = default); a contention knob, never changes answers")
 		rebuild  = flag.Int("rebuild-workers", 0, "background rebuild workers re-analyzing edited functions ahead of queries (0 = off)")
 		snapDir  = flag.String("snapshot-dir", "", "persist checker precomputations under this directory and reuse them across runs")
+		failFast = flag.Bool("fail-fast", false, "abort a whole-program run on the first failing function instead of collecting failures")
 		queries  queryList
 	)
 	flag.Var(&queries, "q", "query '[in:|out:]%value@block[@func]' (repeatable)")
@@ -117,7 +124,7 @@ func main() {
 		case *pipe:
 			err = runPipeline(paths, *backendN, *verify, *regs, *shards, *rebuild)
 		case program:
-			err = runProgram(paths, *construct, *backendN, *verify, *stat, *parallel, *regs, *shards, *rebuild, snap, queries)
+			err = runProgram(paths, *construct, *backendN, *verify, *stat, *parallel, *regs, *shards, *rebuild, snap, queries, *failFast)
 		default:
 			err = run(flag.Arg(0), *construct, *backendN, *verify, *stat, *regs, snap, queries)
 		}
@@ -178,34 +185,80 @@ func parseFile(p string) (*ir.Func, error) {
 	return f, nil
 }
 
+// funcFailure is one file a whole-program run could not analyze: parse or
+// verification failure, or a per-function engine error (a quarantined
+// function, a backend limit like irreducible CFGs under -backend loops).
+type funcFailure struct {
+	path string
+	err  error
+}
+
+// failuresError renders the collected failures as the run's error, so the
+// process exits non-zero after having processed every function it could.
+func failuresError(total int, failures []funcFailure) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d of %d functions failed:", len(failures), total)
+	for _, fl := range failures {
+		fmt.Fprintf(&sb, "\n  %s: %v", fl.path, fl.err)
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
 // runProgram is whole-program mode: one function per file, analyzed
 // concurrently by the engine with the selected backend, summarized (or
 // queried) in sorted file order so output is deterministic regardless of
 // parallelism.
-func runProgram(paths []string, construct bool, backendName string, verify, stat bool, parallel, regs, shards, rebuildWorkers int, snap *fastliveness.SnapshotStore, queries queryList) error {
+//
+// A failing function does not abort the run (unless failFast): its file is
+// reported as FAILED, every other function is still analyzed, queried and
+// summarized, and the run ends with a non-nil error listing the failures —
+// so one broken input in a large directory costs one diagnostic, not the
+// whole batch. With zero failures the output is byte-identical to the
+// pre-collection behavior.
+func runProgram(paths []string, construct bool, backendName string, verify, stat bool, parallel, regs, shards, rebuildWorkers int, snap *fastliveness.SnapshotStore, queries queryList, failFast bool) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("no .ssair files found")
 	}
+	var failures []funcFailure
+	fail := func(p string, err error) error {
+		if failFast {
+			return err
+		}
+		failures = append(failures, funcFailure{path: p, err: err})
+		fmt.Fprintf(stdout, "%s: FAILED: %v\n", p, err)
+		return nil
+	}
 	funcs := make([]*ir.Func, 0, len(paths))
+	okPaths := make([]string, 0, len(paths))
 	byName := make(map[string]*ir.Func, len(paths))
 	for _, p := range paths {
 		f, err := parseFile(p)
 		if err != nil {
-			return err
+			if err := fail(p, err); err != nil {
+				return err
+			}
+			continue
 		}
 		if construct {
 			ssa.Construct(f)
 		}
 		if verify {
 			if err := ssa.VerifyStrict(f); err != nil {
-				return fmt.Errorf("%s: not strict SSA: %w", p, err)
+				if err := fail(p, fmt.Errorf("not strict SSA: %w", err)); err != nil {
+					return err
+				}
+				continue
 			}
 		}
 		if _, dup := byName[f.Name]; dup {
-			return fmt.Errorf("%s: duplicate function name @%s", p, f.Name)
+			if err := fail(p, fmt.Errorf("duplicate function name @%s", f.Name)); err != nil {
+				return err
+			}
+			continue
 		}
 		byName[f.Name] = f
 		funcs = append(funcs, f)
+		okPaths = append(okPaths, p)
 	}
 
 	eng, err := fastliveness.AnalyzeProgram(funcs, fastliveness.EngineConfig{
@@ -215,9 +268,12 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 		RebuildWorkers: rebuildWorkers,
 		SnapshotStore:  snap,
 	})
-	if err != nil {
+	if err != nil && failFast {
 		return err
 	}
+	// Without failFast the precompute error is not terminal: the engine
+	// stays usable for every function that analyzed cleanly, and the
+	// per-function Liveness below re-surfaces each failure individually.
 	defer eng.Close()
 
 	if len(queries) > 0 {
@@ -243,15 +299,23 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 			}
 		}
 		printSnapshotStats(eng, snap)
+		if len(failures) > 0 {
+			return failuresError(len(paths), failures)
+		}
 		return nil
 	}
 
+	analyzed := 0
 	for i, f := range funcs {
 		live, err := eng.Liveness(f)
 		if err != nil {
-			return err
+			if err := fail(okPaths[i], err); err != nil {
+				return err
+			}
+			continue
 		}
-		fmt.Fprintf(stdout, "%s: ", paths[i])
+		analyzed++
+		fmt.Fprintf(stdout, "%s: ", okPaths[i])
 		printStats(f)
 		if stat {
 			fmt.Fprintf(stdout, "  backend %s, precomputed sets: %dB\n",
@@ -268,8 +332,11 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 		}
 	}
 	fmt.Fprintf(stdout, "%d functions analyzed (%d resident, %d bytes of precomputed sets)\n",
-		len(funcs), eng.Resident(), eng.MemoryBytes())
+		analyzed, eng.Resident(), eng.MemoryBytes())
 	printSnapshotStats(eng, snap)
+	if len(failures) > 0 {
+		return failuresError(len(paths), failures)
+	}
 	return nil
 }
 

@@ -180,6 +180,99 @@ join:
 }
 `
 
+// irrSrc is an irreducible function (the {left,right} loop has two
+// entries), which the loops backend rejects — a per-function analysis
+// failure the collection tests exercise.
+const irrSrc = `
+func @irr(%p) {
+entry:
+  %one = const 1
+  %c = cmplt %p, %one
+  if %c -> left, right
+left:
+  br right
+right:
+  if %c -> left, exit
+exit:
+  ret %p
+}
+`
+
+// captureErr is capture for runs that are expected to fail: it returns
+// the output and the error instead of fataling.
+func captureErr(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	old := stdout
+	stdout = &buf
+	defer func() { stdout = old }()
+	err := fn()
+	return buf.String(), err
+}
+
+// A whole-program run with broken inputs analyzes everything it can,
+// reports each failure in place, and exits non-zero at the end; -fail-fast
+// restores the old abort-on-first-error behavior.
+func TestRunProgramCollectsFailures(t *testing.T) {
+	dir := writeProgram(t, map[string]string{
+		"clamp.ssair":   clampSrc,
+		"garbage.ssair": "this is not ssair\n",
+		"irr.ssair":     irrSrc,
+		"loop.ssair":    loopSrc,
+	})
+	paths, _, _ := programArgs([]string{dir})
+
+	// Collection mode: the loops backend rejects @irr and the parser
+	// rejects garbage.ssair; @clamp and @loop still analyze.
+	out, err := captureErr(t, func() error {
+		return runProgram(paths, false, "loops", true, false, 2, 0, 0, 0, nil, nil, false)
+	})
+	if err == nil {
+		t.Fatalf("run with broken inputs returned nil; output:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "2 of 4 functions failed:") ||
+		!strings.Contains(err.Error(), "irr.ssair") || !strings.Contains(err.Error(), "garbage.ssair") {
+		t.Errorf("error lists the wrong failures:\n%v", err)
+	}
+	for _, want := range []string{
+		"garbage.ssair: FAILED:",
+		"irr.ssair: FAILED:",
+		"2 functions analyzed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "func @clamp:") || !strings.Contains(out, "func @loop:") {
+		t.Errorf("clean functions were not summarized:\n%s", out)
+	}
+
+	// -fail-fast: the first failure aborts, nothing is summarized.
+	out, err = captureErr(t, func() error {
+		return runProgram(paths, false, "loops", true, false, 2, 0, 0, 0, nil, nil, true)
+	})
+	if err == nil {
+		t.Fatal("fail-fast run with broken inputs returned nil")
+	}
+	if strings.Contains(out, "FAILED") || strings.Contains(out, "functions analyzed") {
+		t.Errorf("fail-fast run still produced the collection output:\n%s", out)
+	}
+
+	// With zero failures, collection mode's output is byte-identical to
+	// fail-fast mode's — the old format.
+	cleanDir := writeProgram(t, map[string]string{"clamp.ssair": clampSrc, "loop.ssair": loopSrc})
+	cleanPaths, _, _ := programArgs([]string{cleanDir})
+	collected := capture(t, func() error {
+		return runProgram(cleanPaths, false, "checker", true, false, 2, 0, 0, 0, nil, nil, false)
+	})
+	fastOut := capture(t, func() error {
+		return runProgram(cleanPaths, false, "checker", true, false, 2, 0, 0, 0, nil, nil, true)
+	})
+	if collected != fastOut {
+		t.Errorf("clean-run output differs between modes:\ncollect:\n%s\nfail-fast:\n%s", collected, fastOut)
+	}
+}
+
 // writeProgram lays out a directory with one .ssair file per function.
 func writeProgram(t *testing.T, srcs map[string]string) string {
 	t.Helper()
@@ -214,11 +307,11 @@ func TestProgramArgsExpandsDirectories(t *testing.T) {
 func TestRunProgramSummaryAndQueries(t *testing.T) {
 	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
 	paths, _, _ := programArgs([]string{dir})
-	if err := runProgram(paths, false, "checker", true, true, 4, 0, 0, 0, nil, nil); err != nil {
+	if err := runProgram(paths, false, "checker", true, true, 4, 0, 0, 0, nil, nil, false); err != nil {
 		t.Fatal(err)
 	}
 	qs := queryList{"%i@body@loop", "out:%x@entry@clamp", "in:%r@join@clamp"}
-	if err := runProgram(paths, false, "checker", true, false, 2, 0, 0, 0, nil, qs); err != nil {
+	if err := runProgram(paths, false, "checker", true, false, 2, 0, 0, 0, nil, qs, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -236,7 +329,7 @@ func TestRunProgramSnapshotDoubleRun(t *testing.T) {
 	}
 	runOnce := func() string {
 		return capture(t, func() error {
-			return runProgram(paths, false, "checker", true, false, 2, 0, 0, 0, snap, nil)
+			return runProgram(paths, false, "checker", true, false, 2, 0, 0, 0, snap, nil, false)
 		})
 	}
 	cold, warm := runOnce(), runOnce()
@@ -267,7 +360,7 @@ func TestRunProgramPerBackend(t *testing.T) {
 	qs := queryList{"out:%i@head@loop", "in:%r@join@clamp"}
 	var want string
 	for i, name := range fastliveness.Backends() {
-		got := capture(t, func() error { return runProgram(paths, false, name, true, false, 2, 0, 0, 0, nil, qs) })
+		got := capture(t, func() error { return runProgram(paths, false, name, true, false, 2, 0, 0, 0, nil, qs, false) })
 		if i == 0 {
 			want = got
 			continue
@@ -292,25 +385,25 @@ func TestRunProgramErrors(t *testing.T) {
 		{nil, "frobnicate", "unknown backend"},
 	}
 	for _, c := range cases {
-		err := runProgram(paths, false, c.backend, true, false, 1, 0, 0, 0, nil, c.queries)
+		err := runProgram(paths, false, c.backend, true, false, 1, 0, 0, 0, nil, c.queries, false)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("queries %v backend %s: err = %v, want %q", c.queries, c.backend, err, c.want)
 		}
 	}
-	if err := runProgram(nil, false, "checker", true, false, 1, 0, 0, 0, nil, nil); err == nil {
+	if err := runProgram(nil, false, "checker", true, false, 1, 0, 0, 0, nil, nil, false); err == nil {
 		t.Error("empty program should error")
 	}
 	// Duplicate function names across files are rejected.
 	dup := writeProgram(t, map[string]string{"a.ssair": loopSrc, "b.ssair": loopSrc})
 	paths, _, _ = programArgs([]string{dup})
-	if err := runProgram(paths, false, "checker", true, false, 1, 0, 0, 0, nil, nil); err == nil ||
+	if err := runProgram(paths, false, "checker", true, false, 1, 0, 0, 0, nil, nil, false); err == nil ||
 		!strings.Contains(err.Error(), "duplicate function name") {
 		t.Errorf("duplicate names: err = %v", err)
 	}
 	// Single-file program mode may omit the @func component.
 	single := writeProgram(t, map[string]string{"loop.ssair": loopSrc})
 	paths, _, _ = programArgs([]string{single})
-	if err := runProgram(paths, false, "checker", true, false, 1, 0, 0, 0, nil, queryList{"out:%i@head"}); err != nil {
+	if err := runProgram(paths, false, "checker", true, false, 1, 0, 0, 0, nil, queryList{"out:%i@head"}, false); err != nil {
 		t.Errorf("single-function program without @func: %v", err)
 	}
 }
@@ -404,7 +497,7 @@ func TestRunProgramRegallocWithQueries(t *testing.T) {
 	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
 	paths, _, _ := programArgs([]string{dir})
 	got := capture(t, func() error {
-		return runProgram(paths, false, "checker", true, false, 2, 4, 0, 0, nil, queryList{"out:%i@head@loop"})
+		return runProgram(paths, false, "checker", true, false, 2, 4, 0, 0, nil, queryList{"out:%i@head@loop"}, false)
 	})
 	for _, want := range []string{"live-out(%i, head) = true", "regalloc @clamp: k=4:", "regalloc @loop: k=4:"} {
 		if !strings.Contains(got, want) {
@@ -420,8 +513,8 @@ func TestEngineTuningFlagsIdenticalOutput(t *testing.T) {
 	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
 	paths, _, _ := programArgs([]string{dir})
 	qs := queryList{"out:%i@head@loop", "in:%r@join@clamp"}
-	plain := capture(t, func() error { return runProgram(paths, false, "checker", true, false, 2, 0, 0, 0, nil, qs) })
-	tuned := capture(t, func() error { return runProgram(paths, false, "checker", true, false, 2, 0, 4, 2, nil, qs) })
+	plain := capture(t, func() error { return runProgram(paths, false, "checker", true, false, 2, 0, 0, 0, nil, qs, false) })
+	tuned := capture(t, func() error { return runProgram(paths, false, "checker", true, false, 2, 0, 4, 2, nil, qs, false) })
 	if plain != tuned {
 		t.Errorf("-shards/-rebuild-workers changed program output:\n%s\nwant:\n%s", tuned, plain)
 	}

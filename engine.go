@@ -25,19 +25,34 @@ package fastliveness
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fastliveness/internal/backend"
 	"fastliveness/internal/ir"
+	"fastliveness/internal/retry"
 )
 
 // defaultShards is the shard count when EngineConfig.Shards is zero: high
 // enough that independent query streams rarely share a shard mutex, low
 // enough that per-shard state stays negligible.
 const defaultShards = 16
+
+// Quarantine pacing: how many backoff-paced retries a panicking build
+// gets before the function fails fast until its next edit
+// (EngineConfig.MaxBuildRetries overrides the count), and the
+// decorrelated-jitter backoff bounds between retries.
+const (
+	defaultMaxBuildRetries = 2
+	quarantineBackoffBase  = 2 * time.Millisecond
+	quarantineBackoffCap   = 250 * time.Millisecond
+)
 
 // EngineConfig tunes a program-level Engine. The zero value analyzes with
 // the paper's per-function configuration, uses one worker per CPU, shards
@@ -75,8 +90,15 @@ type EngineConfig struct {
 	// snapshot load, and full precomputes are written back for future
 	// processes. Nil disables the tier. Only the checker backend (the
 	// default) uses it; its precomputation is the CFG-only one that stays
-	// valid across instruction edits and hence across runs.
+	// valid across instruction edits and hence across runs. The store's
+	// I/O sits behind a circuit breaker: a failing or slow disk degrades
+	// builds to recomputation, never to an error or a wrong answer.
 	SnapshotStore *SnapshotStore
+	// MaxBuildRetries bounds how many backoff-paced retries a function
+	// whose build panicked gets before it fails fast (ErrQuarantined)
+	// until its next edit. 0 means the default (2); negative quarantines
+	// on the first panic with no retries.
+	MaxBuildRetries int
 }
 
 func (c EngineConfig) workers() int {
@@ -91,6 +113,16 @@ func (c EngineConfig) shardCount() int {
 		return c.Shards
 	}
 	return defaultShards
+}
+
+func (c EngineConfig) buildRetries() int {
+	switch {
+	case c.MaxBuildRetries > 0:
+		return c.MaxBuildRetries
+	case c.MaxBuildRetries < 0:
+		return 0
+	}
+	return defaultMaxBuildRetries
 }
 
 // Query is one liveness question: is V live (in or out, per the method
@@ -131,6 +163,14 @@ type handle struct {
 	err      error          // Analyze failure, held until the function is edited again
 	errAt    backend.Epochs // epochs the failure was recorded at
 	building bool
+	// Quarantine state, set when a build panics (err then holds a
+	// *BuildPanicError): panics counts the consecutive panicking builds at
+	// the current epochs, retryAt gates the next backoff-paced retry, and
+	// backoff produces the decorrelated-jitter delays. All reset on an
+	// edit (errAt mismatch) or a successful build.
+	panics  int
+	retryAt time.Time
+	backoff *retry.Backoff
 	// verified/verifiedAt record that ir.Verify passed for the function as
 	// of verifiedAt's epochs, so rebuilds, eviction refills and snapshot
 	// restores of unchanged IR skip the verifier's full IR walk. Only the
@@ -176,6 +216,7 @@ type Engine struct {
 	resident atomic.Int64 // resident analyses across all shards
 	pool     *rebuildPool // nil unless RebuildWorkers > 0
 	snap     snapshotCounters
+	closed   atomic.Bool // set by Shutdown; engine methods then fail fast
 }
 
 // NewEngine returns an empty engine; register functions with Add. With
@@ -253,6 +294,16 @@ func (e *Engine) Funcs() []*ir.Func {
 // MaxCached is smaller than the program — LRU order follows completion
 // order — but evicted analyses rebuild on demand to identical answers.
 func (e *Engine) Precompute() error {
+	return e.PrecomputeContext(context.Background())
+}
+
+// PrecomputeContext is Precompute bounded by a context: when ctx is
+// cancelled or its deadline passes, the workers stop claiming functions,
+// in-flight builds are detached (they complete and publish on their own —
+// see LivenessContext), and the call returns ctx.Err() promptly. The
+// engine remains fully usable afterwards: functions that were analyzed
+// stay resident, the rest build on demand.
+func (e *Engine) PrecomputeContext(ctx context.Context) error {
 	funcs := e.Funcs()
 
 	workers := e.config.workers()
@@ -269,16 +320,19 @@ func (e *Engine) Precompute() error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(funcs) {
 					return
 				}
-				_, errs[i] = e.Liveness(funcs[i])
+				_, errs[i] = e.LivenessContext(ctx, funcs[i])
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("fastliveness: engine precompute %s: %w", funcs[i].Name, err)
@@ -296,20 +350,52 @@ func (e *Engine) Precompute() error {
 // even if the engine later evicts it; as with Analyze, its query methods
 // reuse a scratch buffer, so use NewQuerier (or the engine's batch
 // methods) for concurrent querying.
+//
+// Errors wrap the package sentinels: ErrUnknownFunc for a function never
+// registered with Add, ErrEngineClosed after Shutdown, and ErrQuarantined
+// (carrying a *BuildPanicError with the captured stack) for a function
+// whose build panicked and is quarantined until its next edit.
 func (e *Engine) Liveness(f *ir.Func) (*Liveness, error) {
-	h := e.lookup(f)
-	if h == nil {
-		return nil, fmt.Errorf("fastliveness: function %s is not registered with the engine", f.Name)
-	}
-	return e.liveness(h)
+	return e.LivenessContext(context.Background(), f)
 }
 
-// liveness is Liveness after handle resolution.
-func (e *Engine) liveness(h *handle) (*Liveness, error) {
+// LivenessContext is Liveness bounded by a context. Cancellation is
+// honored at every wait: a caller parked on another goroutine's in-flight
+// build wakes and returns ctx.Err() immediately, and a caller that is
+// itself running the build detaches — the build continues on its own,
+// completes, and publishes (or is discarded by the usual generation
+// rules), so a cancelled caller never leaves a half-done result behind
+// and never wastes the work for the next caller.
+func (e *Engine) LivenessContext(ctx context.Context, f *ir.Func) (*Liveness, error) {
+	h := e.lookup(f)
+	if h == nil {
+		return nil, errUnknownFunc(f.Name)
+	}
+	return e.liveness(ctx, h)
+}
+
+// liveness is LivenessContext after handle resolution.
+func (e *Engine) liveness(ctx context.Context, h *handle) (*Liveness, error) {
 	s := h.shard
+	if ctx.Done() != nil {
+		// Wake this goroutine's cond.Wait when the context fires; the loop
+		// re-checks ctx.Err() on every iteration.
+		stop := context.AfterFunc(ctx, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		defer stop()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if e.closed.Load() {
+			return nil, fmt.Errorf("fastliveness: %w", ErrEngineClosed)
+		}
 		switch {
 		case h.err != nil:
 			// A failure describes the function as of the epochs it was
@@ -317,6 +403,18 @@ func (e *Engine) liveness(h *handle) (*Liveness, error) {
 			// instead of reporting a verdict about a program that no
 			// longer exists.
 			if h.errAt != backend.EpochsOf(h.f) {
+				h.err = nil
+				e.clearQuarantine(h)
+				continue
+			}
+			var bp *BuildPanicError
+			if errors.As(h.err, &bp) {
+				// Quarantined: fail fast while the retry budget is spent
+				// or the backoff has not elapsed; otherwise clear the
+				// sticky error (keeping the panic count) and retry.
+				if h.panics > e.config.buildRetries() || time.Now().Before(h.retryAt) {
+					return nil, quarantineErr(h.f.Name, h.err)
+				}
 				h.err = nil
 				continue
 			}
@@ -334,7 +432,7 @@ func (e *Engine) liveness(h *handle) (*Liveness, error) {
 			s.lru.MoveToFront(h.elem)
 			return h.live, nil
 		case !h.building:
-			return e.build(h)
+			return e.startBuild(ctx, h)
 		}
 		s.cond.Wait()
 	}
@@ -355,36 +453,130 @@ func (e *Engine) drop(h *handle) {
 	h.live, h.elem = nil, nil
 }
 
-// build analyzes h.f with the shard unlocked, then publishes the result.
-// Called (and returns) with h's shard mutex held. The IR walk runs under
-// the function's read lock so it cannot race an Edit on another
-// goroutine.
-func (e *Engine) build(h *handle) (*Liveness, error) {
+// buildResult carries a detached build's outcome back to the caller that
+// initiated it.
+type buildResult struct {
+	live *Liveness
+	err  error
+}
+
+// startBuild analyzes h.f (which is neither resident nor building) and
+// publishes the result. Called — and returns — with h's shard mutex held.
+//
+// Without a cancellable context the build runs synchronously on this
+// goroutine with the shard unlocked, exactly as before. With one, the
+// build runs on a detached goroutine that locks the shard and publishes
+// on its own whether or not the initiating caller is still waiting:
+// cancellation abandons the wait, never the build, so an in-flight build
+// is always either fully published or discarded by the generation rules —
+// never half-cached, and never wasted for the waiters it wakes.
+func (e *Engine) startBuild(ctx context.Context, h *handle) (*Liveness, error) {
 	s := h.shard
 	h.building = true
 	gen := h.gen
+	if ctx.Done() == nil {
+		s.mu.Unlock()
+		live, err := e.runBuild(h)
+		s.mu.Lock()
+		return e.publishBuild(h, gen, live, err)
+	}
+	done := make(chan buildResult, 1)
+	go func() {
+		live, err := e.runBuild(h)
+		s.mu.Lock()
+		live, err = e.publishBuild(h, gen, live, err)
+		s.mu.Unlock()
+		done <- buildResult{live, err}
+	}()
 	s.mu.Unlock()
-	h.irMu.RLock()
-	live, err := e.analyze(h)
-	h.irMu.RUnlock()
+	var res buildResult
+	select {
+	case res = <-done:
+	case <-ctx.Done():
+		s.mu.Lock() // the caller's deferred unlock expects the lock held
+		return nil, ctx.Err()
+	}
 	s.mu.Lock()
+	return res.live, res.err
+}
+
+// runBuild executes the analysis for h outside any shard lock, converting
+// a backend panic into a *BuildPanicError instead of letting it unwind
+// into the caller (a query goroutine or a rebuild-pool worker) — this is
+// the recover boundary of the engine's failure model. The IR walk runs
+// under the function's read lock so it cannot race an Edit; the unlock is
+// deferred after the recover, so it still runs when the analysis panics.
+func (e *Engine) runBuild(h *handle) (live *Liveness, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			live, err = nil, &BuildPanicError{Func: h.f.Name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	h.irMu.RLock()
+	defer h.irMu.RUnlock()
+	return e.analyze(h)
+}
+
+// publishBuild installs a finished build's outcome. Called with h's shard
+// mutex held: wakes waiters, discards results whose generation was
+// superseded mid-build, records failures (with quarantine accounting for
+// panics), and caches successes. Returns the caller-facing outcome.
+func (e *Engine) publishBuild(h *handle, gen int, live *Liveness, err error) (*Liveness, error) {
+	s := h.shard
 	h.building = false
 	s.cond.Broadcast()
 	if h.gen != gen {
 		// Invalidated or evicted mid-build: the result describes a CFG
 		// that may no longer exist. Hand it to this caller (whose view
 		// predates the invalidation) but do not cache it.
-		return live, err
+		return live, callerErr(h, err)
 	}
-	h.live, h.err = live, err
 	if err != nil {
-		h.errAt = backend.EpochsOf(h.f)
-		return nil, err
+		h.live, h.err = nil, err
+		e.recordFailure(h, err)
+		return nil, callerErr(h, err)
 	}
+	h.live, h.err = live, nil
+	e.clearQuarantine(h)
 	h.elem = s.lru.PushFront(h)
 	e.resident.Add(1)
 	e.enforceCacheBound(s)
 	return live, nil
+}
+
+// recordFailure notes a failed build under the shard mutex: the epochs
+// the failure describes, plus quarantine pacing when it was a panic.
+func (e *Engine) recordFailure(h *handle, err error) {
+	h.errAt = backend.EpochsOf(h.f)
+	var bp *BuildPanicError
+	if !errors.As(err, &bp) {
+		return
+	}
+	h.panics++
+	if h.backoff == nil {
+		h.backoff = retry.NewBackoff(quarantineBackoffBase, quarantineBackoffCap, 0)
+	}
+	h.retryAt = time.Now().Add(h.backoff.Next())
+}
+
+// clearQuarantine resets h's panic-retry state after a successful build
+// or an edit. Called with the shard mutex held.
+func (e *Engine) clearQuarantine(h *handle) {
+	h.panics, h.retryAt = 0, time.Time{}
+	if h.backoff != nil {
+		h.backoff.Reset()
+	}
+}
+
+// callerErr is the caller-facing form of a build error: panic-derived
+// errors are wrapped so errors.Is(err, ErrQuarantined) holds from the
+// very first failing call, not only for the fail-fast ones.
+func callerErr(h *handle, err error) error {
+	var bp *BuildPanicError
+	if errors.As(err, &bp) {
+		return quarantineErr(h.f.Name, err)
+	}
+	return err
 }
 
 // enforceCacheBound evicts from s's LRU tail while the global resident
@@ -506,21 +698,34 @@ const batchParallelThreshold = 256
 // lands between the analysis lookup and the batch execution, so it never
 // answers from an analysis an edit has invalidated.
 func (e *Engine) BatchIsLiveIn(f *ir.Func, queries []Query) ([]bool, error) {
-	return e.batch(f, queries, (*Querier).IsLiveIn)
+	return e.batch(context.Background(), f, queries, (*Querier).IsLiveIn)
+}
+
+// BatchIsLiveInContext is BatchIsLiveIn bounded by a context: the
+// analysis fetch (and any rebuild it triggers) honors cancellation per
+// LivenessContext; the query execution itself is not interrupted once an
+// analysis is held.
+func (e *Engine) BatchIsLiveInContext(ctx context.Context, f *ir.Func, queries []Query) ([]bool, error) {
+	return e.batch(ctx, f, queries, (*Querier).IsLiveIn)
 }
 
 // BatchIsLiveOut is BatchIsLiveIn for live-out queries.
 func (e *Engine) BatchIsLiveOut(f *ir.Func, queries []Query) ([]bool, error) {
-	return e.batch(f, queries, (*Querier).IsLiveOut)
+	return e.batch(context.Background(), f, queries, (*Querier).IsLiveOut)
 }
 
-func (e *Engine) batch(f *ir.Func, queries []Query, ask func(*Querier, *ir.Value, *ir.Block) bool) ([]bool, error) {
+// BatchIsLiveOutContext is BatchIsLiveInContext for live-out queries.
+func (e *Engine) BatchIsLiveOutContext(ctx context.Context, f *ir.Func, queries []Query) ([]bool, error) {
+	return e.batch(ctx, f, queries, (*Querier).IsLiveOut)
+}
+
+func (e *Engine) batch(ctx context.Context, f *ir.Func, queries []Query, ask func(*Querier, *ir.Value, *ir.Block) bool) ([]bool, error) {
 	h := e.lookup(f)
 	if h == nil {
-		return nil, fmt.Errorf("fastliveness: function %s is not registered with the engine", f.Name)
+		return nil, errUnknownFunc(f.Name)
 	}
 	for {
-		live, err := e.liveness(h)
+		live, err := e.liveness(ctx, h)
 		if err != nil {
 			return nil, err
 		}
@@ -604,11 +809,19 @@ type Oracle struct {
 // Oracle returns an auto-refreshing query handle for a registered
 // function, analyzing it first if needed.
 func (e *Engine) Oracle(f *ir.Func) (*Oracle, error) {
+	return e.OracleContext(context.Background(), f)
+}
+
+// OracleContext is Oracle bounded by a context: the initial analysis
+// honors cancellation per LivenessContext. The returned Oracle is not
+// bound to ctx — its query methods re-fetch with a background context,
+// since they have no error channel to report cancellation through.
+func (e *Engine) OracleContext(ctx context.Context, f *ir.Func) (*Oracle, error) {
 	h := e.lookup(f)
 	if h == nil {
-		return nil, fmt.Errorf("fastliveness: function %s is not registered with the engine", f.Name)
+		return nil, errUnknownFunc(f.Name)
 	}
-	live, err := e.liveness(h)
+	live, err := e.liveness(ctx, h)
 	if err != nil {
 		return nil, err
 	}
@@ -628,7 +841,7 @@ func (e *Engine) Oracle(f *ir.Func) (*Oracle, error) {
 // IR walk); the query wrapper re-checks staleness under the lock.
 func (o *Oracle) ensure() *Querier {
 	if o.live.Stale() {
-		live, err := o.e.liveness(o.h)
+		live, err := o.e.liveness(context.Background(), o.h)
 		if err != nil {
 			panic(fmt.Sprintf("fastliveness: oracle re-analysis of %s after edit: %v", o.f.Name, err))
 		}

@@ -1,0 +1,144 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("anything"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Calls("anything") != 0 || in.Fired("anything") != 0 {
+		t.Fatal("nil injector reported traffic")
+	}
+}
+
+func TestErrorRuleExactSiteAndCounts(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{Site: "a", Action: ActionError})
+	if err := in.Fire("b"); err != nil {
+		t.Fatalf("unrelated site fired: %v", err)
+	}
+	var ie *InjectedError
+	if err := in.Fire("a"); !errors.As(err, &ie) || ie.Site != "a" {
+		t.Fatalf("Fire(a) = %v, want *InjectedError at a", err)
+	}
+	if got := in.Calls("a"); got != 1 {
+		t.Fatalf("Calls(a) = %d, want 1", got)
+	}
+	if got := in.Fired("a"); got != 1 {
+		t.Fatalf("Fired(a) = %d, want 1", got)
+	}
+	if got := in.Calls("b"); got != 1 {
+		t.Fatalf("Calls(b) = %d, want 1 (calls count even without a rule)", got)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	sentinel := errors.New("boom")
+	in := New(1)
+	in.Add(Rule{Site: "s", Action: ActionError, Err: sentinel})
+	if err := in.Fire("s"); !errors.Is(err, sentinel) {
+		t.Fatalf("Fire = %v, want the armed sentinel", err)
+	}
+}
+
+func TestAfterAndTimesWindow(t *testing.T) {
+	in := New(1)
+	// Fail exactly calls 2 and 3 (0-indexed: skip first 2, fire twice).
+	in.Add(Rule{Site: "s", Action: ActionError, After: 2, Times: 2})
+	var failures []int
+	for i := 0; i < 6; i++ {
+		if in.Fire("s") != nil {
+			failures = append(failures, i)
+		}
+	}
+	if len(failures) != 2 || failures[0] != 2 || failures[1] != 3 {
+		t.Fatalf("failures at %v, want [2 3]", failures)
+	}
+}
+
+func TestProbabilityIsSeededDeterministic(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := New(seed)
+		in.Add(Rule{Site: "s", Action: ActionError, P: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire("s") != nil
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("P=0.5 fired %d/%d times — probability not applied", fired, len(a))
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{Site: "s", Action: ActionPanic, Times: 1})
+	func() {
+		defer func() {
+			r := recover()
+			ip, ok := r.(*InjectedPanic)
+			if !ok || ip.Site != "s" {
+				t.Fatalf("recovered %v, want *InjectedPanic at s", r)
+			}
+		}()
+		in.Fire("s")
+		t.Fatal("Fire did not panic")
+	}()
+	if err := in.Fire("s"); err != nil {
+		t.Fatalf("second call after Times=1: %v, want nil", err)
+	}
+}
+
+func TestDelayComposesWithError(t *testing.T) {
+	in := New(1)
+	var slept time.Duration
+	in.sleep = func(d time.Duration) { slept += d }
+	in.Add(
+		Rule{Site: "s", Action: ActionDelay, Delay: 7 * time.Millisecond},
+		Rule{Site: "s", Action: ActionError},
+	)
+	if err := in.Fire("s"); err == nil {
+		t.Fatal("error rule after delay did not fire")
+	}
+	if slept != 7*time.Millisecond {
+		t.Fatalf("slept %v, want 7ms", slept)
+	}
+}
+
+func TestConcurrentFireIsSafe(t *testing.T) {
+	in := New(9)
+	in.Add(Rule{Site: "s", Action: ActionError, P: 0.3})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = in.Fire("s")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Calls("s"); got != 8*200 {
+		t.Fatalf("Calls = %d, want %d", got, 8*200)
+	}
+}

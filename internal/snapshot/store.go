@@ -8,7 +8,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"fastliveness/internal/faults"
 )
 
 // ErrNotFound is returned by Store.Load when no snapshot exists for the
@@ -45,6 +48,32 @@ type Store struct {
 	maxBytes int64 // <= 0 means unbounded
 	mu       sync.Mutex
 	cache    map[uint64]*Snapshot // validated loads, alive for the store's lifetime
+
+	// injector is the store's fault seam (sites FaultSiteLoad and
+	// FaultSiteSave, fired on the I/O path before any file is touched).
+	// Nil — the production state — costs one atomic load per operation.
+	injector atomic.Pointer[faults.Injector]
+}
+
+// Fault-injection sites the store fires on its I/O paths; see
+// SetFaultInjector.
+const (
+	FaultSiteLoad = "snapshot.load"
+	FaultSiteSave = "snapshot.save"
+)
+
+// SetFaultInjector arms (or, with nil, disarms) deterministic fault
+// injection on the store's I/O paths: FaultSiteLoad fires at the top of
+// every Load that misses the in-process cache, FaultSiteSave at the top
+// of every Save. Injected errors surface exactly like real disk errors;
+// injected delays model a slow disk. Test instrumentation only.
+func (st *Store) SetFaultInjector(in *faults.Injector) {
+	st.injector.Store(in)
+}
+
+// fire triggers the armed injector at site; nil injectors never fire.
+func (st *Store) fire(site string) error {
+	return st.injector.Load().Fire(site)
 }
 
 // Open creates (if needed) and opens a snapshot directory. maxBytes bounds
@@ -83,6 +112,9 @@ func (st *Store) Load(fp uint64) (*Snapshot, error) {
 	}
 	st.mu.Unlock()
 
+	if err := st.fire(FaultSiteLoad); err != nil {
+		return nil, err
+	}
 	path := st.path(fp)
 	buf, unmap, err := mapFile(path)
 	if err != nil {
@@ -125,6 +157,9 @@ func (st *Store) Load(fp uint64) (*Snapshot, error) {
 // with identical bytes — harmless, and what concurrent savers do to each
 // other.
 func (st *Store) Save(s *Snapshot) error {
+	if err := st.fire(FaultSiteSave); err != nil {
+		return err
+	}
 	buf, err := s.Encode()
 	if err != nil {
 		return err

@@ -30,7 +30,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"fastliveness/internal/backend"
 	"fastliveness/internal/ir"
 )
 
@@ -182,9 +181,10 @@ func (e *Engine) rebuildOne(h *handle) {
 	gen := h.gen
 	s.mu.Unlock()
 
-	h.irMu.RLock()
-	live, err := e.analyze(h)
-	h.irMu.RUnlock()
+	// runBuild recovers backend panics into a *BuildPanicError, so a
+	// panicking analysis quarantines its function (via recordFailure
+	// below) instead of killing this pool worker.
+	live, err := e.runBuild(h)
 
 	s.mu.Lock()
 	h.building = false
@@ -195,13 +195,15 @@ func (e *Engine) rebuildOne(h *handle) {
 		// racing publisher bumped the generation): discard. Queries that
 		// waited on this build find live == nil and build on demand.
 	case err != nil:
-		h.err, h.errAt = err, backend.EpochsOf(h.f)
+		h.err = err
+		e.recordFailure(h, err)
 	case live.Stale():
 		// Another edit landed mid-build; the result is already dead.
 		// Leave the slot empty — the next query (or MarkDirty) rebuilds
 		// against the newer program.
 	default:
 		h.live = live
+		e.clearQuarantine(h)
 		h.elem = s.lru.PushFront(h)
 		e.resident.Add(1)
 		e.enforceCacheBound(s)
@@ -294,5 +296,28 @@ func (e *Engine) QueuedRebuilds() int {
 func (e *Engine) Close() {
 	if e.pool != nil {
 		e.pool.close()
+	}
+}
+
+// Shutdown is the terminal form of Close: it stops the background workers
+// (draining pending snapshot saves, like Close) and then marks the engine
+// closed, so every subsequent analysis or query request fails fast with
+// an error wrapping ErrEngineClosed. Use Close to pause background work
+// on an engine that keeps serving; use Shutdown when the engine is done
+// for good and late callers should get an error instead of fresh builds.
+// Shutdown is idempotent. Analyses and oracles already handed out keep
+// answering — they own their precomputed sets and never call back into
+// the engine until a staleness re-fetch.
+func (e *Engine) Shutdown() {
+	if e.closed.Swap(true) {
+		return
+	}
+	e.Close()
+	// Wake any waiters parked on in-flight builds so they observe the
+	// closed flag instead of sleeping until the build publishes.
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
 	}
 }

@@ -13,31 +13,155 @@
 package fastliveness
 
 import (
+	"errors"
 	"sync/atomic"
+	"time"
 
 	"fastliveness/internal/backend"
 	"fastliveness/internal/cfg"
 	"fastliveness/internal/core"
 	"fastliveness/internal/ir"
+	"fastliveness/internal/retry"
 	"fastliveness/internal/snapshot"
 )
 
+// Save-retry pacing for transient snapshot write failures (a full /tmp,
+// a hiccuping network filesystem): how many extra attempts a failed save
+// gets by default, and the backoff bounds between them.
+const (
+	defaultSaveRetries = 2
+	saveBackoffBase    = time.Millisecond
+	saveBackoffCap     = 50 * time.Millisecond
+)
+
+// errSnapshotBreakerOpen marks a load or save skipped because the store's
+// circuit breaker is open: the disk tier is degraded and builds fall
+// through to recomputation. Deliberately unexported — callers observe the
+// degradation through SnapshotStats.BreakerSkips, not error plumbing.
+var errSnapshotBreakerOpen = errors.New("snapshot store circuit breaker is open")
+
 // SnapshotStore is a handle on an on-disk snapshot directory, shareable
-// between engines and processes. Open one with OpenSnapshotStore and set
-// it as EngineConfig.SnapshotStore.
+// between engines and processes. Open one with OpenSnapshotStore (or
+// OpenSnapshotStoreOptions to tune the failure handling) and set it as
+// EngineConfig.SnapshotStore.
+//
+// All of the store's I/O sits behind a circuit breaker: a run of
+// consecutive load/save errors — or loads slower than the configured
+// latency ceiling — opens it, after which builds skip the disk entirely
+// and recompute from IR (counted in SnapshotStats.BreakerSkips). After a
+// cooldown the next load runs as a half-open probe; its success closes
+// the breaker again. Cache misses (no snapshot for the fingerprint) are
+// normal operation, never breaker failures. Transient save errors are
+// additionally retried a few times with jittered backoff before giving
+// up, since a lost save silently costs a future process its warm start.
 type SnapshotStore struct {
-	store *snapshot.Store
+	store       *snapshot.Store
+	breaker     *retry.Breaker
+	saveRetries int
+}
+
+// SnapshotStoreOptions tunes OpenSnapshotStoreOptions. The zero value
+// matches OpenSnapshotStore: unbounded directory, breaker opening after
+// 4 consecutive failures with a one-second cooldown and no latency
+// ceiling, and 2 save retries.
+type SnapshotStoreOptions struct {
+	// MaxBytes bounds the directory's total size — least recently used
+	// snapshots are deleted when a save overflows it; <= 0 means unbounded.
+	MaxBytes int64
+	// BreakerFailures is how many consecutive I/O failures open the
+	// breaker. 0 means 4.
+	BreakerFailures int
+	// BreakerLatency, when positive, is the per-operation ceiling: an
+	// operation slower than this counts as a failure even when it
+	// succeeds. 0 disables the ceiling.
+	BreakerLatency time.Duration
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// a half-open probe load. 0 means one second.
+	BreakerCooldown time.Duration
+	// SaveRetries is how many extra backoff-paced attempts a transiently
+	// failing save gets. 0 means 2; negative disables retries.
+	SaveRetries int
+}
+
+func (o SnapshotStoreOptions) saveRetries() int {
+	switch {
+	case o.SaveRetries > 0:
+		return o.SaveRetries
+	case o.SaveRetries < 0:
+		return 0
+	}
+	return defaultSaveRetries
 }
 
 // OpenSnapshotStore opens (creating if necessary) a snapshot directory.
 // maxBytes bounds the directory's total size — least recently used
 // snapshots are deleted when a save overflows it; <= 0 means unbounded.
+// Failure handling uses the defaults; see OpenSnapshotStoreOptions.
 func OpenSnapshotStore(dir string, maxBytes int64) (*SnapshotStore, error) {
-	st, err := snapshot.Open(dir, maxBytes)
+	return OpenSnapshotStoreOptions(dir, SnapshotStoreOptions{MaxBytes: maxBytes})
+}
+
+// OpenSnapshotStoreOptions is OpenSnapshotStore with the failure-model
+// knobs exposed.
+func OpenSnapshotStoreOptions(dir string, opts SnapshotStoreOptions) (*SnapshotStore, error) {
+	st, err := snapshot.Open(dir, opts.MaxBytes)
 	if err != nil {
 		return nil, err
 	}
-	return &SnapshotStore{store: st}, nil
+	return &SnapshotStore{
+		store: st,
+		breaker: retry.NewBreaker(retry.BreakerConfig{
+			Failures: opts.BreakerFailures,
+			Latency:  opts.BreakerLatency,
+			Cooldown: opts.BreakerCooldown,
+		}),
+		saveRetries: opts.saveRetries(),
+	}, nil
+}
+
+// BreakerState reports the store's circuit-breaker position ("closed",
+// "open" or "half-open") for logs and stats.
+func (s *SnapshotStore) BreakerState() string { return s.breaker.State().String() }
+
+// load is Store.Load behind the breaker. An open breaker skips the disk
+// entirely and returns errSnapshotBreakerOpen; cache misses (ErrNotFound)
+// pass through as ordinary misses without counting against the breaker.
+func (s *SnapshotStore) load(fp uint64) (*snapshot.Snapshot, error) {
+	if !s.breaker.Allow() {
+		return nil, errSnapshotBreakerOpen
+	}
+	start := time.Now()
+	snap, err := s.store.Load(fp)
+	failed := err != nil && !errors.Is(err, snapshot.ErrNotFound)
+	s.breaker.Record(time.Since(start), failed)
+	return snap, err
+}
+
+// save is Store.Save behind the breaker, with backoff-paced retries for
+// transient errors. Saves never probe an open breaker — only loads do,
+// because a probe that writes could not distinguish "disk recovered" from
+// "write buffered to a dying disk" — so a non-closed breaker skips the
+// save outright. Save outcomes feed the breaker's failure count only
+// while it is closed, keeping them out of half-open probe accounting.
+func (s *SnapshotStore) save(snap *snapshot.Snapshot) error {
+	var bo *retry.Backoff
+	for attempt := 0; ; attempt++ {
+		if s.breaker.State() != retry.Closed {
+			return errSnapshotBreakerOpen
+		}
+		start := time.Now()
+		err := s.store.Save(snap)
+		if s.breaker.State() == retry.Closed {
+			s.breaker.Record(time.Since(start), err != nil)
+		}
+		if err == nil || attempt >= s.saveRetries {
+			return err
+		}
+		if bo == nil {
+			bo = retry.NewBackoff(saveBackoffBase, saveBackoffCap, 0)
+		}
+		time.Sleep(bo.Next())
+	}
 }
 
 // Dir returns the store's directory.
@@ -71,17 +195,23 @@ type SnapshotStats struct {
 	// hits and written on stores.
 	LoadedBytes int64
 	StoredBytes int64
+	// BreakerSkips counts builds that would have consulted the store but
+	// found its circuit breaker open and recomputed from IR instead (each
+	// also counts as a Miss). A nonzero value is the measurable form of
+	// "the disk tier degraded but answers stayed correct".
+	BreakerSkips int64
 }
 
 // snapshotCounters is the atomic-counter block behind SnapshotStats,
 // embedded in Engine.
 type snapshotCounters struct {
-	snapHits        atomic.Int64
-	snapMisses      atomic.Int64
-	snapStores      atomic.Int64
-	computes        atomic.Int64
-	snapLoadedBytes atomic.Int64
-	snapStoredBytes atomic.Int64
+	snapHits         atomic.Int64
+	snapMisses       atomic.Int64
+	snapStores       atomic.Int64
+	computes         atomic.Int64
+	snapLoadedBytes  atomic.Int64
+	snapStoredBytes  atomic.Int64
+	snapBreakerSkips atomic.Int64
 }
 
 // SnapshotStats reports the engine's snapshot-tier traffic so far. All
@@ -89,12 +219,13 @@ type snapshotCounters struct {
 // Like Stats and Rebuilds, the values are invariant under the shard count.
 func (e *Engine) SnapshotStats() SnapshotStats {
 	return SnapshotStats{
-		Hits:        e.snap.snapHits.Load(),
-		Misses:      e.snap.snapMisses.Load(),
-		Stores:      e.snap.snapStores.Load(),
-		Computes:    e.snap.computes.Load(),
-		LoadedBytes: e.snap.snapLoadedBytes.Load(),
-		StoredBytes: e.snap.snapStoredBytes.Load(),
+		Hits:         e.snap.snapHits.Load(),
+		Misses:       e.snap.snapMisses.Load(),
+		Stores:       e.snap.snapStores.Load(),
+		Computes:     e.snap.computes.Load(),
+		LoadedBytes:  e.snap.snapLoadedBytes.Load(),
+		StoredBytes:  e.snap.snapStoredBytes.Load(),
+		BreakerSkips: e.snap.snapBreakerSkips.Load(),
 	}
 }
 
@@ -112,14 +243,14 @@ func (c Config) coreOptions() core.Options {
 // nil when there is none or the configured backend is not the checker —
 // set-producing backends materialize per-instruction sets, which the
 // CFG-keyed snapshot format deliberately cannot describe.
-func (e *Engine) snapshotTier() *snapshot.Store {
+func (e *Engine) snapshotTier() *SnapshotStore {
 	ss := e.config.SnapshotStore
 	if ss == nil {
 		return nil
 	}
 	switch e.config.Config.Backend {
 	case "", backend.DefaultName:
-		return ss.store
+		return ss
 	}
 	return nil
 }
@@ -166,16 +297,19 @@ func (e *Engine) analyze(h *handle) (*Liveness, error) {
 
 // loadSnapshot tries to serve f's analysis from the store. Every failure —
 // no file, torn or bit-flipped file, version skew, a fingerprint that
-// collides but fails Restore's structural re-validation — lands in the
-// same place: report a miss and let the caller run the real precompute.
-// The disk tier can therefore never produce a wrong answer, only a slower
-// one.
-func (e *Engine) loadSnapshot(st *snapshot.Store, f *ir.Func) (*Liveness, bool) {
+// collides but fails Restore's structural re-validation, an I/O error, an
+// open circuit breaker — lands in the same place: report a miss and let
+// the caller run the real precompute. The disk tier can therefore never
+// produce a wrong answer, only a slower one.
+func (e *Engine) loadSnapshot(ss *SnapshotStore, f *ir.Func) (*Liveness, bool) {
 	opts := e.config.Config.coreOptions()
 	g, index := cfg.FromFunc(f)
 	fp := snapshot.Fingerprint(g, snapshot.FlagsFor(opts))
-	s, err := st.Load(fp)
+	s, err := ss.load(fp)
 	if err != nil {
+		if errors.Is(err, errSnapshotBreakerOpen) {
+			e.snap.snapBreakerSkips.Add(1)
+		}
 		e.snap.snapMisses.Add(1)
 		return nil, false
 	}
@@ -213,7 +347,7 @@ func livenessFromResult(f *ir.Func, cr *backend.CheckerResult, config Config) *L
 // long after its function was edited or evicted is still correct: it
 // describes the CFG shape it captured, and only a future function with
 // that exact shape will load it.
-func (e *Engine) saveSnapshot(st *snapshot.Store, live *Liveness) {
+func (e *Engine) saveSnapshot(ss *SnapshotStore, live *Liveness) {
 	cr, ok := live.res.(*backend.CheckerResult)
 	if !ok {
 		return
@@ -222,14 +356,14 @@ func (e *Engine) saveSnapshot(st *snapshot.Store, live *Liveness) {
 	if err != nil {
 		return // SortedT dropped its arena: loadable config, not savable
 	}
-	if st.Contains(snap.FP) {
+	if ss.store.Contains(snap.FP) {
 		return
 	}
 	job := func() {
-		if st.Contains(snap.FP) {
+		if ss.store.Contains(snap.FP) {
 			return // another function with the same shape got there first
 		}
-		if err := st.Save(snap); err == nil {
+		if err := ss.save(snap); err == nil {
 			e.snap.snapStores.Add(1)
 			e.snap.snapStoredBytes.Add(snap.SizeBytes())
 		}
