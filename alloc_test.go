@@ -162,3 +162,35 @@ func TestRegallocScanZeroAlloc(t *testing.T) {
 		t.Errorf("steady-state rescan: %v allocs, want 0", avg)
 	}
 }
+
+// The telemetry PR's contract: instrumentation does not buy observability
+// with hot-path allocations. An engine-served Oracle on a fully
+// instrumented engine (tracer attached, metrics live) still answers
+// steady-state queries at 0 allocs/op — the per-query cost is one atomic
+// counter add, with no time.Now pair and no tracer callback on the query
+// path.
+func TestInstrumentedOracleZeroAlloc(t *testing.T) {
+	f, vals := allocWorkload(t)
+	e := NewEngine(EngineConfig{Tracer: NopTracer{}})
+	defer e.Close()
+	e.Add(f)
+	o, err := e.Oracle(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := func() {
+		for _, v := range vals {
+			for _, b := range f.Blocks {
+				o.IsLiveIn(v, b)
+				o.IsLiveOut(v, b)
+			}
+		}
+	}
+	sweep() // warm: analysis build, Querier scratch
+	if avg := testing.AllocsPerRun(10, sweep); avg != 0 {
+		t.Errorf("instrumented Oracle steady-state sweep: %v allocs, want 0", avg)
+	}
+	if m := e.Metrics(); m.Queries == 0 {
+		t.Error("instrumented sweep left Queries at 0; the counter should have recorded the traffic")
+	}
+}

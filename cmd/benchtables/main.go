@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtables [-table 1|2|edges|fullprecomp|scaling|queries|engine|backends|regalloc|pipeline|warmstart|all] [-limit N] [-json] [-regs K]
+//	benchtables [-table 1|2|edges|fullprecomp|scaling|queries|engine|backends|regalloc|pipeline|warmstart|latency|all] [-limit N] [-json] [-regs K]
 //
 // -limit caps the number of procedures generated per benchmark (0 = the
 // full corpus, 4823 procedures — Table 2 then takes a few minutes).
@@ -45,6 +45,20 @@
 // the fraction of per-function precompute a warm process start no longer
 // pays relative to a cold one; -json emits the report in the
 // BENCH_*.json format (BENCH_7.json is its first point).
+//
+// -table latency replays the recorded SSA-destruction query stream
+// through a per-backend engine Oracle, timing each query individually
+// into a log-bucketed histogram and interleaving a benign instruction
+// edit every -editevery queries. The reported p50/p90/p99/p99.9 expose
+// the invalidation asymmetry at the tail: set-producing backends pay an
+// inline re-analysis on the first query after each edit (a p99 spike at
+// the default edit rate), while the checker's CFG-only precomputation
+// stays valid. -json emits the rows in the BENCH_*.json format
+// (BENCH_9.json is its first point).
+//
+// -debug-addr serves GET /metrics (the bench harness's telemetry
+// registry, populated by -table latency) and the net/http/pprof handlers
+// on the given address for the duration of the run.
 package main
 
 import (
@@ -55,29 +69,66 @@ import (
 	"strings"
 
 	"fastliveness/internal/bench"
+	"fastliveness/internal/debugserver"
 )
 
-func main() {
-	table := flag.String("table", "all", "which table: 1|2|edges|fullprecomp|queries|scaling|engine|backends|regalloc|pipeline|all")
-	limit := flag.Int("limit", 120, "procedures per benchmark (0 = full corpus)")
-	workers := flag.String("workers", "1,2,4,8", "worker/querier counts for -table engine")
-	funcs := flag.Int("funcs", 128, "corpus size for -table engine")
-	shards := flag.Int("shards", 0, "engine shard count for -table engine (0 = default)")
-	rebuildWorkers := flag.Int("rebuildworkers", 2, "background rebuild workers for -table engine")
-	jsonOut := flag.Bool("json", false, "emit -table engine|backends|regalloc|pipeline rows as JSON")
-	regs := flag.Int("regs", 8, "register budget for -table regalloc|pipeline")
-	flag.Parse()
+// benchOpts holds every benchtables flag. registerFlags is the single
+// registration point, shared with the tests so the flagTables map can be
+// checked for drift against the real flag set.
+type benchOpts struct {
+	table          *string
+	limit          *int
+	workers        *string
+	funcs          *int
+	shards         *int
+	rebuildWorkers *int
+	jsonOut        *bool
+	regs           *int
+	editEvery      *int
+	debugAddr      *string
+}
 
-	jsonTables := map[string]bool{"engine": true, "backends": true, "regalloc": true, "pipeline": true, "warmstart": true}
-	if *jsonOut && !jsonTables[*table] {
-		fmt.Fprintln(os.Stderr, "-json is only supported with -table engine, backends, regalloc, pipeline or warmstart")
+// registerFlags declares all flags on fs and returns their destinations.
+func registerFlags(fs *flag.FlagSet) *benchOpts {
+	return &benchOpts{
+		table:          fs.String("table", "all", "which table: 1|2|edges|fullprecomp|queries|scaling|engine|backends|regalloc|pipeline|warmstart|latency|all"),
+		limit:          fs.Int("limit", 120, "procedures per benchmark (0 = full corpus)"),
+		workers:        fs.String("workers", "1,2,4,8", "worker/querier counts for -table engine"),
+		funcs:          fs.Int("funcs", 128, "corpus size for -table engine"),
+		shards:         fs.Int("shards", 0, "engine shard count for -table engine (0 = default)"),
+		rebuildWorkers: fs.Int("rebuildworkers", 2, "background rebuild workers for -table engine"),
+		jsonOut:        fs.Bool("json", false, "emit -table engine|backends|regalloc|pipeline|warmstart|latency rows as JSON"),
+		regs:           fs.Int("regs", 8, "register budget for -table regalloc|pipeline"),
+		editEvery:      fs.Int("editevery", 64, "benign instruction edit every N queries for -table latency (0 = no edits)"),
+		debugAddr:      fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)"),
+	}
+}
+
+func main() {
+	opts := registerFlags(flag.CommandLine)
+	flag.Parse()
+	table := *opts.table
+
+	jsonTables := map[string]bool{"engine": true, "backends": true, "regalloc": true, "pipeline": true, "warmstart": true, "latency": true}
+	if *opts.jsonOut && !jsonTables[table] {
+		fmt.Fprintln(os.Stderr, "-json is only supported with -table engine, backends, regalloc, pipeline, warmstart or latency")
 		os.Exit(2)
 	}
-	for _, w := range warnIgnoredFlags(*table, flag.CommandLine) {
+	for _, w := range warnIgnoredFlags(table, flag.CommandLine) {
 		fmt.Fprintln(os.Stderr, "benchtables: warning:", w)
 	}
 
-	workerCounts, err := parseWorkers(*workers)
+	if *opts.debugAddr != "" {
+		srv, err := debugserver.Start(*opts.debugAddr, bench.LatencyRegistry.Write)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /debug/pprof/)\n", srv.Addr())
+	}
+
+	workerCounts, err := parseWorkers(*opts.workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -85,14 +136,14 @@ func main() {
 
 	needCorpus := map[string]bool{"1": true, "2": true, "edges": true,
 		"fullprecomp": true, "queries": true, "backends": true,
-		"regalloc": true, "all": true}[*table]
+		"regalloc": true, "latency": true, "all": true}[table]
 	var corpora []*bench.Corpus
 	if needCorpus {
-		fmt.Fprintf(os.Stderr, "generating corpus (limit %d per benchmark)...\n", *limit)
-		corpora = bench.BuildAll(*limit)
+		fmt.Fprintf(os.Stderr, "generating corpus (limit %d per benchmark)...\n", *opts.limit)
+		corpora = bench.BuildAll(*opts.limit)
 	}
 
-	switch *table {
+	switch table {
 	case "1":
 		fmt.Println(bench.Table1(corpora))
 	case "2":
@@ -106,8 +157,8 @@ func main() {
 	case "scaling":
 		fmt.Println(bench.ScalingSeries([]int{64, 128, 256, 512, 1024, 2048, 4096}))
 	case "engine":
-		rep := bench.MeasureEngineContention(*funcs, workerCounts, *shards, *rebuildWorkers, 0)
-		if *jsonOut {
+		rep := bench.MeasureEngineContention(*opts.funcs, workerCounts, *opts.shards, *opts.rebuildWorkers, 0)
+		if *opts.jsonOut {
 			out, err := bench.EngineContentionJSON(rep)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -115,11 +166,11 @@ func main() {
 			}
 			fmt.Print(out)
 		} else {
-			fmt.Println(bench.ProgramTable(*funcs, workerCounts, 3))
+			fmt.Println(bench.ProgramTable(*opts.funcs, workerCounts, 3))
 			fmt.Println(bench.EngineContentionSection(rep))
 		}
 	case "backends":
-		if *jsonOut {
+		if *opts.jsonOut {
 			rows, err := bench.MeasureBackends(corpora)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -135,8 +186,8 @@ func main() {
 			fmt.Println(bench.BackendTable(corpora))
 		}
 	case "regalloc":
-		if *jsonOut {
-			rows, _, err := bench.MeasureRegalloc(corpora, *regs)
+		if *opts.jsonOut {
+			rows, _, err := bench.MeasureRegalloc(corpora, *opts.regs)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -148,11 +199,11 @@ func main() {
 			}
 			fmt.Print(out)
 		} else {
-			fmt.Println(bench.RegallocTable(corpora, *regs))
+			fmt.Println(bench.RegallocTable(corpora, *opts.regs))
 		}
 	case "pipeline":
-		if *jsonOut {
-			rows, err := bench.MeasurePipeline(*limit, *regs)
+		if *opts.jsonOut {
+			rows, err := bench.MeasurePipeline(*opts.limit, *opts.regs)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -164,7 +215,7 @@ func main() {
 			}
 			fmt.Print(out)
 		} else {
-			fmt.Println(bench.PipelineTable(*limit, *regs))
+			fmt.Println(bench.PipelineTable(*opts.limit, *opts.regs))
 		}
 	case "warmstart":
 		// The warm-start corpus is deliberately small in function count —
@@ -175,7 +226,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if *jsonOut {
+		if *opts.jsonOut {
 			out, err := bench.WarmStartJSON(rep)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -185,6 +236,22 @@ func main() {
 		} else {
 			fmt.Println(bench.WarmStartSection(rep))
 		}
+	case "latency":
+		if *opts.jsonOut {
+			rows, err := bench.MeasureLatency(corpora, *opts.editEvery)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			out, err := bench.LatencyJSON(rows)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+		} else {
+			fmt.Println(bench.LatencyTable(corpora, *opts.editEvery))
+		}
 	case "all":
 		fmt.Println(bench.Table1(corpora))
 		fmt.Println(bench.EdgeStats(corpora))
@@ -192,17 +259,18 @@ func main() {
 		fmt.Println(bench.DestructionStats(corpora))
 		fmt.Println(bench.FullPrecompStats(corpora))
 		fmt.Println(bench.ScalingSeries([]int{64, 128, 256, 512, 1024, 2048}))
-		fmt.Println(bench.ProgramTable(*funcs, workerCounts, 3))
+		fmt.Println(bench.ProgramTable(*opts.funcs, workerCounts, 3))
 		fmt.Println(bench.EngineContentionSection(
-			bench.MeasureEngineContention(*funcs, workerCounts, *shards, *rebuildWorkers, 0)))
+			bench.MeasureEngineContention(*opts.funcs, workerCounts, *opts.shards, *opts.rebuildWorkers, 0)))
 		fmt.Println(bench.BackendTable(corpora))
-		fmt.Println(bench.RegallocTable(corpora, *regs))
-		fmt.Println(bench.PipelineTable(*limit, *regs))
+		fmt.Println(bench.RegallocTable(corpora, *opts.regs))
+		fmt.Println(bench.PipelineTable(*opts.limit, *opts.regs))
+		fmt.Println(bench.LatencyTable(corpora, *opts.editEvery))
 		if rep, err := bench.MeasureWarmStart([]int{8, 16}, 3); err == nil {
 			fmt.Println(bench.WarmStartSection(rep))
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", table)
 		os.Exit(2)
 	}
 }
@@ -212,15 +280,27 @@ func main() {
 // ignored by the measurement, which warnIgnoredFlags turns into an
 // explicit warning — a -shards 32 run of a table that never constructs an
 // engine should say so rather than let the user believe they measured a
-// 32-shard configuration. Flags absent here (-table, -json) are validated
-// elsewhere or always honored.
+// 32-shard configuration. Flags absent here must appear in
+// alwaysHonoredFlags instead (they are validated elsewhere or honored by
+// every table) — TestFlagTablesCoverRegisteredFlags enforces that every
+// registered flag lands in exactly one of the two.
 var flagTables = map[string][]string{
-	"limit":          {"1", "2", "edges", "fullprecomp", "queries", "backends", "regalloc", "pipeline", "all"},
+	"limit":          {"1", "2", "edges", "fullprecomp", "queries", "backends", "regalloc", "pipeline", "latency", "all"},
 	"workers":        {"engine", "all"},
 	"funcs":          {"engine", "all"},
 	"shards":         {"engine", "all"},
 	"rebuildworkers": {"engine", "all"},
 	"regs":           {"regalloc", "pipeline", "all"},
+	"editevery":      {"latency", "all"},
+}
+
+// alwaysHonoredFlags lists the flags warnIgnoredFlags must never warn
+// about: -table selects the table, -json is validated against
+// jsonTables up front, and -debug-addr serves whatever the run produces.
+var alwaysHonoredFlags = map[string]bool{
+	"table":      true,
+	"json":       true,
+	"debug-addr": true,
 }
 
 // warnIgnoredFlags returns a warning per explicitly set flag that the

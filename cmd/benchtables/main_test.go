@@ -7,20 +7,14 @@ import (
 	"testing"
 )
 
-// benchFlags mirrors main's flag registration on a fresh FlagSet so the
-// warning logic is testable without running a benchmark.
+// benchFlags runs main's own flag registration on a fresh FlagSet so the
+// warning logic is testable without running a benchmark — and cannot
+// drift from the real flag set, because it IS the real registration.
 func benchFlags(t *testing.T, args ...string) *flag.FlagSet {
 	t.Helper()
 	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	fs.String("table", "all", "")
-	fs.Int("limit", 120, "")
-	fs.String("workers", "1,2,4,8", "")
-	fs.Int("funcs", 128, "")
-	fs.Int("shards", 0, "")
-	fs.Int("rebuildworkers", 2, "")
-	fs.Bool("json", false, "")
-	fs.Int("regs", 8, "")
+	registerFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		t.Fatal(err)
 	}
@@ -38,6 +32,7 @@ func TestWarnIgnoredFlags(t *testing.T) {
 		// A flag the table honors stays silent.
 		{"backends", []string{"-limit", "10"}, nil},
 		{"engine", []string{"-shards", "4", "-funcs", "64"}, nil},
+		{"latency", []string{"-editevery", "16", "-limit", "10"}, nil},
 		// The classic trap: -shards on a table that never builds an engine.
 		{"backends", []string{"-shards", "32"},
 			[]string{"-shards is ignored by -table backends"}},
@@ -45,6 +40,10 @@ func TestWarnIgnoredFlags(t *testing.T) {
 			[]string{"-limit is ignored by -table scaling"}},
 		{"engine", []string{"-regs", "4"},
 			[]string{"-regs is ignored by -table engine"}},
+		{"pipeline", []string{"-editevery", "8"},
+			[]string{"-editevery is ignored by -table pipeline"}},
+		// Always-honored flags never warn.
+		{"scaling", []string{"-debug-addr", "localhost:0"}, nil},
 		// Several ignored flags warn once each, in flag-name order.
 		{"warmstart", []string{"-shards", "4", "-regs", "2", "-funcs", "9"},
 			[]string{
@@ -59,6 +58,36 @@ func TestWarnIgnoredFlags(t *testing.T) {
 		got := warnIgnoredFlags(c.table, benchFlags(t, c.args...))
 		if strings.Join(got, ";") != strings.Join(c.want, ";") {
 			t.Errorf("table %s args %v:\n got %v\nwant %v", c.table, c.args, got, c.want)
+		}
+	}
+}
+
+// TestFlagTablesCoverRegisteredFlags fails when a flag is registered but
+// classified nowhere: every flag must either appear in flagTables (so
+// warnIgnoredFlags can police it) or be declared always-honored. This is
+// the drift guard — adding a flag without deciding which tables honor it
+// is exactly the bug the warning machinery exists to prevent.
+func TestFlagTablesCoverRegisteredFlags(t *testing.T) {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	registerFlags(fs)
+	fs.VisitAll(func(f *flag.Flag) {
+		_, policed := flagTables[f.Name]
+		if !policed && !alwaysHonoredFlags[f.Name] {
+			t.Errorf("flag -%s is registered but absent from both flagTables and alwaysHonoredFlags", f.Name)
+		}
+	})
+	// The reverse direction: flagTables must not name flags that no
+	// longer exist (a stale entry silently polices nothing).
+	registered := make(map[string]bool)
+	fs.VisitAll(func(f *flag.Flag) { registered[f.Name] = true })
+	for name := range flagTables {
+		if !registered[name] {
+			t.Errorf("flagTables entry %q names an unregistered flag", name)
+		}
+	}
+	for name := range alwaysHonoredFlags {
+		if !registered[name] {
+			t.Errorf("alwaysHonoredFlags entry %q names an unregistered flag", name)
 		}
 	}
 }

@@ -31,7 +31,13 @@
 //	              naturally differs per backend. Works in single-function
 //	              and whole-program mode alike.
 //	-verify       verify strict SSA before analyzing (default true)
-//	-stats        print CFG/analysis statistics
+//	-stats        print CFG/analysis statistics; the run then ends with an
+//	              "engine: ..." line summarizing the engine's metrics
+//	              snapshot (builds, queries, rebuilds, quarantines — see
+//	              Engine.Metrics)
+//	-debug-addr   serve GET /metrics (the engine's Prometheus text
+//	              exposition) and the net/http/pprof handlers on this
+//	              address for the duration of the run
 //	-parallel     precompute worker count in whole-program mode (0 = GOMAXPROCS)
 //	-regalloc K   run the SSA register allocator (internal/regalloc) with a
 //	              budget of K registers against the selected backend's
@@ -72,9 +78,11 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"fastliveness"
 	"fastliveness/internal/cfg"
+	"fastliveness/internal/debugserver"
 	"fastliveness/internal/dom"
 	"fastliveness/internal/ir"
 	"fastliveness/internal/pipeline"
@@ -85,6 +93,19 @@ import (
 // stdout is the destination of all normal output; tests retarget it to
 // capture golden runs.
 var stdout io.Writer = os.Stdout
+
+// debugEngine publishes the run's engine to the -debug-addr /metrics
+// handler, which may scrape at any point of the run (including before
+// the engine exists — the exposition is then empty, which the format
+// allows).
+var debugEngine atomic.Pointer[fastliveness.Engine]
+
+// writeDebugMetrics renders the published engine's metrics, if any.
+func writeDebugMetrics(w io.Writer) {
+	if eng := debugEngine.Load(); eng != nil {
+		eng.WriteMetrics(w)
+	}
+}
 
 type queryList []string
 
@@ -103,9 +124,10 @@ func main() {
 		pipe     = flag.Bool("pipeline", false, "run the full pass pipeline and print the per-pass report")
 		shards   = flag.Int("shards", 0, "engine shard count (0 = default); a contention knob, never changes answers")
 		rebuild  = flag.Int("rebuild-workers", 0, "background rebuild workers re-analyzing edited functions ahead of queries (0 = off)")
-		snapDir  = flag.String("snapshot-dir", "", "persist checker precomputations under this directory and reuse them across runs")
-		failFast = flag.Bool("fail-fast", false, "abort a whole-program run on the first failing function instead of collecting failures")
-		queries  queryList
+		snapDir   = flag.String("snapshot-dir", "", "persist checker precomputations under this directory and reuse them across runs")
+		failFast  = flag.Bool("fail-fast", false, "abort a whole-program run on the first failing function instead of collecting failures")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+		queries   queryList
 	)
 	flag.Var(&queries, "q", "query '[in:|out:]%value@block[@func]' (repeatable)")
 	flag.Parse()
@@ -113,6 +135,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: livecheck [flags] file.ssair | - | dir/ | file...")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		srv, err := debugserver.Start(*debugAddr, writeDebugMetrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "livecheck:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /debug/pprof/)\n", srv.Addr())
 	}
 	paths, program, err := programArgs(flag.Args())
 	var snap *fastliveness.SnapshotStore
@@ -275,6 +306,7 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 	// stays usable for every function that analyzed cleanly, and the
 	// per-function Liveness below re-surfaces each failure individually.
 	defer eng.Close()
+	debugEngine.Store(eng)
 
 	if len(queries) > 0 {
 		if stat {
@@ -299,6 +331,7 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 			}
 		}
 		printSnapshotStats(eng, snap)
+		printEngineMetrics(eng, stat)
 		if len(failures) > 0 {
 			return failuresError(len(paths), failures)
 		}
@@ -334,10 +367,27 @@ func runProgram(paths []string, construct bool, backendName string, verify, stat
 	fmt.Fprintf(stdout, "%d functions analyzed (%d resident, %d bytes of precomputed sets)\n",
 		analyzed, eng.Resident(), eng.MemoryBytes())
 	printSnapshotStats(eng, snap)
+	printEngineMetrics(eng, stat)
 	if len(failures) > 0 {
 		return failuresError(len(paths), failures)
 	}
 	return nil
+}
+
+// printEngineMetrics ends a -stats run with one deterministic line of the
+// engine's consolidated metrics snapshot (Engine.Metrics). Close first so
+// background work has settled and the counts are final; like
+// printSnapshotStats, the idempotent Close keeps the deferred one
+// harmless.
+func printEngineMetrics(eng *fastliveness.Engine, stat bool) {
+	if !stat {
+		return
+	}
+	eng.Close()
+	m := eng.Metrics()
+	fmt.Fprintf(stdout, "engine: funcs=%d resident=%d builds=%d computes=%d queries=%d batches=%d rebuilds=%d background=%d queued=%d discarded=%d quarantined=%d\n",
+		m.Funcs, m.Resident, m.Builds, m.Snapshot.Computes, m.Queries, m.Batches,
+		m.Rebuilds, m.BackgroundRebuilds, m.QueuedRebuilds, m.RebuildDiscards, m.Quarantined)
 }
 
 // printSnapshotStats ends a -snapshot-dir run with its disk-tier traffic,
@@ -355,8 +405,9 @@ func printSnapshotStats(eng *fastliveness.Engine, snap *fastliveness.SnapshotSto
 }
 
 // answerProgram resolves a '[in:|out:]%value@block@func' query against the
-// engine. With exactly one function loaded, the '@func' component may be
-// omitted.
+// engine, through an Oracle — the counted query path, so a -stats run
+// reports these under queries=. With exactly one function loaded, the
+// '@func' component may be omitted.
 func answerProgram(eng *fastliveness.Engine, byName map[string]*ir.Func, q string) error {
 	kind, rest := splitKind(q)
 	parts := strings.Split(rest, "@")
@@ -375,11 +426,11 @@ func answerProgram(eng *fastliveness.Engine, byName map[string]*ir.Func, q strin
 	default:
 		return fmt.Errorf("bad query %q (want '[in:|out:]%%value@block@func' in whole-program mode)", q)
 	}
-	live, err := eng.Liveness(f)
+	o, err := eng.Oracle(f)
 	if err != nil {
 		return err
 	}
-	return answer(f, kind, rest, live.IsLiveIn, live.IsLiveOut)
+	return answer(f, kind, rest, o.IsLiveIn, o.IsLiveOut)
 }
 
 func run(path string, construct bool, backendName string, verify, stat bool, regs int, snap *fastliveness.SnapshotStore, queries queryList) error {
@@ -404,11 +455,15 @@ func run(path string, construct bool, backendName string, verify, stat bool, reg
 		SnapshotStore: snap,
 	})
 	eng.Add(f)
-	live, err := eng.Liveness(f)
+	debugEngine.Store(eng)
+	// Queries and set dumps go through an Oracle — the engine's counted
+	// (and auto-refreshing) query path, so -stats and /metrics account for
+	// them. Analysis failures surface here, as with Liveness.
+	oracle, err := eng.Oracle(f)
 	if err != nil {
 		return err
 	}
-	liveIn, liveOut := queryFunc(live.IsLiveIn), queryFunc(live.IsLiveOut)
+	liveIn, liveOut := queryFunc(oracle.IsLiveIn), queryFunc(oracle.IsLiveOut)
 
 	if stat {
 		printStats(f)
@@ -435,6 +490,7 @@ func run(path string, construct bool, backendName string, verify, stat bool, reg
 			}
 		}
 		printSnapshotStats(eng, snap)
+		printEngineMetrics(eng, stat)
 		return nil
 	}
 
@@ -461,6 +517,7 @@ func run(path string, construct bool, backendName string, verify, stat bool, reg
 		}
 	}
 	printSnapshotStats(eng, snap)
+	printEngineMetrics(eng, stat)
 	return nil
 }
 

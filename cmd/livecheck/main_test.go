@@ -524,3 +524,57 @@ func TestEngineTuningFlagsIdenticalOutput(t *testing.T) {
 		t.Errorf("-shards/-rebuild-workers changed pipeline output:\n%s\nwant:\n%s", tuned, plain)
 	}
 }
+
+// A -stats run ends with one "engine: ..." line — the consolidated
+// Engine.Metrics snapshot. For a fixed program and query set the counts
+// are deterministic, so the line is golden-testable: whole-program mode
+// precomputes both functions (2 builds, 2 full computes) and answers the
+// three queries through Oracles (the counted query path).
+func TestRunProgramStatsEngineLine(t *testing.T) {
+	dir := writeProgram(t, map[string]string{"loop.ssair": loopSrc, "clamp.ssair": clampSrc})
+	paths, _, _ := programArgs([]string{dir})
+
+	// Summary mode: no queries issued, everything else settled.
+	got := capture(t, func() error {
+		return runProgram(paths, false, "checker", true, true, 2, 0, 0, 0, nil, nil, false)
+	})
+	want := "engine: funcs=2 resident=2 builds=2 computes=2 queries=0 batches=0 rebuilds=0 background=0 queued=0 discarded=0 quarantined=0\n"
+	if !strings.Contains(got, want) {
+		t.Errorf("summary-mode -stats output missing %q:\n%s", want, got)
+	}
+
+	// Query mode: each -q answer goes through an Oracle and is counted.
+	qs := queryList{"%i@body@loop", "out:%x@entry@clamp", "in:%r@join@clamp"}
+	got = capture(t, func() error {
+		return runProgram(paths, false, "checker", true, true, 2, 0, 0, 0, nil, qs, false)
+	})
+	want = "engine: funcs=2 resident=2 builds=2 computes=2 queries=3 batches=0 rebuilds=0 background=0 queued=0 discarded=0 quarantined=0\n"
+	if !strings.Contains(got, want) {
+		t.Errorf("query-mode -stats output missing %q:\n%s", want, got)
+	}
+
+	// Without -stats the line must not appear (the CI warm-start smoke
+	// diffs non-snapshot output across runs).
+	got = capture(t, func() error {
+		return runProgram(paths, false, "checker", true, false, 2, 0, 0, 0, nil, nil, false)
+	})
+	if strings.Contains(got, "engine:") {
+		t.Errorf("engine metrics line printed without -stats:\n%s", got)
+	}
+}
+
+// Single-function mode routes the per-block set dump through an Oracle
+// too, so -stats reports one build and the dump's query traffic.
+func TestRunStatsEngineLine(t *testing.T) {
+	p := writeTemp(t, loopSrc)
+	got := capture(t, func() error {
+		return run(p, false, "checker", true, true, 0, nil, nil)
+	})
+	// loopSrc has 6 result values (the parameter %n included) and 4
+	// blocks; the dump asks live-in and live-out for each pair:
+	// 6*4*2 = 48 queries.
+	want := "engine: funcs=1 resident=1 builds=1 computes=1 queries=48 batches=0 rebuilds=0 background=0 queued=0 discarded=0 quarantined=0\n"
+	if !strings.Contains(got, want) {
+		t.Errorf("-stats output missing %q:\n%s", want, got)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"fastliveness/internal/backend"
 	"fastliveness/internal/ir"
 	"fastliveness/internal/retry"
+	"fastliveness/internal/telemetry"
 )
 
 // defaultShards is the shard count when EngineConfig.Shards is zero: high
@@ -99,6 +100,14 @@ type EngineConfig struct {
 	// until its next edit. 0 means the default (2); negative quarantines
 	// on the first panic with no retries.
 	MaxBuildRetries int
+	// Tracer receives the engine's lifecycle events (build start/end,
+	// query batches, snapshot loads/saves, quarantine enter/clear,
+	// breaker transitions, rebuild enqueue/discard). Callbacks run
+	// synchronously on the emitting goroutine, sometimes under engine
+	// locks — they must be fast, must not block, and must not call back
+	// into the engine. Nil means no tracing (zero overhead beyond the
+	// always-on atomic counters behind Metrics).
+	Tracer telemetry.Tracer
 }
 
 func (c EngineConfig) workers() int {
@@ -217,18 +226,36 @@ type Engine struct {
 	pool     *rebuildPool // nil unless RebuildWorkers > 0
 	snap     snapshotCounters
 	closed   atomic.Bool // set by Shutdown; engine methods then fail fast
+
+	// tracer is config.Tracer or NopTracer, so emit sites never nil-check;
+	// met is the atomic instrument block behind Metrics()/WriteMetrics.
+	// unobserve detaches the engine's breaker-transition observer from the
+	// (possibly shared) SnapshotStore at Shutdown.
+	tracer    telemetry.Tracer
+	met       engineMetrics
+	unobserve func()
 }
 
 // NewEngine returns an empty engine; register functions with Add. With
 // EngineConfig.RebuildWorkers > 0 the background pool starts immediately;
 // call Close to stop it.
 func NewEngine(config EngineConfig) *Engine {
-	e := &Engine{config: config}
+	e := &Engine{config: config, tracer: config.Tracer}
+	if e.tracer == nil {
+		e.tracer = telemetry.NopTracer{}
+	}
 	e.shards = make([]*shard, config.shardCount())
 	for i := range e.shards {
 		s := &shard{lru: list.New()}
 		s.cond = sync.NewCond(&s.mu)
 		e.shards[i] = s
+	}
+	if config.SnapshotStore != nil {
+		// Forward the (shared) store's breaker transitions to this engine's
+		// tracer; Shutdown detaches.
+		e.unobserve = config.SnapshotStore.observeBreaker(func(from, to retry.State) {
+			e.tracer.BreakerTransition(from.String(), to.String())
+		})
 	}
 	if config.RebuildWorkers > 0 {
 		e.pool = newRebuildPool(e, config.RebuildWorkers)
@@ -507,10 +534,16 @@ func (e *Engine) startBuild(ctx context.Context, h *handle) (*Liveness, error) {
 // under the function's read lock so it cannot race an Edit; the unlock is
 // deferred after the recover, so it still runs when the analysis panics.
 func (e *Engine) runBuild(h *handle) (live *Liveness, err error) {
+	start := time.Now()
+	e.tracer.BuildStart(h.f.Name)
 	defer func() {
 		if r := recover(); r != nil {
 			live, err = nil, &BuildPanicError{Func: h.f.Name, Value: r, Stack: debug.Stack()}
 		}
+		d := time.Since(start)
+		e.met.builds.Inc()
+		e.met.buildNs.Observe(d.Nanoseconds())
+		e.tracer.BuildEnd(h.f.Name, d, err)
 	}()
 	h.irMu.RLock()
 	defer h.irMu.RUnlock()
@@ -553,6 +586,10 @@ func (e *Engine) recordFailure(h *handle, err error) {
 		return
 	}
 	h.panics++
+	if h.panics == 1 {
+		e.met.quarantined.Add(1)
+		e.tracer.QuarantineEnter(h.f.Name)
+	}
 	if h.backoff == nil {
 		h.backoff = retry.NewBackoff(quarantineBackoffBase, quarantineBackoffCap, 0)
 	}
@@ -562,6 +599,10 @@ func (e *Engine) recordFailure(h *handle, err error) {
 // clearQuarantine resets h's panic-retry state after a successful build
 // or an edit. Called with the shard mutex held.
 func (e *Engine) clearQuarantine(h *handle) {
+	if h.panics > 0 {
+		e.met.quarantined.Add(-1)
+		e.tracer.QuarantineClear(h.f.Name)
+	}
 	h.panics, h.retryAt = 0, time.Time{}
 	if h.backoff != nil {
 		h.backoff.Reset()
@@ -633,6 +674,11 @@ func (e *Engine) Shards() int {
 // 0 while set-producing backends pay one rebuild per edit-then-query;
 // cmd/benchtables -table pipeline records exactly this per backend. The
 // total is invariant under the shard count.
+//
+// Rebuilds always equals Metrics().Rebuilds — it is the single-field
+// accessor kept (like BackgroundRebuilds, QueuedRebuilds and
+// SnapshotStats) for callers that want one number without the full
+// consolidated snapshot; Metrics() delegates here.
 func (e *Engine) Rebuilds() int {
 	total := 0
 	for _, s := range e.shards {
@@ -642,6 +688,10 @@ func (e *Engine) Rebuilds() int {
 	}
 	return total
 }
+
+// Queries reports how many individual liveness questions the engine has
+// answered (batch entries plus Oracle queries) — Metrics().Queries.
+func (e *Engine) Queries() int64 { return e.met.queries.Load() }
 
 // BackendStats summarizes the resident analyses served by one backend.
 type BackendStats struct {
@@ -739,8 +789,14 @@ func (e *Engine) batch(ctx context.Context, f *ir.Func, queries []Query, ask fun
 			h.irMu.RUnlock()
 			continue
 		}
+		start := time.Now()
 		out := e.runBatch(live, queries, ask)
 		h.irMu.RUnlock()
+		d := time.Since(start)
+		e.met.batches.Inc()
+		e.met.queries.Add(int64(len(queries)))
+		e.met.batchNs.Observe(d.Nanoseconds())
+		e.tracer.QueryBatch(f.Name, len(queries), d)
 		return out, nil
 	}
 }
@@ -862,6 +918,11 @@ func (o *Oracle) query(ask func(*Querier) bool) bool {
 		if !o.live.Stale() {
 			v := ask(qr)
 			o.h.irMu.RUnlock()
+			// One atomic add is the entire per-query instrumentation cost:
+			// per-query timing would double the hot path's latency for a
+			// distribution the batch/build histograms and the bench latency
+			// table already capture.
+			o.e.met.queries.Inc()
 			return v
 		}
 		// An edit landed between ensure and the lock: retry.

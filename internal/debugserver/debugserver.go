@@ -1,0 +1,71 @@
+// Package debugserver is the shared HTTP debug endpoint for the CLIs: a
+// GET /metrics handler writing the Prometheus text exposition produced
+// by a caller-supplied writer function, plus the net/http/pprof profile
+// handlers under /debug/pprof/. It registers handlers on its own
+// ServeMux — never on http.DefaultServeMux, which importing
+// net/http/pprof would otherwise mutate process-wide — and supports
+// ":0" addresses so tests can bind an ephemeral port and read it back
+// with Addr.
+package debugserver
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is a running debug endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start binds addr (host:port; ":0" picks an ephemeral port) and serves
+// /metrics — rendered by calling metrics with the response writer — and
+// the pprof handlers. The caller must Close the returned server.
+func Start(addr string, metrics func(io.Writer)) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() {
+		// Serve returns ErrServerClosed (or a listener error) on Close;
+		// either way there is nothing useful to do with it here.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}

@@ -1,0 +1,69 @@
+package debugserver
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"fastliveness/internal/telemetry"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerMetricsAndPprof(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("test_hits_total", "a counter").Add(7)
+	reg.Histogram("test_ns", "a histogram").Observe(42)
+
+	s, err := Start("127.0.0.1:0", reg.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if err := telemetry.CheckExposition(body); err != nil {
+		t.Fatalf("/metrics exposition lint: %v\n%s", err, body)
+	}
+	if !strings.Contains(body, "test_hits_total 7") {
+		t.Errorf("/metrics missing counter sample:\n%s", body)
+	}
+
+	code, body = get(t, "http://"+s.Addr()+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing profile listing:\n%.200s", body)
+	}
+
+	// /metrics is GET-only.
+	resp, err := http.Post("http://"+s.Addr()+"/metrics", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics status = %d, want 405", resp.StatusCode)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}

@@ -120,6 +120,13 @@ type BreakerConfig struct {
 	// Now is the clock; nil means time.Now. Injectable for deterministic
 	// tests.
 	Now func() time.Time
+	// OnTransition, when non-nil, is called after every state change with
+	// the old and new state. It runs outside the breaker's lock (so it may
+	// call back into the breaker) but synchronously on the goroutine whose
+	// Allow or Record caused the transition — keep it fast. Transitions
+	// are reported in order per goroutine; concurrent transitions may
+	// interleave their callbacks.
+	OnTransition func(from, to State)
 }
 
 func (c BreakerConfig) failures() int {
@@ -174,23 +181,34 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 // by Record.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var ok bool
+	from, to := b.state, b.state
 	switch b.state {
 	case Closed:
-		return true
+		ok = true
 	case Open:
-		if b.cfg.now().Sub(b.openedAt) < b.cfg.cooldown() {
-			return false
+		if b.cfg.now().Sub(b.openedAt) >= b.cfg.cooldown() {
+			b.state = HalfOpen
+			b.probing = true
+			to = HalfOpen
+			ok = true
 		}
-		b.state = HalfOpen
-		b.probing = true
-		return true
 	default: // HalfOpen
-		if b.probing {
-			return false
+		if !b.probing {
+			b.probing = true
+			ok = true
 		}
-		b.probing = true
-		return true
+	}
+	b.mu.Unlock()
+	b.notify(from, to)
+	return ok
+}
+
+// notify fires the transition callback outside the lock when the state
+// actually changed.
+func (b *Breaker) notify(from, to State) {
+	if from != to && b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
 	}
 }
 
@@ -204,17 +222,18 @@ func (b *Breaker) Record(d time.Duration, failed bool) {
 		failed = true
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from, to := b.state, b.state
 	switch b.state {
 	case Closed:
 		if !failed {
 			b.consecutive = 0
-			return
-		}
-		b.consecutive++
-		if b.consecutive >= b.cfg.failures() {
-			b.state = Open
-			b.openedAt = b.cfg.now()
+		} else {
+			b.consecutive++
+			if b.consecutive >= b.cfg.failures() {
+				b.state = Open
+				b.openedAt = b.cfg.now()
+				to = Open
+			}
 		}
 	case Open:
 		// A straggler admitted before the breaker opened; its outcome
@@ -224,11 +243,15 @@ func (b *Breaker) Record(d time.Duration, failed bool) {
 		if failed {
 			b.state = Open
 			b.openedAt = b.cfg.now()
+			to = Open
 		} else {
 			b.state = Closed
 			b.consecutive = 0
+			to = Closed
 		}
 	}
+	b.mu.Unlock()
+	b.notify(from, to)
 }
 
 // State reports the breaker's current position without side effects; an

@@ -1,6 +1,7 @@
 package retry
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -167,4 +168,40 @@ func TestBreakerConcurrentUse(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+func TestBreakerOnTransition(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	var got []string
+	b := NewBreaker(BreakerConfig{
+		Failures: 2, Cooldown: time.Second, Now: clk.Now,
+		OnTransition: func(from, to State) {
+			got = append(got, from.String()+">"+to.String())
+		},
+	})
+	// Closed -> Open after two failures.
+	b.Allow()
+	b.Record(0, true)
+	b.Allow()
+	b.Record(0, true)
+	// Open -> HalfOpen via the cooled-down probe, then -> Open on probe
+	// failure.
+	clk.Advance(2 * time.Second)
+	b.Allow()
+	b.Record(0, true)
+	// Open -> HalfOpen -> Closed on probe success.
+	clk.Advance(2 * time.Second)
+	b.Allow()
+	b.Record(0, false)
+	want := "closed>open;open>half-open;half-open>open;open>half-open;half-open>closed"
+	if s := strings.Join(got, ";"); s != want {
+		t.Fatalf("transitions:\n got %s\nwant %s", s, want)
+	}
+	// The callback may call back into the breaker: no deadlock.
+	reentrant := NewBreaker(BreakerConfig{Failures: 1})
+	reentrant.cfg.OnTransition = func(from, to State) { _ = reentrant.State() }
+	reentrant.Record(0, true)
+	if reentrant.State() != Open {
+		t.Fatal("reentrant callback broke the transition")
+	}
 }

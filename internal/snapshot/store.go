@@ -53,6 +53,10 @@ type Store struct {
 	// FaultSiteSave, fired on the I/O path before any file is touched).
 	// Nil — the production state — costs one atomic load per operation.
 	injector atomic.Pointer[faults.Injector]
+
+	// GC accounting, readable without the store lock (GCStats).
+	gcRuns atomic.Int64
+	gcNs   atomic.Int64
 }
 
 // Fault-injection sites the store fires on its I/O paths; see
@@ -200,6 +204,13 @@ func (st *Store) SizeBytes() int64 {
 // Len counts the store's snapshot files.
 func (st *Store) Len() int { return len(st.files()) }
 
+// GCStats reports how many byte-budget GC passes Save has run and their
+// cumulative wall-clock time — the latency cost of keeping the directory
+// inside its budget, exposed through the engine's metrics surface.
+func (st *Store) GCStats() (runs int, totalNs int64) {
+	return int(st.gcRuns.Load()), st.gcNs.Load()
+}
+
 type storeFile struct {
 	name  string
 	size  int64
@@ -235,6 +246,11 @@ func (st *Store) gcLocked(keep string) {
 	if st.maxBytes <= 0 {
 		return
 	}
+	start := time.Now()
+	defer func() {
+		st.gcRuns.Add(1)
+		st.gcNs.Add(time.Since(start).Nanoseconds())
+	}()
 	files := st.files()
 	var total int64
 	for _, f := range files {

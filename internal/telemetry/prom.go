@@ -1,0 +1,326 @@
+// Prometheus text-exposition writer and lint helper — dependency-free on
+// purpose: the repo bakes in no client library, so the engine's /metrics
+// endpoint writes the text format (version 0.0.4) directly and CI lints
+// the output with CheckExposition instead of a real scraper.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricNameOK reports whether s is a legal Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func metricNameOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// WriteCounter writes one counter sample with its HELP/TYPE header.
+func WriteCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// WriteGauge writes one gauge sample with its HELP/TYPE header.
+func WriteGauge(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+// WriteHistogram writes a histogram snapshot in Prometheus histogram
+// convention: cumulative name_bucket{le="..."} series over the non-empty
+// buckets (plus the mandatory le="+Inf"), then name_sum and name_count.
+// Empty buckets are elided — the series stays cumulative and correct, and
+// a 488-bucket histogram does not emit 488 lines per scrape.
+func WriteHistogram(w io.Writer, name, help string, s HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		_, hi := BucketBounds(i)
+		// le is inclusive; our buckets are [lo, hi), so the inclusive upper
+		// edge is hi-1.
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, hi-1, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %d\n", name, s.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
+// Registry is a small named-instrument set for components that own their
+// metrics wholesale (the bench harness's debug endpoint) rather than
+// exposing a bespoke struct the way Engine.Metrics does. Registration is
+// idempotent by name; Write emits every instrument in sorted name order
+// so scrapes are deterministic.
+type Registry struct {
+	mu     sync.Mutex
+	names  []string
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+	help   map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+		help:   make(map[string]string),
+	}
+}
+
+func (r *Registry) note(name, help string) {
+	if _, ok := r.help[name]; !ok {
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	}
+	r.help[name] = help
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+		r.note(name, help)
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.note(name, help)
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+		r.note(name, help)
+	}
+	return h
+}
+
+// Write writes every registered instrument in sorted name order.
+// Instrument values are read atomically; the registry lock only guards
+// the name→instrument maps.
+func (r *Registry) Write(w io.Writer) {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	counts := make(map[string]*Counter, len(r.counts))
+	for k, v := range r.counts {
+		counts[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+	for _, name := range names {
+		switch {
+		case counts[name] != nil:
+			WriteCounter(w, name, help[name], counts[name].Load())
+		case gauges[name] != nil:
+			WriteGauge(w, name, help[name], gauges[name].Load())
+		case hists[name] != nil:
+			WriteHistogram(w, name, help[name], hists[name].Snapshot())
+		}
+	}
+}
+
+// CheckExposition lints a Prometheus text-format payload: every sample
+// belongs to a # TYPE-declared metric, names are legal, values parse,
+// histograms carry cumulative nondecreasing buckets ending in le="+Inf"
+// plus _sum and _count, and no metric name is declared twice. It returns
+// the first violation found, or nil — the test/CI substitute for a real
+// scraper's parser.
+func CheckExposition(text string) error {
+	type family struct {
+		typ string
+		// histogram bookkeeping
+		lastLe  float64
+		lastCum uint64
+		anyLe   bool
+		infSeen bool
+		sum     bool
+		count   bool
+	}
+	families := make(map[string]*family)
+	var cur *family
+	var curName string
+	finish := func() error {
+		if cur != nil && cur.typ == "histogram" {
+			if !cur.infSeen {
+				return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", curName)
+			}
+			if !cur.sum || !cur.count {
+				return fmt.Errorf("histogram %s: missing _sum or _count", curName)
+			}
+		}
+		return nil
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			name, typ := parts[2], parts[3]
+			if !metricNameOK(name) {
+				return fmt.Errorf("line %d: bad metric name %q", ln+1, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", ln+1, typ)
+			}
+			if _, dup := families[name]; dup {
+				return fmt.Errorf("line %d: metric %s declared twice", ln+1, name)
+			}
+			if err := finish(); err != nil {
+				return err
+			}
+			cur = &family{typ: typ}
+			curName = name
+			families[name] = cur
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("line %d: unknown comment %q", ln+1, line)
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("line %d: malformed sample %q", ln+1, line)
+		}
+		series, val := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return fmt.Errorf("line %d: bad sample value %q: %v", ln+1, val, err)
+		}
+		name := series
+		labels := ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				return fmt.Errorf("line %d: unterminated label set %q", ln+1, series)
+			}
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		if !metricNameOK(name) {
+			return fmt.Errorf("line %d: bad metric name %q", ln+1, name)
+		}
+		base := name
+		suffix := ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, sfx)
+			if trimmed != name {
+				if f, ok := families[trimmed]; ok && f.typ == "histogram" {
+					base, suffix = trimmed, sfx
+				}
+				break
+			}
+		}
+		f, ok := families[base]
+		if !ok {
+			return fmt.Errorf("line %d: sample %s has no TYPE declaration", ln+1, name)
+		}
+		if f.typ != "histogram" {
+			if suffix != "" || labels != "" {
+				return fmt.Errorf("line %d: unexpected labels/suffix on %s %s", ln+1, f.typ, name)
+			}
+			continue
+		}
+		switch suffix {
+		case "_sum":
+			f.sum = true
+		case "_count":
+			f.count = true
+		case "_bucket":
+			const lePrefix = `le="`
+			if !strings.HasPrefix(labels, lePrefix) || !strings.HasSuffix(labels, `"`) {
+				return fmt.Errorf("line %d: histogram bucket without le label: %q", ln+1, line)
+			}
+			le := labels[len(lePrefix) : len(labels)-1]
+			cum, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bucket value %q not a count: %v", ln+1, val, err)
+			}
+			if cum < f.lastCum {
+				return fmt.Errorf("line %d: histogram %s buckets not cumulative (%d after %d)", ln+1, base, cum, f.lastCum)
+			}
+			if le == "+Inf" {
+				f.infSeen = true
+				f.lastCum = cum
+				break
+			}
+			if f.infSeen {
+				return fmt.Errorf("line %d: histogram %s bucket after le=\"+Inf\"", ln+1, base)
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bad le bound %q: %v", ln+1, le, err)
+			}
+			if f.anyLe && bound <= f.lastLe {
+				return fmt.Errorf("line %d: histogram %s le bounds not increasing (%v after %v)", ln+1, base, bound, f.lastLe)
+			}
+			f.anyLe = true
+			f.lastLe = bound
+			f.lastCum = cum
+		default:
+			return fmt.Errorf("line %d: bare sample %s for histogram %s", ln+1, name, base)
+		}
+	}
+	return finish()
+}

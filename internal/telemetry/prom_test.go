@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteHistogramExposition(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 5, 100, 100000} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	WriteHistogram(&b, "test_latency_ns", "test histogram", h.Snapshot())
+	out := b.String()
+	if err := CheckExposition(out); err != nil {
+		t.Fatalf("exposition lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE test_latency_ns histogram",
+		`test_latency_ns_bucket{le="0"} 1`,
+		`test_latency_ns_bucket{le="1"} 3`,
+		`test_latency_ns_bucket{le="+Inf"} 6`,
+		"test_latency_ns_sum 100107",
+		"test_latency_ns_count 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryWriteTo(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "a counter").Add(3)
+	r.Gauge("aa_depth", "a gauge").Set(-2)
+	r.Histogram("mm_ns", "a histogram").Observe(42)
+	// Idempotent registration returns the same instrument.
+	if r.Counter("zz_total", "a counter").Load() != 3 {
+		t.Fatal("re-registration lost the counter")
+	}
+
+	var b strings.Builder
+	r.Write(&b)
+	out := b.String()
+	if err := CheckExposition(out); err != nil {
+		t.Fatalf("exposition lint: %v\n%s", err, out)
+	}
+	// Sorted name order: aa_depth before mm_ns before zz_total.
+	ia, im, iz := strings.Index(out, "aa_depth"), strings.Index(out, "mm_ns"), strings.Index(out, "zz_total")
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Fatalf("instruments not in sorted order:\n%s", out)
+	}
+	if !strings.Contains(out, "aa_depth -2") {
+		t.Errorf("gauge sample missing:\n%s", out)
+	}
+}
+
+func TestCheckExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"undeclared sample", "foo 1\n"},
+		{"bad value", "# TYPE foo counter\nfoo abc\n"},
+		{"bad name", "# TYPE 1foo counter\n1foo 1\n"},
+		{"dup family", "# TYPE foo counter\nfoo 1\n# TYPE foo gauge\nfoo 2\n"},
+		{"unknown type", "# TYPE foo zebra\nfoo 1\n"},
+		{"missing inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n"},
+		{"non-cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n"},
+		{"non-increasing le", "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n"},
+		{"labels on counter", "# TYPE foo counter\nfoo{x=\"1\"} 1\n"},
+	}
+	for _, c := range cases {
+		if err := CheckExposition(c.text); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition:\n%s", c.name, c.text)
+		}
+	}
+}
+
+func TestCheckExpositionAccepts(t *testing.T) {
+	ok := "# HELP foo a counter\n# TYPE foo counter\nfoo 7\n" +
+		"# HELP h a histogram\n# TYPE h histogram\n" +
+		"h_bucket{le=\"1\"} 2\nh_bucket{le=\"10\"} 4\nh_bucket{le=\"+Inf\"} 5\nh_sum 40\nh_count 5\n" +
+		"# HELP g a gauge\n# TYPE g gauge\ng -3\n"
+	if err := CheckExposition(ok); err != nil {
+		t.Fatalf("lint rejected valid exposition: %v", err)
+	}
+	if err := CheckExposition(""); err != nil {
+		t.Fatalf("lint rejected empty exposition: %v", err)
+	}
+}

@@ -29,6 +29,11 @@ import (
 //     of per-function precompute vs a cold one, every function is served
 //     from the store (hits == funcs, misses == 0), and steady-state
 //     queries on snapshot-adopted arenas stay at 0 allocs/op.
+//   - latency artifacts (BENCH_9): every backend's replay histogram
+//     actually observed queries (count > 0), and the checker's p99 stays
+//     at or below dataflow's — with edits interleaved in the stream the
+//     set backends pay inline re-analysis inside their tail while the
+//     checker's CFG-only precomputation never goes stale.
 const (
 	// checkerPipelineNsPerProcMax bounds the checker pipeline row's
 	// ns_per_op/procs. The committed value is ~72.5µs/proc; the ceiling
@@ -68,6 +73,9 @@ func TestPerfGate(t *testing.T) {
 			}
 			if rep, ok := doc["warmstart"]; ok {
 				gateWarmStart(t, rep)
+			}
+			if rows, ok := doc["latency"]; ok {
+				gateLatency(t, rows)
 			}
 		})
 	}
@@ -124,6 +132,47 @@ func gateEngineRows(t *testing.T, raw json.RawMessage) {
 		if n != 0 {
 			t.Errorf("row %d: %d rebuilds forced onto query paths, want 0", i, n)
 		}
+	}
+}
+
+func gateLatency(t *testing.T, raw json.RawMessage) {
+	var rows []struct {
+		Name     string `json:"name"`
+		Queries  int64  `json:"queries"`
+		Edits    int64  `json:"edits"`
+		Rebuilds int64  `json:"rebuilds"`
+		P99Ns    int64  `json:"p99_ns"`
+	}
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatalf("latency rows: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("latency artifact has no rows")
+	}
+	var checkerP99, dataflowP99 int64 = -1, -1
+	for _, r := range rows {
+		if r.Queries <= 0 {
+			t.Errorf("%s: latency histogram observed %d queries, want > 0", r.Name, r.Queries)
+		}
+		if r.P99Ns <= 0 {
+			t.Errorf("%s: p99 = %d ns, want > 0", r.Name, r.P99Ns)
+		}
+		switch r.Name {
+		case "checker":
+			checkerP99 = r.P99Ns
+			if r.Edits > 0 && r.Rebuilds != 0 {
+				t.Errorf("checker replay paid %d rebuilds under instruction edits, want 0", r.Rebuilds)
+			}
+		case "dataflow":
+			dataflowP99 = r.P99Ns
+		}
+	}
+	switch {
+	case checkerP99 < 0 || dataflowP99 < 0:
+		t.Error("latency artifact missing the checker or dataflow row")
+	case checkerP99 > dataflowP99:
+		t.Errorf("checker p99 (%d ns) exceeds dataflow p99 (%d ns); the tail must show the invalidation asymmetry",
+			checkerP99, dataflowP99)
 	}
 }
 

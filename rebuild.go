@@ -90,6 +90,7 @@ func (p *rebuildPool) next() (*handle, func(), bool) {
 	if len(p.queue) > 0 {
 		h := p.queue[0]
 		p.queue = p.queue[1:]
+		p.e.met.queueDepth.Add(-1)
 		return h, nil, true
 	}
 	save := p.saves[0]
@@ -126,8 +127,11 @@ func (p *rebuildPool) enqueue(h *handle) {
 		return
 	}
 	p.queue = append(p.queue, h)
+	p.e.met.queueDepth.Add(1)
+	p.e.met.rebuildEnqueues.Inc()
 	p.mu.Unlock()
 	p.cond.Signal()
+	p.e.tracer.RebuildEnqueue(h.f.Name)
 }
 
 // close stops the workers and waits for them to exit. Pending rebuild
@@ -145,6 +149,7 @@ func (p *rebuildPool) close() {
 	p.closed = true
 	pending := p.queue
 	p.queue = nil
+	p.e.met.queueDepth.Add(-int64(len(pending)))
 	saves := p.saves
 	p.saves = nil
 	p.mu.Unlock()
@@ -154,6 +159,8 @@ func (p *rebuildPool) close() {
 		h.shard.mu.Lock()
 		h.queued = false
 		h.shard.mu.Unlock()
+		p.e.met.rebuildDiscards.Inc()
+		p.e.tracer.RebuildDiscard(h.f.Name)
 	}
 	for _, save := range saves {
 		save()
@@ -172,8 +179,14 @@ func (e *Engine) rebuildOne(h *handle) {
 		// Already being built (a query got there first and the result
 		// will be fresh), evicted or invalidated while queued (must not
 		// be resurrected into the cache), or no longer stale (a query
-		// already rebuilt it). All are no-ops.
+		// already rebuilt it). All are no-ops — but the evicted case is a
+		// discard (queued work thrown away), not work done elsewhere.
+		discarded := !h.building && h.live == nil
 		s.mu.Unlock()
+		if discarded {
+			e.met.rebuildDiscards.Inc()
+			e.tracer.RebuildDiscard(h.f.Name)
+		}
 		return
 	}
 	e.drop(h)
@@ -194,6 +207,8 @@ func (e *Engine) rebuildOne(h *handle) {
 		// Superseded while building (Invalidate, or an eviction of a
 		// racing publisher bumped the generation): discard. Queries that
 		// waited on this build find live == nil and build on demand.
+		e.met.rebuildDiscards.Inc()
+		e.tracer.RebuildDiscard(h.f.Name)
 	case err != nil:
 		h.err = err
 		e.recordFailure(h, err)
@@ -201,6 +216,8 @@ func (e *Engine) rebuildOne(h *handle) {
 		// Another edit landed mid-build; the result is already dead.
 		// Leave the slot empty — the next query (or MarkDirty) rebuilds
 		// against the newer program.
+		e.met.rebuildDiscards.Inc()
+		e.tracer.RebuildDiscard(h.f.Name)
 	default:
 		h.live = live
 		e.clearQuarantine(h)
@@ -278,14 +295,11 @@ func (e *Engine) BackgroundRebuilds() int {
 }
 
 // QueuedRebuilds reports how many functions currently sit in the rebuild
-// pool's queue. Zero when no pool is configured.
+// pool's queue — the queue-depth gauge Metrics().QueuedRebuilds reads,
+// maintained atomically at enqueue/dequeue so neither caller touches the
+// pool lock. Zero when no pool is configured.
 func (e *Engine) QueuedRebuilds() int {
-	if e.pool == nil {
-		return 0
-	}
-	e.pool.mu.Lock()
-	defer e.pool.mu.Unlock()
-	return len(e.pool.queue)
+	return int(e.met.queueDepth.Load())
 }
 
 // Close stops the background rebuild workers, if any, and waits for
@@ -313,6 +327,9 @@ func (e *Engine) Shutdown() {
 		return
 	}
 	e.Close()
+	if e.unobserve != nil {
+		e.unobserve() // detach from the (possibly shared) snapshot store
+	}
 	// Wake any waiters parked on in-flight builds so they observe the
 	// closed flag instead of sleeping until the build publishes.
 	for _, s := range e.shards {

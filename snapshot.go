@@ -14,6 +14,7 @@ package fastliveness
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -58,6 +59,23 @@ type SnapshotStore struct {
 	store       *snapshot.Store
 	breaker     *retry.Breaker
 	saveRetries int
+
+	// Breaker-transition fan-out: the breaker's OnTransition bumps the
+	// store-global counter and forwards to every registered observer
+	// (engines forwarding to their tracers — see NewEngine). The observer
+	// list is copy-on-write under obsMu so the breaker callback never
+	// holds a lock while calling out.
+	transitions atomic.Int64
+	obsMu       sync.Mutex
+	obs         atomic.Pointer[[]breakerObserver]
+	nextObsID   int
+}
+
+// breakerObserver is one registered transition callback with the identity
+// its unregister function removes it by.
+type breakerObserver struct {
+	id int
+	fn func(from, to retry.State)
 }
 
 // SnapshotStoreOptions tunes OpenSnapshotStoreOptions. The zero value
@@ -108,16 +126,64 @@ func OpenSnapshotStoreOptions(dir string, opts SnapshotStoreOptions) (*SnapshotS
 	if err != nil {
 		return nil, err
 	}
-	return &SnapshotStore{
-		store: st,
-		breaker: retry.NewBreaker(retry.BreakerConfig{
-			Failures: opts.BreakerFailures,
-			Latency:  opts.BreakerLatency,
-			Cooldown: opts.BreakerCooldown,
-		}),
-		saveRetries: opts.saveRetries(),
-	}, nil
+	ss := &SnapshotStore{store: st, saveRetries: opts.saveRetries()}
+	ss.breaker = retry.NewBreaker(retry.BreakerConfig{
+		Failures:     opts.BreakerFailures,
+		Latency:      opts.BreakerLatency,
+		Cooldown:     opts.BreakerCooldown,
+		OnTransition: ss.onBreakerTransition,
+	})
+	return ss, nil
 }
+
+// onBreakerTransition is the breaker's OnTransition hook: count the state
+// change and fan it out to the registered observers. Runs outside the
+// breaker lock, on the goroutine whose load/save caused the transition.
+func (s *SnapshotStore) onBreakerTransition(from, to retry.State) {
+	s.transitions.Add(1)
+	if obs := s.obs.Load(); obs != nil {
+		for _, o := range *obs {
+			o.fn(from, to)
+		}
+	}
+}
+
+// observeBreaker registers fn to be called on every breaker state change
+// and returns its unregister function. Engines call this at construction
+// to forward transitions to their tracer and unregister at Shutdown; the
+// store may outlive (and be shared by) any number of engines.
+func (s *SnapshotStore) observeBreaker(fn func(from, to retry.State)) (unregister func()) {
+	s.obsMu.Lock()
+	id := s.nextObsID
+	s.nextObsID++
+	var next []breakerObserver
+	if cur := s.obs.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, breakerObserver{id: id, fn: fn})
+	s.obs.Store(&next)
+	s.obsMu.Unlock()
+	return func() {
+		s.obsMu.Lock()
+		defer s.obsMu.Unlock()
+		cur := s.obs.Load()
+		if cur == nil {
+			return
+		}
+		kept := make([]breakerObserver, 0, len(*cur))
+		for _, o := range *cur {
+			if o.id != id {
+				kept = append(kept, o)
+			}
+		}
+		s.obs.Store(&kept)
+	}
+}
+
+// BreakerTransitions reports how many state changes the store's circuit
+// breaker has made — store-global, like the breaker itself: engines
+// sharing one store observe a shared count.
+func (s *SnapshotStore) BreakerTransitions() int64 { return s.transitions.Load() }
 
 // BreakerState reports the store's circuit-breaker position ("closed",
 // "open" or "half-open") for logs and stats.
@@ -301,7 +367,13 @@ func (e *Engine) analyze(h *handle) (*Liveness, error) {
 // open circuit breaker — lands in the same place: report a miss and let
 // the caller run the real precompute. The disk tier can therefore never
 // produce a wrong answer, only a slower one.
-func (e *Engine) loadSnapshot(ss *SnapshotStore, f *ir.Func) (*Liveness, bool) {
+func (e *Engine) loadSnapshot(ss *SnapshotStore, f *ir.Func) (live *Liveness, hit bool) {
+	start := time.Now()
+	defer func() {
+		d := time.Since(start)
+		e.met.snapLoadNs.Observe(d.Nanoseconds())
+		e.tracer.SnapshotLoad(f.Name, hit, d)
+	}()
 	opts := e.config.Config.coreOptions()
 	g, index := cfg.FromFunc(f)
 	fp := snapshot.Fingerprint(g, snapshot.FlagsFor(opts))
@@ -363,7 +435,12 @@ func (e *Engine) saveSnapshot(ss *SnapshotStore, live *Liveness) {
 		if ss.store.Contains(snap.FP) {
 			return // another function with the same shape got there first
 		}
-		if err := ss.save(snap); err == nil {
+		start := time.Now()
+		err := ss.save(snap)
+		d := time.Since(start)
+		e.met.snapSaveNs.Observe(d.Nanoseconds())
+		e.tracer.SnapshotSave(err == nil, d)
+		if err == nil {
 			e.snap.snapStores.Add(1)
 			e.snap.snapStoredBytes.Add(snap.SizeBytes())
 		}
