@@ -40,11 +40,14 @@
 // -table warmstart measures the persistent snapshot tier: a corpus of
 // large loopy functions (~500-8000 blocks each) analyzed cold (empty
 // snapshot store — full precompute plus write-back), warm (populated
-// store, fresh handle per rep — mmap, validate, re-derive the linear
-// parts) and with no store at all as the baseline. The savings column is
-// the fraction of per-function precompute a warm process start no longer
-// pays relative to a cold one; -json emits the report in the
-// BENCH_*.json format (BENCH_7.json is its first point).
+// store, fresh handle per rep — mmap, verify the header and structural
+// section checksums, adopt the persisted CFG/DFS/dom arrays and the
+// dense R/T arenas zero-copy from the mapping; no structural
+// re-derivation, no matrix pass) and with no store at all as the
+// baseline. The savings column is the fraction of per-function precompute
+// a warm process start no longer pays relative to a cold one; -json emits
+// the report in the BENCH_*.json format (BENCH_7.json is the v2 format's
+// point, BENCH_10.json the v3 format's).
 //
 // -table latency replays the recorded SSA-destruction query stream
 // through a per-backend engine Oracle, timing each query individually

@@ -63,7 +63,9 @@
 //	              this directory, keyed by CFG structure: a second run over
 //	              the same program skips every per-function precompute. The
 //	              run ends with a "snapshot: H hits, M misses, S stored"
-//	              summary. Snapshots never change answers — a stale or
+//	              summary plus a "snapshot-store: ..." line of decoded-cache
+//	              and per-section checksum traffic. Snapshots never change
+//	              answers — a stale or
 //	              corrupt entry is validated away and recomputed. Only the
 //	              checker backend persists; other -backend choices ignore
 //	              the directory.
@@ -390,9 +392,14 @@ func printEngineMetrics(eng *fastliveness.Engine, stat bool) {
 		m.Rebuilds, m.BackgroundRebuilds, m.QueuedRebuilds, m.RebuildDiscards, m.Quarantined)
 }
 
-// printSnapshotStats ends a -snapshot-dir run with its disk-tier traffic,
-// one scriptable line — the double-run smoke in CI greps the second run
-// for "0 misses". Close first so pending asynchronous write-backs land on
+// printSnapshotStats ends a -snapshot-dir run with its disk-tier traffic.
+// The first line is the stable scriptable one — the double-run smoke in CI
+// greps the second run for "0 misses" — so new counters go on a second
+// line: the store's decoded-cache traffic and the v3 per-section checksum
+// accounting (scans = sections CRC-verified off disk, skips = sections
+// served without a scan — from the decoded cache, as deferred arena
+// sections on the aliasing mmap path, or after an early version/header
+// reject). Close first so pending asynchronous write-backs land on
 // disk before the count is reported (Close is idempotent, so the caller's
 // deferred Close stays harmless).
 func printSnapshotStats(eng *fastliveness.Engine, snap *fastliveness.SnapshotStore) {
@@ -402,6 +409,8 @@ func printSnapshotStats(eng *fastliveness.Engine, snap *fastliveness.SnapshotSto
 	eng.Close()
 	s := eng.SnapshotStats()
 	fmt.Fprintf(stdout, "snapshot: %d hits, %d misses, %d stored\n", s.Hits, s.Misses, s.Stores)
+	fmt.Fprintf(stdout, "snapshot-store: %d cached loads, %d file loads, %d section scans, %d section skips\n",
+		s.DecodedCacheHits, s.DecodedCacheMisses, s.SectionScans, s.SectionSkips)
 }
 
 // answerProgram resolves a '[in:|out:]%value@block@func' query against the

@@ -343,12 +343,29 @@ func TestRunProgramSnapshotDoubleRun(t *testing.T) {
 		t.Errorf("snapshot-loaded output differs:\ncold:\n%s\nwarm:\n%s", cold, warm)
 	}
 
-	// Single-function mode shares the store and the summary line.
+	// The second line carries the store-global decoded-cache and v3
+	// per-section accounting: the cold run's two loads found no files (no
+	// sections to scan), the warm run's two file-backed aliasing loads
+	// each scanned the three structural sections and deferred the two
+	// arena sections.
+	if !strings.Contains(cold, "snapshot-store: 0 cached loads, 2 file loads, 0 section scans, 0 section skips") {
+		t.Errorf("cold run store summary:\n%s", cold)
+	}
+	if !strings.Contains(warm, "snapshot-store: 0 cached loads, 4 file loads, 6 section scans, 4 section skips") {
+		t.Errorf("warm run store summary:\n%s", warm)
+	}
+
+	// Single-function mode shares the store and the summary line; its one
+	// load is absorbed by the shared handle's decoded cache, skipping all
+	// five section scans.
 	single := capture(t, func() error {
 		return run(paths[0], false, "checker", true, false, 0, snap, nil)
 	})
 	if !strings.Contains(single, "snapshot: 1 hits, 0 misses, 0 stored") {
 		t.Errorf("single-function warm run summary:\n%s", single)
+	}
+	if !strings.Contains(single, "snapshot-store: 1 cached loads, 4 file loads, 6 section scans, 9 section skips") {
+		t.Errorf("single-function warm run store summary:\n%s", single)
 	}
 }
 

@@ -186,9 +186,19 @@ type handle struct {
 	// single in-flight builder (building flag) touches them.
 	verified   bool
 	verifiedAt backend.Epochs
-	queued   bool // sitting in the rebuild pool's queue
-	gen      int  // bumped by invalidation and eviction; in-flight builds from older gens are discarded
-	elem     *list.Element
+	queued bool // sitting in the rebuild pool's queue
+	// prefetchQueued dedupes the warm-start prefetch queue exactly as
+	// queued dedupes the rebuild queue (see Engine.Prefetch).
+	prefetchQueued bool
+	// snapProbed/snapProbedAt record that a prefetch consulted the
+	// snapshot tier for this function's IR as of snapProbedAt and found no
+	// usable snapshot, so the immediately following build skips the
+	// redundant store probe. Like verified/verifiedAt, only the single
+	// in-flight builder touches them.
+	snapProbed   bool
+	snapProbedAt backend.Epochs
+	gen          int // bumped by invalidation and eviction; in-flight builds from older gens are discarded
+	elem         *list.Element
 }
 
 // Engine analyzes a whole program: a set of functions registered with Add
@@ -332,6 +342,15 @@ func (e *Engine) Precompute() error {
 // stay resident, the rest build on demand.
 func (e *Engine) PrecomputeContext(ctx context.Context) error {
 	funcs := e.Funcs()
+
+	// With a rebuild pool and a snapshot tier, fan warm-start snapshot
+	// loads across the pool's workers first: functions whose snapshots
+	// validate are published before (or while) the precompute workers
+	// below reach them, and a worker arriving mid-prefetch shares the
+	// in-flight load through the usual single-flight machinery instead of
+	// duplicating it. Functions that miss are built below as always,
+	// skipping the store probe the prefetch already paid.
+	e.prefetchFuncs(funcs)
 
 	workers := e.config.workers()
 	if workers > len(funcs) {

@@ -1,0 +1,253 @@
+package fastliveness
+
+// Warm-start prefetch pipeline tests (Engine.Prefetch): snapshot loads
+// fanned across the rebuild pool must publish only fresh results, leave
+// misses for the on-demand build without double-probing the store, count
+// breaker skips, and survive racing edits, invalidations and shutdowns
+// under -race — with every surviving answer validated against a fresh
+// recompute.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fastliveness/internal/faults"
+	"fastliveness/internal/ir"
+	"fastliveness/internal/snapshot"
+)
+
+// warmStore precomputes funcs once through a storeless-pool engine so the
+// directory behind ss holds a validated snapshot per shape.
+func warmStore(t *testing.T, ss *SnapshotStore, funcs []*ir.Func) {
+	t.Helper()
+	e, err := AnalyzeProgram(funcs, EngineConfig{Parallelism: 1, SnapshotStore: ss})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if ss.Len() == 0 {
+		t.Fatal("warm-up run left no snapshots behind")
+	}
+}
+
+// Prefetch over a warm store publishes every analysis ahead of demand:
+// full residency, all hits, zero computes, answers identical to a
+// storeless engine's.
+func TestEnginePrefetchWarmStart(t *testing.T) {
+	const n = 10
+	ss := snapshotDir(t)
+	warmStore(t, ss, engineCorpus(t, n, 9001))
+
+	funcs := engineCorpus(t, n, 9001)
+	e := NewEngine(EngineConfig{Parallelism: 2, RebuildWorkers: 2, SnapshotStore: ss})
+	defer e.Close()
+	e.Add(funcs...)
+	if got := e.Prefetch(); got != n {
+		t.Fatalf("Prefetch enqueued %d, want %d", got, n)
+	}
+	waitFor(t, "prefetches to publish", func() bool { return e.Resident() == n })
+	m := e.Metrics()
+	if m.PrefetchHits != n || m.PrefetchMisses != 0 || m.PrefetchBreakerSkips != 0 {
+		t.Fatalf("prefetch outcomes: %d hits, %d misses, %d breaker skips; want %d/0/0",
+			m.PrefetchHits, m.PrefetchMisses, m.PrefetchBreakerSkips, n)
+	}
+	if s := e.SnapshotStats(); s.Hits != n || s.Computes != 0 {
+		t.Fatalf("snapshot stats after prefetch: %+v, want %d hits / 0 computes", s, n)
+	}
+
+	fresh, err := AnalyzeProgram(engineCorpus(t, n, 9001), EngineConfig{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(t, e, funcs) != fingerprint(t, fresh, fresh.Funcs()) {
+		t.Fatal("prefetched answers differ from a storeless engine's")
+	}
+	// Re-prefetching resident functions enqueues nothing.
+	if got := e.Prefetch(); got != 0 {
+		t.Fatalf("second Prefetch enqueued %d, want 0", got)
+	}
+}
+
+// A prefetch over an empty store misses, publishes nothing, and hands the
+// probe record to the on-demand build: the store is consulted exactly
+// once per function across both phases.
+func TestEnginePrefetchMissSkipsDuplicateProbe(t *testing.T) {
+	const n = 6
+	ss := snapshotDir(t)
+	funcs := engineCorpus(t, n, 9002)
+	e := NewEngine(EngineConfig{Parallelism: 1, RebuildWorkers: 1, SnapshotStore: ss})
+	defer e.Close()
+	e.Add(funcs...)
+	if got := e.Prefetch(); got != n {
+		t.Fatalf("Prefetch enqueued %d, want %d", got, n)
+	}
+	waitFor(t, "prefetch misses", func() bool { return e.Metrics().PrefetchMisses == n })
+	if r := e.Resident(); r != 0 {
+		t.Fatalf("%d resident after all-miss prefetch, want 0", r)
+	}
+	for _, f := range funcs {
+		if _, err := e.Liveness(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.SnapshotStats()
+	if s.Hits+s.Misses != n {
+		t.Fatalf("store consulted %d times across prefetch + builds, want exactly %d (no double probe)",
+			s.Hits+s.Misses, n)
+	}
+	if s.Computes != n {
+		t.Fatalf("%d computes, want %d", s.Computes, n)
+	}
+	for _, f := range funcs {
+		assertMatchesFresh(t, e, f)
+	}
+}
+
+// Invalidate landing mid-load must discard the prefetched result by
+// generation — never resurrect it into the cache — and the next request
+// still answers correctly.
+func TestEnginePrefetchSupersededByInvalidate(t *testing.T) {
+	ss := snapshotDir(t)
+	funcs := engineCorpus(t, 1, 9003)
+	warmStore(t, ss, funcs)
+	f := engineCorpus(t, 1, 9003)[0]
+
+	in := faults.New(41)
+	in.Add(faults.Rule{Site: snapshot.FaultSiteLoad, Action: faults.ActionDelay, Delay: 30 * time.Millisecond})
+	ss.store.SetFaultInjector(in)
+	defer ss.store.SetFaultInjector(nil)
+
+	e := NewEngine(EngineConfig{Parallelism: 1, RebuildWorkers: 1, SnapshotStore: ss})
+	defer e.Close()
+	e.Add(f)
+	h := e.lookup(f)
+	building := func() bool {
+		h.shard.mu.Lock()
+		defer h.shard.mu.Unlock()
+		return h.building
+	}
+	if got := e.Prefetch(); got != 1 {
+		t.Fatalf("Prefetch enqueued %d, want 1", got)
+	}
+	waitFor(t, "prefetch load to start", building)
+	e.Invalidate(f) // bumps the generation while the load sleeps in the injector
+	waitFor(t, "prefetch load to finish", func() bool { return !building() })
+	if r := e.Resident(); r != 0 {
+		t.Fatal("superseded prefetch was published")
+	}
+	if m := e.Metrics(); m.PrefetchDiscards == 0 {
+		t.Fatalf("superseded prefetch not counted as a discard: %+v", m)
+	}
+	assertMatchesFresh(t, e, f)
+}
+
+// An open circuit breaker skips prefetch loads outright — counted in
+// PrefetchBreakerSkips — and the functions recompute correctly on demand.
+func TestEnginePrefetchBreakerOpenSkips(t *testing.T) {
+	const n = 5
+	dir := t.TempDir()
+	ss, err := OpenSnapshotStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmStore(t, ss, engineCorpus(t, n, 9004))
+
+	// Fresh handle on the same directory with a one-failure breaker and a
+	// single injected load error: the first on-demand build opens it.
+	ss2, err := OpenSnapshotStoreOptions(dir, SnapshotStoreOptions{
+		BreakerFailures: 1,
+		BreakerCooldown: time.Hour, // no half-open probes during this test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faults.New(42)
+	in.Add(faults.Rule{Site: snapshot.FaultSiteLoad, Action: faults.ActionError, Times: 1})
+	ss2.store.SetFaultInjector(in)
+
+	funcs := engineCorpus(t, n, 9004)
+	e := NewEngine(EngineConfig{Parallelism: 1, RebuildWorkers: 1, SnapshotStore: ss2})
+	defer e.Close()
+	e.Add(funcs...)
+	if _, err := e.Liveness(funcs[0]); err != nil {
+		t.Fatalf("injected load error must degrade the build, not fail it: %v", err)
+	}
+	if got := ss2.BreakerState(); got != "open" {
+		t.Fatalf("breaker state %q after injected failure, want open", got)
+	}
+	if got := e.Prefetch(); got != n-1 {
+		t.Fatalf("Prefetch enqueued %d, want %d (one function already resident)", got, n-1)
+	}
+	waitFor(t, "prefetch breaker skips", func() bool { return e.Metrics().PrefetchBreakerSkips == n-1 })
+	if r := e.Resident(); r != 1 {
+		t.Fatalf("%d resident after breaker-skipped prefetch, want 1", r)
+	}
+	for _, f := range funcs {
+		assertMatchesFresh(t, e, f)
+	}
+	s := e.SnapshotStats()
+	if s.Hits != 0 || s.Misses != n || s.Computes != n {
+		t.Fatalf("breaker-open run: %+v, want 0 hits / %d misses / %d computes", s, n, n)
+	}
+}
+
+// Prefetch racing concurrent edits, queries and a Shutdown — run under
+// -race in CI. Every answer handed out while the race runs comes from the
+// engine's usual staleness machinery, so the property under test is
+// freedom from data races and from resurrecting dead results.
+func TestEnginePrefetchRacesEditAndShutdown(t *testing.T) {
+	ss := snapshotDir(t)
+	warmStore(t, ss, engineCorpus(t, 8, 9005))
+	funcs := engineCorpus(t, 8, 9005)
+	e := NewEngine(EngineConfig{Parallelism: 2, RebuildWorkers: 2, SnapshotStore: ss})
+	e.Add(funcs...)
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			e.Prefetch()
+			e.Invalidate(funcs[i%len(funcs)])
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 12; i++ {
+			f := funcs[i%len(funcs)]
+			e.Edit(f, func() { addSomeUse(t, f) })
+			// Racing the Shutdown goroutine: ErrEngineClosed is expected
+			// once it lands, and any answer handed out before that is
+			// covered by the staleness machinery.
+			_, _ = e.Liveness(f)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		e.Shutdown()
+	}()
+	wg.Wait()
+	e.Shutdown() // idempotent
+	if got := e.Prefetch(); got != 0 {
+		t.Fatalf("Prefetch after Shutdown enqueued %d, want 0", got)
+	}
+}
+
+// Without a rebuild pool or without a snapshot tier, Prefetch is a
+// documented no-op.
+func TestEnginePrefetchNoop(t *testing.T) {
+	funcs := engineCorpus(t, 2, 9006)
+	noPool := NewEngine(EngineConfig{SnapshotStore: snapshotDir(t)})
+	noPool.Add(funcs...)
+	if got := noPool.Prefetch(); got != 0 {
+		t.Fatalf("poolless Prefetch enqueued %d, want 0", got)
+	}
+	noStore := NewEngine(EngineConfig{RebuildWorkers: 1})
+	defer noStore.Close()
+	noStore.Add(funcs...)
+	if got := noStore.Prefetch(); got != 0 {
+		t.Fatalf("storeless Prefetch enqueued %d, want 0", got)
+	}
+}

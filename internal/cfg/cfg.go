@@ -1,6 +1,7 @@
 package cfg
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -88,6 +89,72 @@ func FromFunc(f *ir.Func) (*Graph, []int) {
 		}
 	}
 	return g, index
+}
+
+// AdoptGraph assembles a Graph whose adjacency rows are carved out of the
+// four flat arrays — the snapshot-restore path, where the arrays alias a
+// read-only file mapping and FromFunc's arena construction (and its cost)
+// is skipped entirely. The arrays use FromFunc's layout: succOff/predOff
+// are n+1 prefix offsets into succs/preds, and each pred row lists its
+// node's incoming sources in (source, successor-index) order.
+//
+// The arrays arrive from disk, so their shape is validated rather than
+// trusted: offsets must be monotone prefix sums covering both edge arrays
+// exactly, every endpoint must be a real node, and the pred rows must be
+// the exact source-order inverse of the succ rows — one O(n+e) cursor
+// walk. A buffer that lies about any of it returns an error instead of a
+// graph that would answer adjacency queries wrongly. The rows are aliased,
+// not copied, so the adopted graph must never be mutated (AddEdge).
+func AdoptGraph(succOff, succs, predOff, preds []int) (*Graph, error) {
+	n := len(succOff) - 1
+	if n < 0 || len(predOff) != n+1 {
+		return nil, fmt.Errorf("cfg: adopt: offset arrays have %d/%d entries", len(succOff), len(predOff))
+	}
+	if len(succs) != len(preds) {
+		return nil, fmt.Errorf("cfg: adopt: %d successor vs %d predecessor entries", len(succs), len(preds))
+	}
+	if n == 0 {
+		if succOff[0] != 0 || predOff[0] != 0 || len(succs) != 0 {
+			return nil, errors.New("cfg: adopt: nonempty edges for empty graph")
+		}
+		return &Graph{}, nil
+	}
+	if succOff[0] != 0 || predOff[0] != 0 || succOff[n] != len(succs) || predOff[n] != len(preds) {
+		return nil, errors.New("cfg: adopt: offsets do not cover the edge arrays")
+	}
+	for i := 0; i < n; i++ {
+		if succOff[i+1] < succOff[i] || predOff[i+1] < predOff[i] {
+			return nil, fmt.Errorf("cfg: adopt: offsets decrease at node %d", i)
+		}
+	}
+	for _, t := range succs {
+		if t < 0 || t >= n {
+			return nil, fmt.Errorf("cfg: adopt: successor %d out of range", t)
+		}
+	}
+	// Pred rows must be the exact inverse FromFunc produces: walking the
+	// succ rows source-first, each edge (s,t) appends s to t's pred row.
+	cursor := make([]int, n)
+	for s := 0; s < n; s++ {
+		for _, t := range succs[succOff[s]:succOff[s+1]] {
+			i := predOff[t] + cursor[t]
+			if i >= predOff[t+1] || preds[i] != s {
+				return nil, fmt.Errorf("cfg: adopt: pred rows are not the inverse of succ rows at edge %d->%d", s, t)
+			}
+			cursor[t]++
+		}
+	}
+	for t := 0; t < n; t++ {
+		if cursor[t] != predOff[t+1]-predOff[t] {
+			return nil, fmt.Errorf("cfg: adopt: node %d has %d extra pred entries", t, predOff[t+1]-predOff[t]-cursor[t])
+		}
+	}
+	g := &Graph{Succs: make([][]int, n), Preds: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		g.Succs[i] = succs[succOff[i]:succOff[i+1]:succOff[i+1]]
+		g.Preds[i] = preds[predOff[i]:predOff[i+1]:predOff[i+1]]
+	}
+	return g, nil
 }
 
 // Edge is a directed edge.
@@ -212,6 +279,93 @@ func NewDFS(g *Graph) *DFS {
 	}
 	d.NumReachable = len(d.PreOrder)
 	return d
+}
+
+// SubtreeMax exposes the per-node maximum preorder number inside each
+// node's DFS subtree (the interval bound behind IsAncestor). The snapshot
+// package persists it alongside the public arrays so a restore can adopt
+// the DFS instead of re-running it. Read-only: the slice is the DFS's own
+// backing array.
+func (d *DFS) SubtreeMax() []int { return d.subtreeMax }
+
+// AdoptDFS assembles a DFS over g from precomputed arrays — the
+// snapshot-restore counterpart of NewDFS, skipping the traversal. The
+// arrays arrive from disk, so AdoptDFS validates that they describe a
+// self-consistent spanning tree of preorder intervals before trusting
+// them: pre/post must be inverse permutations of the order lists,
+// unreachable nodes must be marked so in all three per-node arrays, the
+// root must be node 0 with no parent, every non-root's parent interval
+// must enclose its own, and every claimed back edge must run to a DFS
+// ancestor under those intervals. Any violation returns an error, never a
+// DFS that would answer IsAncestor/IsBackEdge incoherently. The slices are
+// aliased, not copied, so the adopted DFS (like its graph) is read-only.
+func AdoptDFS(g *Graph, pre, post, parent, subtreeMax, preOrder, postOrder []int, backEdges []Edge) (*DFS, error) {
+	n := g.N()
+	r := len(preOrder)
+	if len(pre) != n || len(post) != n || len(parent) != n || len(subtreeMax) != n {
+		return nil, fmt.Errorf("cfg: adopt dfs: per-node arrays sized %d/%d/%d/%d for %d nodes",
+			len(pre), len(post), len(parent), len(subtreeMax), n)
+	}
+	if r > n || len(postOrder) != r {
+		return nil, fmt.Errorf("cfg: adopt dfs: order lists sized %d/%d for %d nodes", r, len(postOrder), n)
+	}
+	for i, v := range preOrder {
+		if v < 0 || v >= n || pre[v] != i {
+			return nil, fmt.Errorf("cfg: adopt dfs: preorder[%d] = %d inconsistent with pre", i, v)
+		}
+	}
+	for i, v := range postOrder {
+		if v < 0 || v >= n || post[v] != i {
+			return nil, fmt.Errorf("cfg: adopt dfs: postorder[%d] = %d inconsistent with post", i, v)
+		}
+	}
+	reach := 0
+	for v := 0; v < n; v++ {
+		if pre[v] < 0 {
+			if pre[v] != -1 || post[v] != -1 || parent[v] != -1 {
+				return nil, fmt.Errorf("cfg: adopt dfs: unreachable node %d has partial visit state", v)
+			}
+			continue
+		}
+		reach++
+		if post[v] < 0 || post[v] >= r {
+			return nil, fmt.Errorf("cfg: adopt dfs: reachable node %d has post %d", v, post[v])
+		}
+		if subtreeMax[v] < pre[v] || subtreeMax[v] >= r {
+			return nil, fmt.Errorf("cfg: adopt dfs: node %d has subtree bound %d outside [%d,%d)", v, subtreeMax[v], pre[v], r)
+		}
+		if pre[v] == 0 {
+			if v != 0 || parent[v] != -1 {
+				return nil, fmt.Errorf("cfg: adopt dfs: preorder starts at node %d (parent %d)", v, parent[v])
+			}
+			continue
+		}
+		p := parent[v]
+		if p < 0 || p >= n || pre[p] < 0 || pre[p] >= pre[v] ||
+			pre[v] > subtreeMax[p] || subtreeMax[v] > subtreeMax[p] {
+			return nil, fmt.Errorf("cfg: adopt dfs: node %d's interval escapes its parent %d", v, p)
+		}
+	}
+	if reach != r {
+		return nil, fmt.Errorf("cfg: adopt dfs: %d nodes marked reachable, order lists %d", reach, r)
+	}
+	if r > 0 && preOrder[0] != 0 {
+		return nil, errors.New("cfg: adopt dfs: entry is not the first preorder node")
+	}
+	d := &DFS{
+		Pre: pre, Post: post, Parent: parent,
+		PreOrder: preOrder, PostOrder: postOrder,
+		BackEdges:    backEdges,
+		NumReachable: r,
+		g:            g,
+		subtreeMax:   subtreeMax,
+	}
+	for _, e := range backEdges {
+		if e.S < 0 || e.S >= n || e.T < 0 || e.T >= n || !d.IsAncestor(e.T, e.S) {
+			return nil, fmt.Errorf("cfg: adopt dfs: claimed back edge %d->%d is not ancestor-directed", e.S, e.T)
+		}
+	}
+	return d, nil
 }
 
 // Reachable reports whether v was reached from the entry.

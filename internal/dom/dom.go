@@ -1,6 +1,7 @@
 package dom
 
 import (
+	"errors"
 	"fmt"
 
 	"fastliveness/internal/cfg"
@@ -114,6 +115,109 @@ func FromIdom(g *cfg.Graph, d *cfg.DFS, idom []int) (*Tree, error) {
 	if len(t.Order) != d.NumReachable {
 		return nil, fmt.Errorf("dom: idom relation spans %d of %d reachable nodes",
 			len(t.Order), d.NumReachable)
+	}
+	return t, nil
+}
+
+// Adopt assembles a Tree from fully precomputed arrays — the
+// snapshot-restore path one step past FromIdom: children order and the
+// dominance-preorder numbering are adopted too, so nothing linear is
+// re-derived. childOff is an n+1 prefix-offset array into the flat
+// children list (node v's children are children[childOff[v]:childOff[v+1]]).
+//
+// Like FromIdom, the arrays come from disk and are validated rather than
+// trusted — idom gets FromIdom's checks, and the numbering is pinned to
+// the children structure by the preorder-nesting invariants (a node's
+// first child is numbered Num+1, each next child starts where its
+// sibling's subtree ended, MaxNum closes over the last child, and the
+// root's interval covers every reachable node). Together with the
+// Num/Order bijection those force exactly the numbering build would have
+// produced for this children order, so a buffer that lies about any of it
+// fails here instead of mis-answering Dominates. The slices are aliased,
+// not copied; the adopted tree is read-only.
+func Adopt(g *cfg.Graph, d *cfg.DFS, idom, num, maxNum, order, childOff, children []int) (*Tree, error) {
+	n := g.N()
+	r := d.NumReachable
+	if len(idom) != n || len(num) != n || len(maxNum) != n || len(childOff) != n+1 {
+		return nil, fmt.Errorf("dom: adopt: per-node arrays sized %d/%d/%d/%d for %d nodes",
+			len(idom), len(num), len(maxNum), len(childOff), n)
+	}
+	if len(order) != r {
+		return nil, fmt.Errorf("dom: adopt: order has %d entries for %d reachable nodes", len(order), r)
+	}
+	wantChildren := 0
+	if r > 0 {
+		wantChildren = r - 1
+	}
+	if childOff[0] != 0 || childOff[n] != len(children) || len(children) != wantChildren {
+		return nil, fmt.Errorf("dom: adopt: children offsets cover %d of %d entries (want %d)",
+			childOff[n], len(children), wantChildren)
+	}
+	for v, p := range idom {
+		if p < -1 || p >= n {
+			return nil, fmt.Errorf("dom: adopt: idom[%d] = %d out of range", v, p)
+		}
+		if d.Reachable(v) {
+			if v == 0 && p != -1 {
+				return nil, fmt.Errorf("dom: adopt: entry node has idom %d", p)
+			}
+			if v != 0 && (p < 0 || !d.Reachable(p)) {
+				return nil, fmt.Errorf("dom: adopt: reachable node %d has idom %d", v, p)
+			}
+		}
+	}
+	for i, v := range order {
+		if v < 0 || v >= n || num[v] != i {
+			return nil, fmt.Errorf("dom: adopt: order[%d] = %d inconsistent with num", i, v)
+		}
+	}
+	numbered := 0
+	for v := 0; v < n; v++ {
+		if childOff[v+1] < childOff[v] {
+			return nil, fmt.Errorf("dom: adopt: children offsets decrease at node %d", v)
+		}
+		if num[v] < 0 {
+			if num[v] != -1 || maxNum[v] != -1 || d.Reachable(v) {
+				return nil, fmt.Errorf("dom: adopt: node %d has inconsistent numbering state", v)
+			}
+			if childOff[v+1] != childOff[v] {
+				return nil, fmt.Errorf("dom: adopt: unnumbered node %d has children", v)
+			}
+			continue
+		}
+		numbered++
+		if !d.Reachable(v) {
+			return nil, fmt.Errorf("dom: adopt: unreachable node %d is numbered", v)
+		}
+		// Preorder nesting: the children partition (num[v], maxNum[v]]
+		// into consecutive subtree intervals.
+		next := num[v] + 1
+		for _, c := range children[childOff[v]:childOff[v+1]] {
+			if c < 0 || c >= n || idom[c] != v || num[c] != next {
+				return nil, fmt.Errorf("dom: adopt: node %d's child %d breaks the preorder nesting", v, c)
+			}
+			next = maxNum[c] + 1
+		}
+		if maxNum[v] != next-1 || maxNum[v] >= r {
+			return nil, fmt.Errorf("dom: adopt: node %d's interval [%d,%d] does not close over its children",
+				v, num[v], maxNum[v])
+		}
+	}
+	if numbered != r {
+		return nil, fmt.Errorf("dom: adopt: %d nodes numbered, %d reachable", numbered, r)
+	}
+	if r > 0 && (order[0] != 0 || maxNum[0] != r-1) {
+		return nil, errors.New("dom: adopt: root interval does not cover the reachable nodes")
+	}
+	t := &Tree{
+		Idom:     idom,
+		Children: make([][]int, n),
+		Num:      num,
+		MaxNum:   maxNum,
+		Order:    order,
+	}
+	for v := 0; v < n; v++ {
+		t.Children[v] = children[childOff[v]:childOff[v+1]:childOff[v+1]]
 	}
 	return t, nil
 }

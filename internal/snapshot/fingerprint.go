@@ -1,6 +1,7 @@
 // Package snapshot persists the checker's CFG-only precomputation across
-// processes: a versioned, checksummed binary format holding the dominator
-// tree's idom array and the R/T bitset arenas, keyed by a structural CFG
+// processes: a versioned, per-section-checksummed binary format holding
+// the CFG edge arenas, the DFS and dominator-tree arrays, and the R/T
+// bitset matrices (run-length encoded), keyed by a structural CFG
 // fingerprint, plus a size-bounded on-disk Store the engine uses as a disk
 // tier under its LRU.
 //
@@ -15,6 +16,7 @@ package snapshot
 import (
 	"fastliveness/internal/cfg"
 	"fastliveness/internal/core"
+	"fastliveness/internal/ir"
 )
 
 // Format flag bits. Only knobs that change the *content* of the R/T arenas
@@ -58,6 +60,34 @@ func Fingerprint(g *cfg.Graph, flags uint32) uint64 {
 		}
 	}
 	return uint64(h)
+}
+
+// FingerprintFunc computes Fingerprint(g, flags) for the graph
+// cfg.FromFunc(f) would extract, without building the graph — bit
+// identical, because the hash stream depends only on the per-block
+// successor counts and node indices, both of which read straight off
+// f.Blocks. It also returns the block-ID→node index (FromFunc's second
+// result), which the hash needs anyway and RestoreFrom wants next. This
+// is the warm path's key derivation: under snapshot format v3 the graph
+// itself is adopted from the file, so a hit never runs FromFunc at all.
+func FingerprintFunc(f *ir.Func, flags uint32) (uint64, []int) {
+	index := make([]int, f.NumBlocks())
+	for i := range index {
+		index[i] = -1
+	}
+	for i, b := range f.Blocks {
+		index[b.ID] = i
+	}
+	h := newFNV()
+	h.uvarint(uint64(flags))
+	h.uvarint(uint64(len(f.Blocks)))
+	for _, b := range f.Blocks {
+		h.uvarint(uint64(len(b.Succs)))
+		for _, e := range b.Succs {
+			h.uvarint(uint64(index[e.B.ID]))
+		}
+	}
+	return uint64(h), index
 }
 
 // fnv64 is FNV-1a with 64-bit state, written out inline (hash/fnv would

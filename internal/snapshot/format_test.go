@@ -10,6 +10,8 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -92,9 +94,10 @@ func TestDecodeRejectsTruncation(t *testing.T) {
 	}
 }
 
-// Every single-bit flip anywhere in the file must be rejected: the
-// checksum covers header and payload alike (only its own field is
-// excluded, and a flip there mismatches the recomputed value).
+// Every single-bit flip anywhere in the file must be rejected: the header
+// checksum covers bytes [0,68) (a flip in its own field mismatches the
+// recomputed value), and every payload byte is covered by exactly one of
+// the five section checksums.
 func TestDecodeRejectsBitFlips(t *testing.T) {
 	buf, err := captureOne(t, 5, 13).Encode()
 	if err != nil {
@@ -127,6 +130,8 @@ func TestDecodeRejectsWrongVersion(t *testing.T) {
 	reseal(buf)
 	if _, err := snapshot.Decode(buf); err == nil {
 		t.Fatalf("decode accepted format version %d", current+1)
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version rejected by %q, want the version check", err)
 	}
 	binary.LittleEndian.PutUint32(buf[8:], current)
 	reseal(buf)
@@ -135,12 +140,34 @@ func TestDecodeRejectsWrongVersion(t *testing.T) {
 	}
 }
 
+// A version mismatch must be diagnosed before the header checksum: the
+// version check is what routes real old-format files into the clean
+// recompute-then-rewrite degradation, and old headers place their checksum
+// elsewhere, so checking CRC first would misreport every v2 file as
+// corrupt rather than outdated. Flipping only the version byte (exactly
+// what the CI version-skew smoke does with dd) must therefore yield a
+// version error even though the header checksum no longer matches.
+func TestVersionCheckPrecedesChecksum(t *testing.T) {
+	buf, err := captureOne(t, 2, 14).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[8] = 2 // claim v2 without resealing
+	if _, err := snapshot.Decode(buf); err == nil {
+		t.Fatal("decode accepted a version-skewed buffer")
+	} else if !strings.Contains(err.Error(), "version 2") {
+		t.Fatalf("version skew rejected by %q, want a version-2 error", err)
+	}
+}
+
 // Dimension fields that change the payload size are tied to the actual
-// byte count even with a valid checksum: a header claiming more data than
-// the buffer holds must fail the length check, never over-read. (Lies the
-// length check cannot see — nEdges, or a ±1 nBlocks that aliases into the
-// alignment padding — are caught by Restore's cross-checks against the
-// live function instead; difftest exercises that side.)
+// byte count even with a valid header checksum: under v3 every header
+// dimension — block, edge and reachable counts, and the R/T section byte
+// lengths — feeds the exact-total-length check, so a header claiming more
+// (or less) data than the buffer holds must fail that check, never
+// over-read. (Lies that preserve the totals are caught by the section
+// checksums and by Restore's cross-checks against the live function;
+// difftest exercises that side.)
 func TestDecodeRejectsResealedDimensionLies(t *testing.T) {
 	buf, err := captureOne(t, 4, 15).Encode()
 	if err != nil {
@@ -150,8 +177,11 @@ func TestDecodeRejectsResealedDimensionLies(t *testing.T) {
 		off   int
 		delta uint32
 	}{
-		{24, 2}, // nBlocks: +2 grows the idom array past the padding slack
-		{32, 1}, // nReach: any change resizes both arenas
+		{24, 2}, // nBlocks: sizes the CFG/DFS/DOM sections
+		{28, 1}, // nEdges: sizes the CFG section's succ/pred arrays
+		{32, 1}, // nReach: sizes the DFS/DOM order arrays
+		{40, 8}, // rBytes: the R section's encoded length
+		{44, 8}, // tBytes: the T section's encoded length
 	} {
 		orig := binary.LittleEndian.Uint32(buf[lie.off:])
 		binary.LittleEndian.PutUint32(buf[lie.off:], orig+lie.delta)
@@ -161,35 +191,236 @@ func TestDecodeRejectsResealedDimensionLies(t *testing.T) {
 		}
 		binary.LittleEndian.PutUint32(buf[lie.off:], orig)
 	}
+	reseal(buf)
+	if _, err := snapshot.Decode(buf); err != nil {
+		t.Fatalf("restored buffer no longer decodes: %v", err)
+	}
 }
 
-// reseal recomputes the checksum field after a deliberate header edit,
-// mirroring the format's definition (everything except bytes [40,48)).
+// reseal recomputes the v3 header checksum after a deliberate header
+// edit, mirroring the format's definition (CRC-32C of bytes [0,68) stored
+// at [68,72); the payload sections carry their own checksums and are
+// untouched by header edits).
 func reseal(buf []byte) {
+	castagnoli := crc32.MakeTable(crc32.Castagnoli)
+	binary.LittleEndian.PutUint32(buf[68:], crc32.Checksum(buf[:68], castagnoli))
+}
+
+// legacyV2Encode serializes s in the retired v2 layout: a 48-byte header
+// (single file-wide CRC-32C at [40,48) over everything but itself) and a
+// payload of idom as int32s, padding, then the dense — not run-length
+// encoded — R and T arenas. Byte-faithful to what v2 Save wrote, so the
+// migration tests exercise exactly the files a pre-v3 process left behind.
+func legacyV2Encode(t testing.TB, s *snapshot.Snapshot) []byte {
+	t.Helper()
+	idomBytes := 4 * s.NBlocks
+	pad := (8 - idomBytes%8) % 8
+	buf := make([]byte, 48+idomBytes+pad+8*(len(s.RWords)+len(s.TWords)))
+	copy(buf, "FLSNAP01")
+	binary.LittleEndian.PutUint32(buf[8:], 2)
+	binary.LittleEndian.PutUint32(buf[12:], s.Flags)
+	binary.LittleEndian.PutUint64(buf[16:], s.FP)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(s.NBlocks))
+	binary.LittleEndian.PutUint32(buf[28:], uint32(s.NEdges))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(s.NReach))
+	p := buf[48:]
+	for i, d := range s.Idom {
+		binary.LittleEndian.PutUint32(p[4*i:], uint32(int32(d)))
+	}
+	p = p[idomBytes+pad:]
+	for i, w := range s.RWords {
+		binary.LittleEndian.PutUint64(p[8*i:], w)
+	}
+	p = p[8*len(s.RWords):]
+	for i, w := range s.TWords {
+		binary.LittleEndian.PutUint64(p[8*i:], w)
+	}
 	castagnoli := crc32.MakeTable(crc32.Castagnoli)
 	c := crc32.Update(0, castagnoli, buf[:40])
 	c = crc32.Update(c, castagnoli, buf[48:])
 	binary.LittleEndian.PutUint64(buf[40:], uint64(c))
+	return buf
+}
+
+// A genuine v2 file — valid under the old format's own checksum — must be
+// rejected by the version check with a clean "unsupported version" error,
+// not misdiagnosed as corruption.
+func TestDecodeRejectsLegacyV2(t *testing.T) {
+	s := captureOne(t, 6, 22)
+	buf := legacyV2Encode(t, s)
+	_, err := snapshot.Decode(buf)
+	if err == nil {
+		t.Fatal("decode accepted a v2 file")
+	}
+	if !strings.Contains(err.Error(), "version 2") {
+		t.Fatalf("v2 file rejected by %q, want a version-2 error", err)
+	}
+}
+
+// The cross-process migration path: a store directory holding a real v2
+// file (what a pre-v3 process left behind) must degrade its load to a
+// clean miss, delete the outdated file so Contains cannot dedupe away the
+// repairing save, and accept the v3 rewrite.
+func TestStoreMigratesLegacyV2(t *testing.T) {
+	dir := t.TempDir()
+	st, err := snapshot.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := captureOne(t, 7, 23)
+	v2 := legacyV2Encode(t, s)
+	path := filepath.Join(dir, fpName(s.FP))
+	if err := os.WriteFile(path, v2, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(s.FP); err == nil || err == snapshot.ErrNotFound {
+		t.Fatalf("v2 load: got %v, want a version error", err)
+	}
+	if st.Contains(s.FP) {
+		t.Fatal("v2 file survived the failed load; saves would dedupe against it forever")
+	}
+	if err := st.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load(s.FP)
+	if err != nil {
+		t.Fatalf("post-migration load: %v", err)
+	}
+	if got.FP != s.FP || got.NBlocks != s.NBlocks || got.NReach != s.NReach {
+		t.Fatal("post-migration load returned a different snapshot")
+	}
 }
 
 // FuzzDecode hammers the parser with corrupted and arbitrary buffers: the
 // contract under test is "error or valid snapshot, never a panic". Seeds
-// include a genuine encoded snapshot so mutation explores the interesting
-// neighborhood.
+// include a genuine encoded snapshot (so mutation explores the v3
+// neighborhood), a genuine legacy v2 file (so mutation explores the
+// version-skew path old stores feed the decoder), and assorted prefixes.
 func FuzzDecode(f *testing.F) {
-	buf, err := captureOne(f, 1, 16).Encode()
+	s := captureOne(f, 1, 16)
+	buf, err := s.Encode()
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(buf)
+	f.Add(legacyV2Encode(f, s))
 	f.Add([]byte{})
 	f.Add(buf[:48])
+	f.Add(buf[:72])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := snapshot.Decode(data)
 		if err == nil && s == nil {
 			t.Fatal("nil snapshot with nil error")
 		}
 	})
+}
+
+// The portable load path — plain file read instead of mmap, per-word copy
+// instead of aliasing — must observe the same bytes and produce the same
+// snapshot as the zero-copy fast path. CI runs this on mmap-capable
+// platforms, so the code big-endian and mmap-refusing systems always run
+// stays covered; the store round trip also exercises the section-checksum
+// scans on both paths.
+func TestForcedFallbackLoadMatchesMmap(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 8; i++ {
+		s := captureOne(t, i, 24)
+		fast, err := snapshot.Open(filepath.Join(dir, "fast"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := snapshot.Open(filepath.Join(dir, "slow"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fast.Save(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := slow.Save(s); err != nil {
+			t.Fatal(err)
+		}
+		a, err := fast.Load(s.FP)
+		if err != nil {
+			t.Fatalf("mmap load %d: %v", i, err)
+		}
+		snapshot.SetForceReadFallback(true)
+		snapshot.SetForceCopyDecode(true)
+		b, err := slow.Load(s.FP)
+		snapshot.SetForceReadFallback(false)
+		snapshot.SetForceCopyDecode(false)
+		if err != nil {
+			t.Fatalf("fallback load %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("snapshot %d: fallback load differs from mmap load", i)
+		}
+	}
+}
+
+// Store accounting: an aliasing file-backed load scans the three
+// structural sections and skips the two arena sections, a decoded-cache
+// hit scans none, SetVerifyArenas makes a file-backed load scan all
+// five, and a load that dies at an early validation skips the sections
+// it never reached. (The expectations assume the aliasing decode path —
+// the only one CI runs natively; forced-fallback loads scan all five,
+// which TestStoreArenaCorruptionVerifyModes covers.)
+func TestStoreStatsSectionAccounting(t *testing.T) {
+	const numSections = 5
+	dir := t.TempDir()
+	st, err := snapshot.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := captureOne(t, 9, 25)
+	if err := st.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(s.FP); err != nil {
+		t.Fatal(err)
+	}
+	got := st.Stats()
+	if got.DecodedCacheHits != 0 || got.DecodedCacheMisses != 1 ||
+		got.SectionScans != 3 || got.SectionSkips != 2 {
+		t.Fatalf("after file-backed load: %+v", got)
+	}
+	if _, err := st.Load(s.FP); err != nil {
+		t.Fatal(err)
+	}
+	got = st.Stats()
+	if got.DecodedCacheHits != 1 || got.DecodedCacheMisses != 1 ||
+		got.SectionScans != 3 || got.SectionSkips != 2+numSections {
+		t.Fatalf("after cached load: %+v", got)
+	}
+
+	// Same file through a verify-arenas store: all five sections scanned.
+	verif, err := snapshot.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verif.SetVerifyArenas(true)
+	if _, err := verif.Load(s.FP); err != nil {
+		t.Fatal(err)
+	}
+	got = verif.Stats()
+	if got.SectionScans != numSections || got.SectionSkips != 0 {
+		t.Fatalf("after verify-arenas load: %+v", got)
+	}
+
+	// A version-skewed file fails before any section scan: all skipped.
+	st2, err := snapshot.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(st2.Dir(), fpName(s.FP)), legacyV2Encode(t, s), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Load(s.FP); err == nil {
+		t.Fatal("v2 load succeeded")
+	}
+	got = st2.Stats()
+	if got.SectionScans != 0 || got.SectionSkips != numSections {
+		t.Fatalf("after version-skewed load: %+v", got)
+	}
 }
 
 // Structurally distinct graphs must get distinct fingerprints across the
@@ -308,8 +539,10 @@ func TestStoreGCKeepsJustWritten(t *testing.T) {
 	}
 }
 
-// A corrupt file degrades to a miss and is removed so a future save can
-// repair it.
+// A file with a corrupt structural section degrades to a miss and is
+// removed so a future save can repair it. Byte 100 sits in the CFG
+// section (the first structural bytes after the 72-byte header), which
+// every load path scans eagerly.
 func TestStoreCorruptFileSelfHeals(t *testing.T) {
 	dir := t.TempDir()
 	st, err := snapshot.Open(dir, 0)
@@ -325,7 +558,7 @@ func TestStoreCorruptFileSelfHeals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf[len(buf)/2] ^= 0x40
+	buf[100] ^= 0x40
 	if err := os.WriteFile(path, buf, 0o666); err != nil {
 		t.Fatal(err)
 	}
@@ -341,6 +574,70 @@ func TestStoreCorruptFileSelfHeals(t *testing.T) {
 	if _, err := st.Load(s.FP); err != nil {
 		t.Fatalf("store did not heal: %v", err)
 	}
+}
+
+// The arena half of the corruption contract, pinned from both sides: a
+// bit flip in the R/T payload is *not* scanned for by the default
+// aliasing load (that deferral is the sub-linear warm path — see the
+// format comment), and *is* caught, with the usual self-heal, by a
+// verify-arenas store and by the copying fallback path.
+func TestStoreArenaCorruptionVerifyModes(t *testing.T) {
+	s := captureOne(t, 1, 21)
+	corrupt := func(t *testing.T, dir string) {
+		t.Helper()
+		path := filepath.Join(dir, fpName(s.FP))
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[len(buf)-8] ^= 0x40 // last T-section word: always in the arena payload
+		if err := os.WriteFile(path, buf, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	save := func(t *testing.T, dir string) *snapshot.Store {
+		t.Helper()
+		st, err := snapshot.Open(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Save(s); err != nil {
+			t.Fatal(err)
+		}
+		corrupt(t, dir)
+		return st
+	}
+
+	t.Run("default-alias-defers", func(t *testing.T) {
+		st := save(t, t.TempDir())
+		if _, err := st.Load(s.FP); err != nil {
+			t.Fatalf("aliasing load scanned the arenas it defers: %v", err)
+		}
+		if got := st.Stats(); got.SectionScans != 3 || got.SectionSkips != 2 {
+			t.Fatalf("aliasing load accounting: %+v", got)
+		}
+	})
+	t.Run("verify-arenas-catches", func(t *testing.T) {
+		st := save(t, t.TempDir())
+		st.SetVerifyArenas(true)
+		if _, err := st.Load(s.FP); err == nil || err == snapshot.ErrNotFound {
+			t.Fatalf("verify-arenas load: got %v, want a T-section checksum error", err)
+		}
+		if st.Contains(s.FP) {
+			t.Fatal("corrupt file survived the failed load")
+		}
+	})
+	t.Run("copy-path-catches", func(t *testing.T) {
+		st := save(t, t.TempDir())
+		snapshot.SetForceReadFallback(true)
+		snapshot.SetForceCopyDecode(true)
+		_, err := st.Load(s.FP)
+		snapshot.SetForceReadFallback(false)
+		snapshot.SetForceCopyDecode(false)
+		if err == nil || err == snapshot.ErrNotFound {
+			t.Fatalf("copying load: got %v, want a T-section checksum error", err)
+		}
+	})
 }
 
 func fpName(fp uint64) string {

@@ -15,6 +15,9 @@ import (
 // that refuse mmap fall back to a plain read; callers cannot tell the
 // difference beyond the copy.
 func mapFile(path string) ([]byte, func() error, error) {
+	if forceReadFallback.Load() {
+		return readFallback(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err

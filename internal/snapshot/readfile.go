@@ -1,6 +1,21 @@
 package snapshot
 
-import "os"
+import (
+	"os"
+	"sync/atomic"
+)
+
+// forceReadFallback, when set, routes every mapFile call through
+// readFallback. Test hook; see SetForceReadFallback.
+var forceReadFallback atomic.Bool
+
+// SetForceReadFallback forces (or, with false, re-enables mmap for) the
+// plain-read load path, so CI on mmap-capable platforms can cover the
+// code mmap-refusing filesystems and platforms always run — typically
+// together with SetForceCopyDecode to exercise the fully portable load.
+// Test instrumentation only; toggle it before any loads, not concurrently
+// with them.
+func SetForceReadFallback(v bool) { forceReadFallback.Store(v) }
 
 // readFallback is mapFile's portable slow path: a plain read into a fresh
 // buffer, with a no-op release.

@@ -35,7 +35,9 @@ const fileExt = ".flsnap"
 // decoded Snapshot's word arenas alias the read-only mapping, so the
 // kernel's page cache — shared across every process mapping the same file
 // — is the only copy of the O(n²) payload, and a load moves no matrix
-// bytes at all beyond the checksum scan. Validated snapshots are cached
+// bytes at all: the R/T arena checksums are not scanned on this path
+// unless SetVerifyArenas opts in (structural sections always are; see
+// the format comment's corruption contract). Validated snapshots are cached
 // per fingerprint for the store's lifetime; since a snapshot is a pure
 // function of its fingerprint and Save only ever replaces files via
 // rename (new inode, existing mappings untouched), a cached entry can
@@ -57,7 +59,64 @@ type Store struct {
 	// GC accounting, readable without the store lock (GCStats).
 	gcRuns atomic.Int64
 	gcNs   atomic.Int64
+
+	// Decoded-cache and section-scan accounting (Stats): how many Loads
+	// the in-process cache absorbed, and how many per-section checksum
+	// scans the v3 format's early-exit validation avoided.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	secScans    atomic.Int64
+	secSkips    atomic.Int64
+
+	// verifyArenas forces eager R/T checksum scans on the aliasing mmap
+	// path; see SetVerifyArenas.
+	verifyArenas atomic.Bool
 }
+
+// StoreStats counts a store's load traffic at the layer below the
+// engine's hit/miss accounting: whether a Load was absorbed by the
+// in-process decoded cache, and — for loads that did touch a file — how
+// many of the format's checksum-sealed sections were actually scanned.
+type StoreStats struct {
+	// DecodedCacheHits and DecodedCacheMisses split Loads by whether the
+	// per-store decoded cache already held a validated snapshot for the
+	// fingerprint.
+	DecodedCacheHits   int64
+	DecodedCacheMisses int64
+	// SectionScans and SectionSkips count per-section checksum scans run
+	// and avoided; each load that finds an entry (cached or on disk)
+	// accounts for exactly numSections of them, while a load of a missing
+	// fingerprint accounts for none — there were no sections to consider.
+	// A cached hit skips all five; an aliasing mmap load scans the three
+	// structural sections and skips the two O(n²) arena sections (unless
+	// SetVerifyArenas opts in); a copying load scans all five; a load that
+	// fails an early validation skips the sections it never reached.
+	SectionScans int64
+	SectionSkips int64
+}
+
+// Stats reports the store's decoded-cache and section-scan counters.
+// Store-global: engines sharing one store observe shared counts.
+func (st *Store) Stats() StoreStats {
+	return StoreStats{
+		DecodedCacheHits:   st.cacheHits.Load(),
+		DecodedCacheMisses: st.cacheMisses.Load(),
+		SectionScans:       st.secScans.Load(),
+		SectionSkips:       st.secSkips.Load(),
+	}
+}
+
+// SetVerifyArenas opts this store's mmap loads into eager R/T arena
+// checksum scans. By default the aliasing path verifies the header and
+// the three structural sections and defers the O(n²) arena scans —
+// that deferral is what makes a warm load sub-linear in the matrix
+// size, and it is the standard mmap'd-format trade: a bit flip on disk
+// under an already-validated structure would go unscanned until a
+// copying load or a recompute touches it. Deployments that would rather
+// pay a linear pass per file-backed load for eager end-to-end integrity
+// set this once, before loading. (Copying loads — forced fallback,
+// non-aliasing hosts — always verify all sections regardless.)
+func (st *Store) SetVerifyArenas(v bool) { st.verifyArenas.Store(v) }
 
 // Fault-injection sites the store fires on its I/O paths; see
 // SetFaultInjector.
@@ -112,9 +171,12 @@ func (st *Store) Load(fp uint64) (*Snapshot, error) {
 	st.mu.Lock()
 	if s, ok := st.cache[fp]; ok {
 		st.mu.Unlock()
+		st.cacheHits.Add(1)
+		st.secSkips.Add(numSections) // validated before; no section re-scanned
 		return s, nil
 	}
 	st.mu.Unlock()
+	st.cacheMisses.Add(1)
 
 	if err := st.fire(FaultSiteLoad); err != nil {
 		return nil, err
@@ -127,11 +189,15 @@ func (st *Store) Load(fp uint64) (*Snapshot, error) {
 		}
 		return nil, err
 	}
-	s, err := Decode(buf)
+	s, scanned, err := decode(buf, st.verifyArenas.Load())
+	st.secScans.Add(int64(scanned))
+	st.secSkips.Add(int64(numSections - scanned))
 	if err != nil {
-		// The file is demonstrably garbage. Delete it so a future save can
-		// repair the store; while it sat there, Contains would dedupe the
-		// very save that could fix it. The caller still sees the miss.
+		// The file is demonstrably garbage (or an old format version).
+		// Delete it so a future save can repair the store; while it sat
+		// there, Contains would dedupe the very save that could fix it.
+		// The caller still sees the miss — the degradation path that turns
+		// v2 files into recompute-then-rewrite-as-v3.
 		os.Remove(path)
 		unmap()
 		return nil, err
@@ -141,8 +207,8 @@ func (st *Store) Load(fp uint64) (*Snapshot, error) {
 		unmap()
 		return nil, fmt.Errorf("snapshot: file %s holds fingerprint %016x", filepath.Base(path), s.FP)
 	}
-	if !nativeLittleEndian {
-		unmap() // Decode copied the arenas; nothing aliases the mapping
+	if !decodeAliases() {
+		unmap() // Decode copied the arrays; nothing aliases the mapping
 	}
 	now := time.Now()
 	_ = os.Chtimes(path, now, now) // best-effort recency for GC

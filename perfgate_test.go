@@ -25,10 +25,12 @@ import (
 //     a rebuild onto a query path (query_rebuilds == 0 in every row; the
 //     one background rebuild the edit schedules is expected and not
 //     gated).
-//   - warm-start artifacts (BENCH_7): a warm process start skips >= 80%
-//     of per-function precompute vs a cold one, every function is served
-//     from the store (hits == funcs, misses == 0), and steady-state
-//     queries on snapshot-adopted arenas stay at 0 allocs/op.
+//   - warm-start artifacts (BENCH_7, BENCH_10): a warm process start
+//     skips >= 80% of per-function precompute vs a cold one — or, when the
+//     artifact pins its own higher bar via gate_min_savings (the v3 format
+//     pins 90%), that bar instead — every function is served from the
+//     store (hits == funcs, misses == 0), and steady-state queries on
+//     snapshot-adopted arenas stay at 0 allocs/op.
 //   - latency artifacts (BENCH_9): every backend's replay histogram
 //     actually observed queries (count > 0), and the checker's p99 stays
 //     at or below dataflow's — with edits interleaved in the stream the
@@ -42,7 +44,8 @@ const (
 	// build) does not.
 	checkerPipelineNsPerProcMax = 150_000
 	// warmStartMinSavings is the acceptance floor for the snapshot tier:
-	// fraction of per-function precompute a warm start must eliminate.
+	// fraction of per-function precompute a warm start must eliminate. An
+	// artifact may raise (never lower) its own bar via gate_min_savings.
 	warmStartMinSavings = 0.80
 )
 
@@ -178,7 +181,8 @@ func gateLatency(t *testing.T, raw json.RawMessage) {
 
 func gateWarmStart(t *testing.T, raw json.RawMessage) {
 	var rep struct {
-		Rows []struct {
+		GateMinSavings float64 `json:"gate_min_savings"`
+		Rows           []struct {
 			Funcs          int     `json:"funcs"`
 			Savings        float64 `json:"savings"`
 			Hits           int64   `json:"snapshot_hits"`
@@ -192,10 +196,17 @@ func gateWarmStart(t *testing.T, raw json.RawMessage) {
 	if len(rep.Rows) == 0 {
 		t.Fatal("warmstart artifact has no rows")
 	}
+	// The artifact's self-declared bar can only tighten the global floor:
+	// older artifacts without the field (BENCH_7) gate at 0.80, v3 artifacts
+	// pin 0.90 and are held to it.
+	minSavings := warmStartMinSavings
+	if rep.GateMinSavings > minSavings {
+		minSavings = rep.GateMinSavings
+	}
 	for _, r := range rep.Rows {
-		if r.Savings < warmStartMinSavings {
+		if r.Savings < minSavings {
 			t.Errorf("funcs=%d: warm start saves only %.1f%% of per-function precompute, want >= %.0f%%",
-				r.Funcs, r.Savings*100, warmStartMinSavings*100)
+				r.Funcs, r.Savings*100, minSavings*100)
 		}
 		if r.Hits != int64(r.Funcs) || r.Misses != 0 {
 			t.Errorf("funcs=%d: warm run hit %d/%d with %d misses; every function must load from the store",

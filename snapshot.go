@@ -19,7 +19,6 @@ import (
 	"time"
 
 	"fastliveness/internal/backend"
-	"fastliveness/internal/cfg"
 	"fastliveness/internal/core"
 	"fastliveness/internal/ir"
 	"fastliveness/internal/retry"
@@ -99,6 +98,14 @@ type SnapshotStoreOptions struct {
 	// SaveRetries is how many extra backoff-paced attempts a transiently
 	// failing save gets. 0 means 2; negative disables retries.
 	SaveRetries int
+	// VerifyArenas opts mmap-backed loads into eager checksum scans of
+	// the O(n²) R/T arena sections. By default the aliasing load path
+	// verifies the header and the structural sections and defers the
+	// arena scans — the sub-linear warm-start trade, in which an on-disk
+	// bit flip inside the matrices would go undetected until a copying
+	// load touches it. Set this to pay a linear pass per file-backed load
+	// for eager end-to-end integrity instead.
+	VerifyArenas bool
 }
 
 func (o SnapshotStoreOptions) saveRetries() int {
@@ -126,6 +133,7 @@ func OpenSnapshotStoreOptions(dir string, opts SnapshotStoreOptions) (*SnapshotS
 	if err != nil {
 		return nil, err
 	}
+	st.SetVerifyArenas(opts.VerifyArenas)
 	ss := &SnapshotStore{store: st, saveRetries: opts.saveRetries()}
 	ss.breaker = retry.NewBreaker(retry.BreakerConfig{
 		Failures:     opts.BreakerFailures,
@@ -266,6 +274,18 @@ type SnapshotStats struct {
 	// also counts as a Miss). A nonzero value is the measurable form of
 	// "the disk tier degraded but answers stayed correct".
 	BreakerSkips int64
+	// DecodedCacheHits and DecodedCacheMisses split store loads by whether
+	// the store's in-process decoded cache absorbed them without touching
+	// the file; SectionScans and SectionSkips count the v3 format's
+	// per-section checksum scans run and avoided (a cached hit skips all
+	// of them, the aliasing mmap path defers the two O(n²) arena sections,
+	// an early validation failure skips the sections never reached).
+	// Store-global, like the breaker: engines sharing one SnapshotStore see
+	// shared counts. All zero without a store.
+	DecodedCacheHits   int64
+	DecodedCacheMisses int64
+	SectionScans       int64
+	SectionSkips       int64
 }
 
 // snapshotCounters is the atomic-counter block behind SnapshotStats,
@@ -284,7 +304,7 @@ type snapshotCounters struct {
 // counters are zero except Computes when no SnapshotStore is configured.
 // Like Stats and Rebuilds, the values are invariant under the shard count.
 func (e *Engine) SnapshotStats() SnapshotStats {
-	return SnapshotStats{
+	st := SnapshotStats{
 		Hits:         e.snap.snapHits.Load(),
 		Misses:       e.snap.snapMisses.Load(),
 		Stores:       e.snap.snapStores.Load(),
@@ -293,6 +313,14 @@ func (e *Engine) SnapshotStats() SnapshotStats {
 		StoredBytes:  e.snap.snapStoredBytes.Load(),
 		BreakerSkips: e.snap.snapBreakerSkips.Load(),
 	}
+	if ss := e.config.SnapshotStore; ss != nil {
+		s := ss.store.Stats()
+		st.DecodedCacheHits = s.DecodedCacheHits
+		st.DecodedCacheMisses = s.DecodedCacheMisses
+		st.SectionScans = s.SectionScans
+		st.SectionSkips = s.SectionSkips
+	}
+	return st
 }
 
 // coreOptions maps the public per-function Config to checker options.
@@ -349,8 +377,17 @@ func (e *Engine) analyze(h *handle) (*Liveness, error) {
 	}
 	st := e.snapshotTier()
 	if st != nil {
-		if live, ok := e.loadSnapshot(st, f); ok {
-			return live, nil
+		// A prefetch worker may already have consulted the store for
+		// exactly this IR and come up empty; consuming its record here
+		// skips the redundant disk probe and keeps the hit/miss accounting
+		// at one store consultation per build. The record is epoch-stamped,
+		// so any intervening edit re-probes.
+		skip := h.snapProbed && h.snapProbedAt == backend.EpochsOf(f)
+		h.snapProbed = false
+		if !skip {
+			if live, res := e.loadSnapshot(st, f); res == snapHit {
+				return live, nil
+			}
 		}
 	}
 	e.snap.computes.Add(1)
@@ -361,38 +398,54 @@ func (e *Engine) analyze(h *handle) (*Liveness, error) {
 	return live, err
 }
 
+// snapResult classifies one consultation of the snapshot tier. The build
+// path treats everything but a hit as "run the real precompute"; the
+// prefetch pipeline additionally tells misses from breaker skips for its
+// own accounting.
+type snapResult int
+
+const (
+	snapHit snapResult = iota
+	snapMiss
+	snapBreakerOpen
+)
+
 // loadSnapshot tries to serve f's analysis from the store. Every failure —
 // no file, torn or bit-flipped file, version skew, a fingerprint that
 // collides but fails Restore's structural re-validation, an I/O error, an
 // open circuit breaker — lands in the same place: report a miss and let
 // the caller run the real precompute. The disk tier can therefore never
 // produce a wrong answer, only a slower one.
-func (e *Engine) loadSnapshot(ss *SnapshotStore, f *ir.Func) (live *Liveness, hit bool) {
+//
+// The warm path never builds a CFG: FingerprintFunc derives the key (and
+// the block index) straight off the IR, and under format v3 a validating
+// RestoreFrom adopts the graph, DFS and dominator tree from the file.
+func (e *Engine) loadSnapshot(ss *SnapshotStore, f *ir.Func) (live *Liveness, res snapResult) {
 	start := time.Now()
 	defer func() {
 		d := time.Since(start)
 		e.met.snapLoadNs.Observe(d.Nanoseconds())
-		e.tracer.SnapshotLoad(f.Name, hit, d)
+		e.tracer.SnapshotLoad(f.Name, res == snapHit, d)
 	}()
 	opts := e.config.Config.coreOptions()
-	g, index := cfg.FromFunc(f)
-	fp := snapshot.Fingerprint(g, snapshot.FlagsFor(opts))
+	fp, index := snapshot.FingerprintFunc(f, snapshot.FlagsFor(opts))
 	s, err := ss.load(fp)
 	if err != nil {
+		e.snap.snapMisses.Add(1)
 		if errors.Is(err, errSnapshotBreakerOpen) {
 			e.snap.snapBreakerSkips.Add(1)
+			return nil, snapBreakerOpen
 		}
-		e.snap.snapMisses.Add(1)
-		return nil, false
+		return nil, snapMiss
 	}
-	cr, err := s.RestoreFrom(f, g, index, opts)
+	cr, err := s.RestoreFrom(f, index, opts)
 	if err != nil {
 		e.snap.snapMisses.Add(1)
-		return nil, false
+		return nil, snapMiss
 	}
 	e.snap.snapHits.Add(1)
 	e.snap.snapLoadedBytes.Add(s.SizeBytes())
-	return livenessFromResult(f, cr, e.config.Config), true
+	return livenessFromResult(f, cr, e.config.Config), snapHit
 }
 
 // livenessFromResult wraps an adopted checker result as a query handle,
@@ -450,4 +503,136 @@ func (e *Engine) saveSnapshot(ss *SnapshotStore, live *Liveness) {
 		return
 	}
 	job()
+}
+
+// Prefetch enqueues a warm-start snapshot load for every registered
+// function with no resident analysis, fanned across the rebuild pool's
+// workers: each prefetch fingerprints the function, loads and validates
+// its snapshot if one exists, and publishes the adopted analysis into the
+// cache ahead of the first query — so a warm process front-loads its disk
+// tier instead of paying one load per first touch. Prefetches ride the
+// pool at a priority between staleness rebuilds (which keep queries fast
+// now) and snapshot saves (which only help future processes), share the
+// engine's single-flight machinery (a query arriving mid-prefetch waits
+// for and reuses it), and obey the store's circuit breaker. A function
+// whose snapshot misses is left for the on-demand build, which skips the
+// duplicate store probe the prefetch already paid.
+//
+// Prefetch returns how many loads it enqueued. It is a safe no-op — and
+// returns 0 — without a rebuild pool, without a snapshot tier (no store,
+// or a non-checker backend), or after Shutdown. Precompute calls it
+// implicitly; call it directly to warm the cache without forcing the
+// recompute of functions that miss.
+func (e *Engine) Prefetch() int {
+	return e.prefetchFuncs(e.Funcs())
+}
+
+// prefetchFuncs enqueues prefetches for the given registered functions,
+// deduplicated per handle via prefetchQueued exactly as MarkDirty
+// deduplicates rebuilds via queued.
+func (e *Engine) prefetchFuncs(funcs []*ir.Func) int {
+	if e.pool == nil || e.snapshotTier() == nil || e.closed.Load() {
+		return 0
+	}
+	n := 0
+	for _, f := range funcs {
+		h := e.lookup(f)
+		if h == nil {
+			continue
+		}
+		s := h.shard
+		s.mu.Lock()
+		if h.prefetchQueued || h.queued || h.building || h.live != nil || h.err != nil {
+			s.mu.Unlock()
+			continue
+		}
+		h.prefetchQueued = true
+		s.mu.Unlock()
+		if e.pool.enqueuePrefetch(h) {
+			n++
+		}
+	}
+	return n
+}
+
+// prefetchOne runs one dequeued prefetch on a pool worker, mirroring
+// rebuildOne: the decision runs under the shard mutex, the load itself
+// runs unlocked with building set (sharing the single-flight path with
+// queries) and under the function's read lock, and the publish re-checks
+// the generation so a prefetch superseded mid-load by Invalidate or an
+// edit is discarded, never cached.
+func (e *Engine) prefetchOne(h *handle) {
+	st := e.snapshotTier()
+	s := h.shard
+	s.mu.Lock()
+	h.prefetchQueued = false
+	if st == nil || h.building || h.queued || h.live != nil || h.err != nil {
+		// Already resident, already being built (the builder's own store
+		// probe covers it), queued for a rebuild, or sticky-failed: nothing
+		// for a prefetch to add.
+		s.mu.Unlock()
+		e.met.prefetchDiscards.Inc()
+		return
+	}
+	h.building = true
+	gen := h.gen
+	s.mu.Unlock()
+
+	live, res := e.runPrefetch(h, st)
+
+	s.mu.Lock()
+	h.building = false
+	s.cond.Broadcast()
+	switch {
+	case res != snapHit:
+		// Miss or breaker skip: the on-demand build recomputes (skipping
+		// the store probe recorded via snapProbed). Not a discard — the
+		// load ran and its outcome was counted.
+	case h.gen != gen || live.Stale():
+		// Invalidated, evicted or edited mid-load: the adopted analysis
+		// may describe a CFG that no longer exists.
+		e.met.prefetchDiscards.Inc()
+	default:
+		h.live = live
+		e.clearQuarantine(h)
+		h.elem = s.lru.PushFront(h)
+		e.resident.Add(1)
+		e.enforceCacheBound(s)
+	}
+	s.mu.Unlock()
+}
+
+// runPrefetch executes one prefetch load under the function's read lock:
+// the same epoch-tracked verification as analyze (the prefetcher is the
+// sole in-flight builder, so it owns the handle's verification record),
+// then the store consultation. On anything but a hit the probe is
+// recorded on the handle so the next build of the same IR skips it. A
+// function that fails verification is left untouched for the on-demand
+// build to diagnose — a prefetch never publishes failures.
+func (e *Engine) runPrefetch(h *handle, st *SnapshotStore) (*Liveness, snapResult) {
+	h.irMu.RLock()
+	defer h.irMu.RUnlock()
+	f := h.f
+	if !e.config.Config.SkipVerify {
+		if now := backend.EpochsOf(f); !h.verified || h.verifiedAt != now {
+			if err := ir.Verify(f); err != nil {
+				e.met.prefetchMisses.Inc()
+				return nil, snapMiss
+			}
+			h.verified, h.verifiedAt = true, now
+		}
+	}
+	probedAt := backend.EpochsOf(f) // stable: Edit write-locks irMu
+	live, res := e.loadSnapshot(st, f)
+	switch res {
+	case snapHit:
+		e.met.prefetchHits.Inc()
+	case snapBreakerOpen:
+		e.met.prefetchSkips.Inc()
+		h.snapProbed, h.snapProbedAt = true, probedAt
+	default:
+		e.met.prefetchMisses.Inc()
+		h.snapProbed, h.snapProbedAt = true, probedAt
+	}
+	return live, res
 }
